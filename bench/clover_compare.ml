@@ -1,0 +1,45 @@
+(* Ablation — iterative-merge clustering vs Clover-style tree
+   clustering (Section X, Qu et al.).
+
+   Clover never computes an edit distance: one streaming pass assigns
+   each read by a bounded-edit trie lookup of its prefix. The trade-off
+   is speed and memory against robustness to prefix errors. *)
+
+open Exp_common
+
+let n_strands = pick ~fast:60 ~full:200
+let coverage = 10
+let len = 120
+
+let run () =
+  print_string (section "Ablation: iterative-merge clustering vs Clover (tree-based)");
+  Printf.printf "setting: %d strands, coverage %d, length %d\n\n" n_strands coverage len;
+  let rows = ref [ [ "error rate"; "merge acc"; "merge time"; "clover acc"; "clover time" ] ] in
+  List.iter
+    (fun error_rate ->
+      let rng = Dna.Rng.create 31337 in
+      let channel = Simulator.Iid_channel.create_rate ~error_rate in
+      let strands = Array.init n_strands (fun _ -> Dna.Strand.random rng len) in
+      let sp = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage) in
+      let reads = Simulator.Sequencer.sequence sp channel rng strands in
+      let rs = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
+      let truth = Array.map (fun r -> r.Simulator.Sequencer.origin) reads in
+      let (merge_result, _), merge_time = time (fun () -> cluster_auto rng rs) in
+      let clover_result, clover_time = time (fun () -> Clustering.Clover.run rs) in
+      let acc result = Clustering.Metrics.accuracy ~truth result.Clustering.Cluster.clusters in
+      rows :=
+        [
+          Printf.sprintf "%.2f" error_rate;
+          f4 (acc merge_result);
+          f3 merge_time ^ "s";
+          f4 (acc clover_result);
+          f3 clover_time ^ "s";
+        ]
+        :: !rows)
+    [ 0.01; 0.03; 0.06; 0.10 ];
+  print_string (table (List.rev !rows));
+  print_string
+    "\n(Clover's single pass is fast and edit-distance-free but loses accuracy\n\
+    \ as noise reaches the prefix keys; the paper's iterative-merge algorithm\n\
+    \ spends edit distances to stay accurate)\n";
+  print_newline ()

@@ -1,0 +1,120 @@
+(* Experiment E1/E2 — Figure 3 and Table I (Section V).
+
+   How realistic is each wetlab simulator? Paired (clean, noisy) reads
+   are drawn from the "real" wetlab stand-in channel; the data-driven
+   simulators (count-based learned channel and the seq2seq RNN) are
+   trained on the training split without access to the channel's
+   parameters. Every simulator then generates clusters which are
+   reconstructed with double-sided BMA, and the per-index error profile
+   of each simulator is compared against the real channel's:
+
+   (i)   per-index error profile (Figure 3),
+   (ii)  average error rate over all indexes,
+   (iii) average absolute deviation from the real profile,
+   (iv)  number of perfectly reconstructed strands. *)
+
+open Exp_common
+
+let strand_len = pick ~fast:40 ~full:50
+let n_train = pick ~fast:150 ~full:900
+let n_test_clusters = pick ~fast:60 ~full:300
+let coverage = 8
+let rnn_epochs = pick ~fast:2 ~full:16
+let rnn_hidden = 24
+
+let run () =
+  print_string (section "Figure 3 + Table I: simulator fidelity (vs real wetlab)");
+  Printf.printf
+    "setting: strand length %d, %d training pairs, %d test clusters, coverage %d, DBMA reconstruction\n"
+    strand_len n_train n_test_clusters coverage;
+  let rng = Dna.Rng.create 1001 in
+  let real = Simulator.Wetlab_channel.create () in
+
+  (* Train the data-driven simulators on paired reads from the real
+     channel (the paper's train/validation/test methodology). *)
+  let dataset = Simulator.Trainer.make_dataset real rng ~n:n_train ~len:strand_len in
+  let learned = Simulator.Trainer.train_learned dataset in
+  Printf.printf "training RNN simulator (hidden %d, %d epochs)...\n%!" rnn_hidden rnn_epochs;
+  let (rnn_model, train_time) =
+    time (fun () ->
+        Simulator.Trainer.train_rnn ~hidden:rnn_hidden ~epochs:rnn_epochs ~lr:3e-3
+          ~report:(fun p ->
+            Printf.printf "  epoch %2d: train %.3f  val %.3f\n%!" p.Simulator.Trainer.epoch
+              p.train_loss p.val_loss)
+          dataset rng)
+  in
+  Printf.printf "RNN training took %.1fs\n" train_time;
+  (* Calibrate the sampling temperature on the validation split: an
+     imperfectly converged model is underconfident and over-generates
+     noise at temperature 1. *)
+  let temperature = Simulator.Trainer.calibrate_temperature rnn_model dataset rng in
+  Printf.printf "calibrated sampling temperature: %.2f\n" temperature;
+  let rnn = Simulator.Rnn_channel.create ~temperature rnn_model in
+
+  (* Calibrate the naive simulators the way a researcher would: estimate
+     the overall per-base error rate from the training pairs. They still
+     miss the position dependence and the bursts. *)
+  let estimated_rate =
+    let edits, bases =
+      List.fold_left
+        (fun (e, b) (clean, noisy) ->
+          (e + Dna.Distance.levenshtein clean noisy, b + Dna.Strand.length clean))
+        (0, 0) dataset.Simulator.Trainer.train
+    in
+    float_of_int edits /. float_of_int (max 1 bases)
+  in
+  Printf.printf "estimated per-base error rate from training pairs: %s\n" (pct estimated_rate);
+  let simulators =
+    [
+      ("Rashtchian", Simulator.Iid_channel.create_rate ~error_rate:estimated_rate);
+      ("SOLQC", Simulator.Solqc_channel.create_rate ~error_rate:estimated_rate);
+      ("Learned", learned);
+      ("RNN", rnn);
+      ("Real", real);
+    ]
+  in
+
+  (* Per-simulator: generate clusters, reconstruct with DBMA, profile. *)
+  let results =
+    List.map
+      (fun (name, channel) ->
+        let pairs =
+          reconstruct_clusters rng channel
+            ~recon:(reconstruct_of `Dbma) ~n_clusters:n_test_clusters ~coverage ~len:strand_len
+        in
+        let prof = Reconstruction.Recon_metrics.per_index_error pairs in
+        let avg = Reconstruction.Recon_metrics.average_error prof in
+        let perfect = Reconstruction.Recon_metrics.perfect_count pairs in
+        (name, prof, avg, perfect))
+      simulators
+  in
+  let real_profile =
+    match List.rev results with (_, prof, _, _) :: _ -> prof | [] -> [||]
+  in
+
+  (* Figure 3: one ASCII profile per simulator. *)
+  List.iter
+    (fun (name, prof, avg, _) ->
+      Printf.printf "\nFigure 3 [%s]: reconstruction error rate by index (avg %s)\n" name (pct avg);
+      print_string (profile ~height:8 prof))
+    results;
+
+  (* Table I. *)
+  print_string "\nTable I: simulator fidelity metrics\n";
+  let rows =
+    [ "metric" :: List.map (fun (name, _, _, _) -> name) results ]
+    @ [
+        "(ii) avg error rate"
+        :: List.map (fun (_, _, avg, _) -> pct avg) results;
+        "(iii) avg |dev| vs real"
+        :: List.map
+             (fun (name, prof, _, _) ->
+               if name = "Real" then "-"
+               else f4 (Reconstruction.Recon_metrics.average_abs_deviation prof real_profile))
+             results;
+        Printf.sprintf "(iv) perfect strands /%d" n_test_clusters
+        :: List.map (fun (_, _, _, perfect) -> string_of_int perfect) results;
+      ]
+  in
+  print_string (table rows);
+  print_newline ()

@@ -1,0 +1,43 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (see DESIGN.md's experiment index and
+   EXPERIMENTS.md for paper-vs-measured).
+
+     dune exec bench/main.exe            # run everything
+     dune exec bench/main.exe fig3       # one experiment
+     DNASTORE_BENCH=fast dune exec ...   # shrunken workloads
+
+   Experiments: fig3 (includes Table I), fig5, table2, fig6, table3,
+   e2e, layout, density, ecc, clover, micro. *)
+
+let experiments =
+  [
+    ("fig3", Fig3_table1.run);
+    ("fig5", Fig5.run);
+    ("table2", Table2.run);
+    ("fig6", Fig6.run);
+    ("table3", Table3.run);
+    ("e2e", E2e.run);
+    ("layout", Layout_ablation.run);
+    ("density", Density.run);
+    ("ecc", Ecc_compare.run);
+    ("clover", Clover_compare.run);
+    ("micro", Micro.run);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested;
+  Printf.printf "\nbench complete in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,432 @@
+(** Command-line driver for the DNA storage toolkit.
+
+    Each subcommand runs one pipeline module on files, so the stages can
+    be exercised and swapped individually, mirroring the paper's modular
+    design:
+
+      dnastore encode --input photo.bin --output strands.fasta
+      dnastore simulate --strands strands.fasta --output reads.txt
+      dnastore cluster --reads reads.txt --output clusters.txt
+      dnastore reconstruct --clusters clusters.txt --output consensus.fasta
+      dnastore decode --consensus consensus.fasta --meta strands.fasta.meta
+      dnastore pipeline --input photo.bin --output recovered.bin *)
+
+open Cmdliner
+
+let read_binary path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let b = Bytes.create n in
+  really_input ic b 0 n;
+  close_in ic;
+  b
+
+let write_binary path bytes =
+  let oc = open_out_bin path in
+  output_bytes oc bytes;
+  close_out oc
+
+let write_text path s =
+  let oc = open_out path in
+  output_string oc s;
+  close_out oc
+
+let read_lines path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  List.rev !lines
+
+(* Sidecar metadata: enough to decode without re-deriving anything. *)
+let write_meta path ~(params : Codec.Params.t) ~layout ~n_units =
+  write_text path
+    (Printf.sprintf "payload_nt=%d\nrs_data=%d\nrs_parity=%d\nscramble_seed=%d\nlayout=%s\nn_units=%d\n"
+       params.Codec.Params.payload_nt params.rs_data params.rs_parity params.scramble_seed
+       (Codec.Layout.name layout) n_units)
+
+let read_meta path =
+  let kv =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line '=' with
+        | Some i ->
+            Some
+              ( String.sub line 0 i,
+                String.sub line (i + 1) (String.length line - i - 1) )
+        | None -> None)
+      (read_lines path)
+  in
+  let get k = try List.assoc k kv with Not_found -> failwith ("meta: missing key " ^ k) in
+  let params =
+    {
+      Codec.Params.payload_nt = int_of_string (get "payload_nt");
+      rs_data = int_of_string (get "rs_data");
+      rs_parity = int_of_string (get "rs_parity");
+      scramble_seed = int_of_string (get "scramble_seed");
+    }
+  in
+  let layout =
+    match get "layout" with
+    | "gini" -> Codec.Layout.Gini
+    | _ -> Codec.Layout.Baseline
+  in
+  (params, layout, int_of_string (get "n_units"))
+
+(* Common options *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for reproducibility.")
+
+let layout_arg =
+  let layout_conv =
+    Arg.enum [ ("baseline", Codec.Layout.Baseline); ("gini", Codec.Layout.Gini) ]
+  in
+  Arg.(value & opt layout_conv Codec.Layout.Baseline & info [ "layout" ] ~docv:"LAYOUT"
+       ~doc:"Codeword layout: $(b,baseline) (Organick) or $(b,gini) (diagonal).")
+
+let payload_arg =
+  Arg.(value & opt int 120 & info [ "payload" ] ~docv:"NT"
+       ~doc:"Payload bases per molecule (multiple of 4).")
+
+let parity_arg =
+  Arg.(value & opt int 6 & info [ "parity" ] ~docv:"N" ~doc:"Reed-Solomon parity molecules per unit.")
+
+let data_cols_arg =
+  Arg.(value & opt int 20 & info [ "data-columns" ] ~docv:"N" ~doc:"Data molecules per encoding unit.")
+
+let params_of ~payload ~data_cols ~parity =
+  { Codec.Params.default with Codec.Params.payload_nt = payload; rs_data = data_cols; rs_parity = parity }
+
+let channel_arg =
+  Arg.(value & opt (enum [ ("iid", `Iid); ("solqc", `Solqc); ("wetlab", `Wetlab) ]) `Iid
+       & info [ "channel" ] ~docv:"CHANNEL"
+         ~doc:"Wetlab simulator: $(b,iid) (Rashtchian), $(b,solqc), or $(b,wetlab) (position-dependent, bursty).")
+
+let error_rate_arg =
+  Arg.(value & opt float 0.06 & info [ "error-rate" ] ~docv:"P" ~doc:"Total per-base error rate.")
+
+let coverage_arg =
+  Arg.(value & opt int 10 & info [ "coverage" ] ~docv:"N" ~doc:"Sequencing reads per strand.")
+
+let make_channel kind error_rate =
+  match kind with
+  | `Iid -> Simulator.Iid_channel.create_rate ~error_rate
+  | `Solqc -> Simulator.Solqc_channel.create_rate ~error_rate
+  | `Wetlab ->
+      Simulator.Wetlab_channel.create
+        ~params:{ Simulator.Wetlab_channel.default_params with base_error = error_rate }
+        ()
+
+let recon_arg =
+  Arg.(value & opt (enum [ ("bma", `Bma); ("dbma", `Dbma); ("nw", `Nw); ("ensemble", `Ensemble) ]) `Nw
+       & info [ "algorithm" ] ~docv:"ALGO"
+         ~doc:"Trace reconstruction: $(b,bma), $(b,dbma) (double-sided), $(b,nw)                (Needleman-Wunsch), or $(b,ensemble) (vote of all three).")
+
+let make_recon = function
+  | `Bma -> Reconstruction.Bma.reconstruct ?lookahead:None
+  | `Dbma -> Reconstruction.Bma.reconstruct_double ?lookahead:None
+  | `Nw -> Reconstruction.Nw_consensus.reconstruct ?refinements:None
+  | `Ensemble -> Reconstruction.Ensemble.reconstruct ?lookahead:None ?refinements:None
+  | `Trellis -> (fun ~target_len reads -> Reconstruction.Trellis.reconstruct ~target_len reads)
+
+let sig_kind_arg =
+  Arg.(value & opt (enum [ ("qgram", Clustering.Signature.Qgram); ("wgram", Clustering.Signature.Wgram) ])
+         Clustering.Signature.Qgram
+       & info [ "signature" ] ~docv:"KIND" ~doc:"Clustering signature: $(b,qgram) or $(b,wgram).")
+
+(* encode *)
+
+let encode_cmd =
+  let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Input file.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FASTA" ~doc:"Output FASTA of encoded strands.") in
+  let run input output layout payload data_cols parity =
+    let params = params_of ~payload ~data_cols ~parity in
+    let data = read_binary input in
+    let encoded = Codec.File_codec.encode ~layout ~params data in
+    let records =
+      Array.to_list
+        (Array.mapi
+           (fun i s -> { Dna.Fasta.id = Printf.sprintf "strand_%d" i; seq = s })
+           encoded.Codec.File_codec.strands)
+    in
+    Dna.Fasta.write_file output records;
+    write_meta (output ^ ".meta") ~params ~layout ~n_units:encoded.Codec.File_codec.n_units;
+    Printf.printf "encoded %d bytes -> %d strands (%d units) in %s (+.meta)\n"
+      (Bytes.length data) (Array.length encoded.Codec.File_codec.strands)
+      encoded.Codec.File_codec.n_units output
+  in
+  Cmd.v (Cmd.info "encode" ~doc:"Encode a binary file into DNA strands.")
+    Term.(const run $ input $ output $ layout_arg $ payload_arg $ data_cols_arg $ parity_arg)
+
+(* simulate *)
+
+let simulate_cmd =
+  let strands = Arg.(required & opt (some file) None & info [ "strands"; "s" ] ~docv:"FASTA" ~doc:"Encoded strands.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output reads (.txt: one read per line; .fastq).") in
+  let run strands output channel error_rate coverage seed =
+    let rng = Dna.Rng.create seed in
+    let records, errors = Dna.Fasta.read_file strands in
+    if errors <> [] then Printf.eprintf "warning: %d malformed FASTA records skipped\n" (List.length errors);
+    let pool = Array.of_list (List.map (fun r -> r.Dna.Fasta.seq) records) in
+    let ch = make_channel channel error_rate in
+    let sp = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage) in
+    let reads = Simulator.Sequencer.sequence sp ch rng pool in
+    let seqs = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
+    if Filename.check_suffix output ".fastq" then
+      write_text output (Dnastore.Wetlab_io.export_fastq seqs)
+    else
+      write_text output
+        (String.concat "\n" (Array.to_list (Array.map Dna.Strand.to_string seqs)) ^ "\n");
+    Printf.printf "simulated %d reads (%s channel, rate %.3f, coverage %d) -> %s\n"
+      (Array.length reads) (Simulator.Channel.name ch) error_rate coverage output
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Simulate wetlab noise over encoded strands.")
+    Term.(const run $ strands $ output $ channel_arg $ error_rate_arg $ coverage_arg $ seed_arg)
+
+(* cluster *)
+
+let cluster_cmd =
+  let reads = Arg.(required & opt (some file) None & info [ "reads"; "r" ] ~docv:"FILE" ~doc:"Reads, one per line.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Clusters: reads grouped by blank lines.") in
+  let run reads_path output kind seed domains =
+    let rng = Dna.Rng.create seed in
+    let reads =
+      read_lines reads_path
+      |> List.filter_map (fun l -> if String.trim l = "" then None else Dna.Strand.of_string_opt (String.trim l))
+      |> Array.of_list
+    in
+    if Array.length reads = 0 then failwith "no reads";
+    let read_len = Dna.Strand.length reads.(0) in
+    let params = { (Clustering.Cluster.default_params ~kind ~read_len ()) with domains } in
+    let config = Clustering.Auto_config.configure params rng reads in
+    let params = Clustering.Auto_config.apply config params in
+    let result = Clustering.Cluster.run params rng reads in
+    let buf = Buffer.create 4096 in
+    List.iter
+      (fun members ->
+        Array.iter (fun i -> Buffer.add_string buf (Dna.Strand.to_string reads.(i)); Buffer.add_char buf '\n') members;
+        Buffer.add_char buf '\n')
+      result.Clustering.Cluster.clusters;
+    write_text output (Buffer.contents buf);
+    Printf.printf "clustered %d reads into %d clusters (theta=%d/%d, %d edit comparisons) -> %s\n"
+      (Array.length reads) (List.length result.Clustering.Cluster.clusters)
+      params.Clustering.Cluster.theta_low params.Clustering.Cluster.theta_high
+      result.Clustering.Cluster.stats.Clustering.Cluster.edit_comparisons output
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
+  Cmd.v (Cmd.info "cluster" ~doc:"Cluster noisy reads by similarity.")
+    Term.(const run $ reads $ output $ sig_kind_arg $ seed_arg $ domains)
+
+(* reconstruct *)
+
+let reconstruct_cmd =
+  let clusters = Arg.(required & opt (some file) None & info [ "clusters"; "c" ] ~docv:"FILE" ~doc:"Clusters file (blank-line separated).") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FASTA" ~doc:"Consensus strands.") in
+  let target = Arg.(required & opt (some int) None & info [ "length"; "l" ] ~docv:"NT" ~doc:"Expected strand length.") in
+  let run clusters_path output target algo domains =
+    let groups = ref [] and cur = ref [] in
+    List.iter
+      (fun line ->
+        let line = String.trim line in
+        if line = "" then begin
+          if !cur <> [] then groups := Array.of_list (List.rev !cur) :: !groups;
+          cur := []
+        end
+        else
+          match Dna.Strand.of_string_opt line with
+          | Some s -> cur := s :: !cur
+          | None -> ())
+      (read_lines clusters_path);
+    if !cur <> [] then groups := Array.of_list (List.rev !cur) :: !groups;
+    let groups = Array.of_list (List.rev !groups) in
+    let recon = make_recon algo in
+    let consensus =
+      Dna.Par.map_array ~domains
+        (fun reads -> if Array.length reads = 0 then None else Some (recon ~target_len:target reads))
+        groups
+    in
+    let records =
+      Array.to_list consensus |> List.filteri (fun _ c -> c <> None)
+      |> List.mapi (fun i c -> { Dna.Fasta.id = Printf.sprintf "consensus_%d" i; seq = Option.get c })
+    in
+    Dna.Fasta.write_file output records;
+    Printf.printf "reconstructed %d consensus strands -> %s\n" (List.length records) output
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
+  Cmd.v (Cmd.info "reconstruct" ~doc:"Reconstruct original strands from clusters.")
+    Term.(const run $ clusters $ output $ target $ recon_arg $ domains)
+
+(* decode *)
+
+let decode_cmd =
+  let consensus = Arg.(required & opt (some file) None & info [ "consensus"; "c" ] ~docv:"FASTA" ~doc:"Reconstructed strands.") in
+  let meta = Arg.(required & opt (some file) None & info [ "meta"; "m" ] ~docv:"META" ~doc:"Metadata sidecar written by encode.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Recovered file.") in
+  let run consensus meta output =
+    let params, layout, n_units = read_meta meta in
+    let records, _ = Dna.Fasta.read_file consensus in
+    let strands = List.map (fun r -> r.Dna.Fasta.seq) records in
+    match Codec.File_codec.decode ~layout ~params ~n_units strands with
+    | Ok (bytes, stats) ->
+        write_binary output bytes;
+        let failed =
+          Array.fold_left
+            (fun a u -> a + List.length u.Codec.Matrix_codec.failed_codewords)
+            0 stats.Codec.File_codec.units
+        in
+        Printf.printf "decoded %d bytes -> %s (failed codewords: %d, missing molecules: %d)\n"
+          (Bytes.length bytes) output failed stats.Codec.File_codec.missing_strands
+    | Error e ->
+        Printf.eprintf "decode failed: %s\n" e;
+        exit 1
+  in
+  Cmd.v (Cmd.info "decode" ~doc:"Decode reconstructed strands back into the file.")
+    Term.(const run $ consensus $ meta $ output)
+
+(* pipeline *)
+
+let pipeline_cmd =
+  let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Input file.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Recovered file.") in
+  let run input output layout payload data_cols parity channel error_rate coverage algo kind seed domains =
+    let params = params_of ~payload ~data_cols ~parity in
+    let rng = Dna.Rng.create seed in
+    let stages =
+      {
+        Dnastore.Pipeline.channel = make_channel channel error_rate;
+        sequencing = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage);
+        cluster = Dnastore.Pipeline.cluster_default ~kind ~domains ();
+        reconstruct = make_recon algo;
+      }
+    in
+    let data = read_binary input in
+    let out = Dnastore.Pipeline.run ~params ~layout ~stages ~domains rng data in
+    (match out.Dnastore.Pipeline.file with
+    | Some bytes -> write_binary output bytes
+    | None -> ());
+    let t = out.Dnastore.Pipeline.timings in
+    Printf.printf
+      "pipeline: %s (strands=%d reads=%d clusters=%d)\n\
+       latency: encode=%.2fs simulate=%.2fs cluster=%.2fs reconstruct=%.2fs decode=%.2fs total=%.2fs\n"
+      (if out.Dnastore.Pipeline.exact then "file recovered exactly"
+       else "RECOVERY INCOMPLETE (bytes differ)")
+      out.n_strands out.n_reads out.n_clusters t.Dnastore.Pipeline.encode_s t.simulate_s
+      t.cluster_s t.reconstruct_s t.decode_s (Dnastore.Pipeline.total_s t);
+    if not out.Dnastore.Pipeline.exact then exit 1
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
+  Cmd.v (Cmd.info "pipeline" ~doc:"Run the full encode-simulate-cluster-reconstruct-decode pipeline.")
+    Term.(const run $ input $ output $ layout_arg $ payload_arg $ data_cols_arg $ parity_arg
+          $ channel_arg $ error_rate_arg $ coverage_arg $ recon_arg $ sig_kind_arg $ seed_arg $ domains)
+
+(* fountain-encode / fountain-decode *)
+
+let write_fountain_meta path ~(params : Codec.Fountain.params) ~k ~file_bytes =
+  write_text path
+    (Printf.sprintf "chunk_bytes=%d\ninner_parity=%d\nc=%f\ndelta=%f\nscramble_seed=%d\nk=%d\nfile_bytes=%d\n"
+       params.Codec.Fountain.chunk_bytes params.inner_parity params.c params.delta
+       params.scramble_seed k file_bytes)
+
+let read_fountain_meta path =
+  let kv =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line '=' with
+        | Some i -> Some (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+        | None -> None)
+      (read_lines path)
+  in
+  let get k = try List.assoc k kv with Not_found -> failwith ("meta: missing key " ^ k) in
+  ( {
+      Codec.Fountain.chunk_bytes = int_of_string (get "chunk_bytes");
+      inner_parity = int_of_string (get "inner_parity");
+      overhead = Codec.Fountain.default_params.Codec.Fountain.overhead;
+      c = float_of_string (get "c");
+      delta = float_of_string (get "delta");
+      scramble_seed = int_of_string (get "scramble_seed");
+    },
+    int_of_string (get "k"),
+    int_of_string (get "file_bytes") )
+
+let fountain_encode_cmd =
+  let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Input file.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FASTA" ~doc:"Output droplets.") in
+  let overhead = Arg.(value & opt float 0.6 & info [ "overhead" ] ~docv:"F" ~doc:"Droplet overhead factor.") in
+  let run input output overhead seed =
+    let rng = Dna.Rng.create seed in
+    let params = { Codec.Fountain.default_params with Codec.Fountain.overhead } in
+    let data = read_binary input in
+    let enc = Codec.Fountain.encode ~params rng data in
+    let records =
+      Array.to_list
+        (Array.mapi (fun i s -> { Dna.Fasta.id = Printf.sprintf "droplet_%d" i; seq = s })
+           enc.Codec.Fountain.strands)
+    in
+    Dna.Fasta.write_file output records;
+    write_fountain_meta (output ^ ".meta") ~params ~k:enc.Codec.Fountain.k
+      ~file_bytes:enc.Codec.Fountain.file_bytes;
+    Printf.printf "fountain: %d bytes -> %d droplets (k=%d chunks) in %s (+.meta)\n"
+      (Bytes.length data) (Array.length enc.Codec.Fountain.strands) enc.Codec.Fountain.k output
+  in
+  Cmd.v (Cmd.info "fountain-encode" ~doc:"Encode a file into rateless fountain droplets.")
+    Term.(const run $ input $ output $ overhead $ seed_arg)
+
+let fountain_decode_cmd =
+  let consensus = Arg.(required & opt (some file) None & info [ "consensus"; "c" ] ~docv:"FASTA" ~doc:"Reconstructed droplets.") in
+  let meta = Arg.(required & opt (some file) None & info [ "meta"; "m" ] ~docv:"META" ~doc:"Metadata sidecar.") in
+  let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Recovered file.") in
+  let run consensus meta output =
+    let params, k, file_bytes = read_fountain_meta meta in
+    let records, _ = Dna.Fasta.read_file consensus in
+    let strands = List.map (fun r -> r.Dna.Fasta.seq) records in
+    match Codec.Fountain.decode ~params ~k ~file_bytes strands with
+    | Ok (bytes, stats) ->
+        write_binary output bytes;
+        Printf.printf "decoded %d bytes from %d droplets (%d rejected) -> %s\n"
+          (Bytes.length bytes) stats.Codec.Fountain.droplets_used stats.droplets_bad output
+    | Error e ->
+        Printf.eprintf "decode failed: %s\n" e;
+        exit 1
+  in
+  Cmd.v (Cmd.info "fountain-decode" ~doc:"Decode fountain droplets back into the file.")
+    Term.(const run $ consensus $ meta $ output)
+
+(* inspect: pool statistics a lab would sanity-check before synthesis *)
+
+let inspect_cmd =
+  let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FASTA" ~doc:"Strand pool.") in
+  let run input =
+    let records, errors = Dna.Fasta.read_file input in
+    let strands = List.map (fun r -> r.Dna.Fasta.seq) records in
+    let n = List.length strands in
+    if n = 0 then failwith "no strands";
+    let lengths = List.map Dna.Strand.length strands in
+    let gcs = List.map Dna.Strand.gc_content strands in
+    let homos = List.map Dna.Strand.max_homopolymer strands in
+    let favg l = List.fold_left ( +. ) 0.0 l /. float_of_int n in
+    let iavg l = float_of_int (List.fold_left ( + ) 0 l) /. float_of_int n in
+    let imin l = List.fold_left min max_int l and imax l = List.fold_left max 0 l in
+    Printf.printf "strands: %d (%d malformed records skipped)\n" n (List.length errors);
+    Printf.printf "length:  min %d / avg %.1f / max %d nt\n" (imin lengths) (iavg lengths) (imax lengths);
+    Printf.printf "GC:      avg %.3f (synthesis-friendly range is 0.4-0.6)\n" (favg gcs);
+    Printf.printf "homopolymers: avg max-run %.1f, worst %d\n" (iavg homos) (imax homos);
+    let worst = List.filter (fun h -> h > 6) homos in
+    if worst <> [] then
+      Printf.printf "warning: %d strands carry runs longer than 6 nt\n" (List.length worst)
+  in
+  Cmd.v (Cmd.info "inspect" ~doc:"Sanity-check a strand pool before synthesis.")
+    Term.(const run $ input)
+
+let main =
+  let doc = "modular end-to-end DNA data storage codec and simulator" in
+  Cmd.group (Cmd.info "dnastore" ~version:"1.0.0" ~doc)
+    [
+      encode_cmd; simulate_cmd; cluster_cmd; reconstruct_cmd; decode_cmd; pipeline_cmd;
+      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

@@ -1,0 +1,28 @@
+(** Automatic configuration of the clustering thresholds (Section VI-B,
+    Figure 5): probe reads are compared against a larger sample, the
+    probe->closest pairs are verified by edit distance to trace the
+    same-cluster (sibling) mode, and the thresholds bracket it. *)
+
+type config = {
+  theta_low : int;
+  theta_high : int;
+  edit_threshold : int;
+  distances : int array;  (** all sampled signature distances (Figure 5 data) *)
+}
+
+type sample = {
+  all : int array;
+  nearest : (int * int * int) array;  (** (probe, close target, distance) *)
+}
+
+val sample_distances :
+  Cluster.params -> Dna.Rng.t -> Dna.Strand.t array -> n_probes:int -> n_targets:int -> sample
+
+val configure :
+  ?n_probes:int -> ?n_targets:int -> Cluster.params -> Dna.Rng.t -> Dna.Strand.t array -> config
+(** Fit all three thresholds from the data. *)
+
+val apply : config -> Cluster.params -> Cluster.params
+
+val figure5_series : config -> int array
+(** The sampled distances sorted ascending: the y-series of Figure 5. *)

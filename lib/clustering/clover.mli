@@ -1,0 +1,16 @@
+(** A Clover-style tree-based clustering algorithm (Qu et al.): one
+    streaming pass over the reads, assigning each by a bounded-edit trie
+    lookup of its prefix (and optionally a mid-read window) — no
+    Levenshtein computations, memory linear in the cluster count. *)
+
+type params = {
+  key_len : int;  (** bases per trie key *)
+  max_edits : int;  (** edit budget during a trie walk *)
+  second_probe : bool;  (** also key on a mid-read window *)
+}
+
+val default_params : params
+
+val run : ?params:params -> Dna.Strand.t array -> Cluster.result
+(** Signature statistics in the result are zero: this algorithm computes
+    neither signatures nor edit distances. *)

@@ -1,0 +1,76 @@
+(** Clustering quality metrics.
+
+    [accuracy] follows Rashtchian et al. [31]: a ground-truth cluster is
+    recovered when some computed cluster contains at least a gamma
+    fraction of its reads and no reads from any other cluster; the score
+    is the fraction of ground-truth clusters recovered. [purity] and
+    [rand_index] are provided as secondary diagnostics. *)
+
+(* [truth] gives the ground-truth cluster id of every read. *)
+let accuracy ?(gamma = 1.0) ~(truth : int array) (clusters : int array list) =
+  let true_sizes = Hashtbl.create 64 in
+  Array.iter
+    (fun t -> Hashtbl.replace true_sizes t (1 + (try Hashtbl.find true_sizes t with Not_found -> 0)))
+    truth;
+  let n_true = Hashtbl.length true_sizes in
+  if n_true = 0 then 1.0
+  else begin
+    let recovered = Hashtbl.create 64 in
+    List.iter
+      (fun members ->
+        match Array.length members with
+        | 0 -> ()
+        | _ ->
+            let t0 = truth.(members.(0)) in
+            if Array.for_all (fun i -> truth.(i) = t0) members then begin
+              let size = Hashtbl.find true_sizes t0 in
+              if float_of_int (Array.length members) >= gamma *. float_of_int size then
+                Hashtbl.replace recovered t0 ()
+            end)
+      clusters;
+    float_of_int (Hashtbl.length recovered) /. float_of_int n_true
+  end
+
+(* Fraction of reads whose cluster's majority label matches their own. *)
+let purity ~(truth : int array) (clusters : int array list) =
+  let n = Array.length truth in
+  if n = 0 then 1.0
+  else begin
+    let correct =
+      List.fold_left
+        (fun acc members ->
+          if Array.length members = 0 then acc
+          else begin
+            let counts = Hashtbl.create 8 in
+            Array.iter
+              (fun i ->
+                let t = truth.(i) in
+                Hashtbl.replace counts t (1 + (try Hashtbl.find counts t with Not_found -> 0)))
+              members;
+            let best = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+            acc + best
+          end)
+        0 clusters
+    in
+    float_of_int correct /. float_of_int n
+  end
+
+(* Rand index over read pairs: agreement between the computed and true
+   same-cluster relations. *)
+let rand_index ~(truth : int array) (clusters : int array list) =
+  let n = Array.length truth in
+  if n < 2 then 1.0
+  else begin
+    let label = Array.make n (-1) in
+    List.iteri (fun c members -> Array.iter (fun i -> label.(i) <- c) members) clusters;
+    let agree = ref 0 in
+    let total = n * (n - 1) / 2 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let same_true = truth.(i) = truth.(j) in
+        let same_pred = label.(i) = label.(j) && label.(i) >= 0 in
+        if same_true = same_pred then incr agree
+      done
+    done;
+    float_of_int !agree /. float_of_int total
+  end

@@ -1,0 +1,12 @@
+(** Clustering quality metrics. *)
+
+val accuracy : ?gamma:float -> truth:int array -> int array list -> float
+(** Rashtchian et al.'s accuracy: the fraction of ground-truth clusters
+    for which some computed cluster contains at least a [gamma] fraction
+    (default 1.0) of their reads and no foreign reads. *)
+
+val purity : truth:int array -> int array list -> float
+(** Fraction of reads whose cluster's majority label matches their own. *)
+
+val rand_index : truth:int array -> int array list -> float
+(** Pairwise agreement between computed and true same-cluster relations. *)

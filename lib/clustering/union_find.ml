@@ -1,0 +1,42 @@
+(** Union-find with path compression and union by rank; tracks clusters
+    of read indices during the iterative merge algorithm. *)
+
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra <> rb then begin
+    t.count <- t.count - 1;
+    if t.rank.(ra) < t.rank.(rb) then t.parent.(ra) <- rb
+    else if t.rank.(ra) > t.rank.(rb) then t.parent.(rb) <- ra
+    else begin
+      t.parent.(rb) <- ra;
+      t.rank.(ra) <- t.rank.(ra) + 1
+    end
+  end
+
+let same t a b = find t a = find t b
+
+let n_clusters t = t.count
+
+(* Materialize clusters as arrays of member indices. *)
+let clusters t =
+  let n = Array.length t.parent in
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to n - 1 do
+    let r = find t i in
+    let l = try Hashtbl.find tbl r with Not_found -> [] in
+    Hashtbl.replace tbl r (i :: l)
+  done;
+  Hashtbl.fold (fun _ members acc -> Array.of_list (List.rev members) :: acc) tbl []

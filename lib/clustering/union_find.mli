@@ -1,0 +1,14 @@
+(** Union-find with path compression and union by rank. *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> unit
+val same : t -> int -> int -> bool
+
+val n_clusters : t -> int
+(** Current number of disjoint sets. *)
+
+val clusters : t -> int array list
+(** Member indices of every set. *)

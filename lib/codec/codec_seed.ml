@@ -1,0 +1,32 @@
+(** Masked 32-bit values as 16-base tags with an internal checksum:
+    shared by droplet seeds (fountain codec) and related headers. The
+    mask keeps small values from emitting homopolymer runs; the 6-bit
+    checksum folded into the high bits rejects corrupted tags. *)
+
+let nt_length = 16
+let payload_bits = 26
+let max_value = (1 lsl payload_bits) - 1
+
+let checksum v = (v lxor (v lsr 7) lxor (v lsr 13) lxor (v lsr 19) lxor 0x2b) land 0x3f
+
+let mask = [| 0x9d; 0x3a; 0xc6; 0x51 |]
+
+let apply_mask bytes = Bytes.mapi (fun i c -> Char.chr (Char.code c lxor mask.(i)) ) bytes
+
+(* [encode32 v] stores the low 26 bits of [v] plus a 6-bit checksum. *)
+let encode32 v =
+  let v = v land max_value in
+  let word = (checksum v lsl payload_bits) lor v in
+  let bytes = Bytes.init 4 (fun i -> Char.chr ((word lsr (8 * (3 - i))) land 0xff)) in
+  Dna.Bitstream.strand_of_bytes (apply_mask bytes)
+
+let decode32 (s : Dna.Strand.t) : int option =
+  if Dna.Strand.length s <> nt_length then None
+  else begin
+    let bytes = apply_mask (Dna.Bitstream.bytes_of_strand s) in
+    let word = ref 0 in
+    Bytes.iter (fun c -> word := (!word lsl 8) lor Char.code c) bytes;
+    let v = !word land max_value in
+    let check = (!word lsr payload_bits) land 0x3f in
+    if check = checksum v then Some v else None
+  end

@@ -1,0 +1,11 @@
+(** Masked 32-bit tags as 16 bases with an internal 6-bit checksum:
+    droplet seeds for the fountain codec. Only the low 26 bits of the
+    value are stored. *)
+
+val nt_length : int
+val payload_bits : int
+val max_value : int
+
+val encode32 : int -> Dna.Strand.t
+val decode32 : Dna.Strand.t -> int option
+(** [None] when the length is wrong or the checksum rejects. *)

@@ -1,0 +1,101 @@
+(** Constrained coding (Section II-D).
+
+    The early DNA-storage alternative to unconstrained coding: encode in
+    base 3 and map each trit to one of the three bases *different from
+    the previous base* (the Goldman rotation), so homopolymer runs never
+    exceed length 1 — at the cost of information density (1.5 bits/nt
+    here versus 2.0 for unconstrained coding). The toolkit implements it
+    as a swappable payload transform so the density-versus-resilience
+    trade-off the paper cites (Weindel et al.) can be measured; see the
+    [density] benchmark.
+
+    Block structure: every 3 bytes (24 bits) become 16 trits
+    (3^16 > 2^24), so payloads grow by 16 bases per 3 bytes. *)
+
+let trits_per_block = 16
+let bytes_per_block = 3
+
+(* Rotation table: next base for (previous base, trit). Row = previous
+   base code (4 = start of strand), column = trit. Each row lists the
+   three bases distinct from the previous one, in code order. *)
+let rotation =
+  [|
+    [| 1; 2; 3 |] (* after A *);
+    [| 0; 2; 3 |] (* after C *);
+    [| 0; 1; 3 |] (* after G *);
+    [| 0; 1; 2 |] (* after T *);
+    [| 0; 1; 2 |] (* start: anything but an implicit leading T *);
+  |]
+
+(* Inverse: trit encoded by (previous base, current base). *)
+let rotation_inv =
+  let inv = Array.make_matrix 5 4 (-1) in
+  Array.iteri
+    (fun prev row -> Array.iteri (fun trit base -> inv.(prev).(base) <- trit) row)
+    rotation;
+  inv
+
+let block_to_trits (b0 : int) (b1 : int) (b2 : int) : int array =
+  let v = (b0 lsl 16) lor (b1 lsl 8) lor b2 in
+  let trits = Array.make trits_per_block 0 in
+  let rest = ref v in
+  for i = trits_per_block - 1 downto 0 do
+    trits.(i) <- !rest mod 3;
+    rest := !rest / 3
+  done;
+  trits
+
+let trits_to_block (trits : int array) : int * int * int =
+  let v = Array.fold_left (fun acc t -> (acc * 3) + t) 0 trits in
+  ((v lsr 16) land 0xff, (v lsr 8) land 0xff, v land 0xff)
+
+(* Bases needed to encode [n] bytes. *)
+let encoded_length n = (n + bytes_per_block - 1) / bytes_per_block * trits_per_block
+
+(* Information density of this code in bits per nucleotide. *)
+let bits_per_nt = 8.0 *. float_of_int bytes_per_block /. float_of_int trits_per_block
+
+let encode (data : Bytes.t) : Dna.Strand.t =
+  let n = Bytes.length data in
+  let byte i = if i < n then Char.code (Bytes.get data i) else 0 in
+  let n_blocks = (n + bytes_per_block - 1) / bytes_per_block in
+  let codes = Array.make (n_blocks * trits_per_block) 0 in
+  let prev = ref 4 in
+  for b = 0 to n_blocks - 1 do
+    let trits = block_to_trits (byte (3 * b)) (byte ((3 * b) + 1)) (byte ((3 * b) + 2)) in
+    Array.iteri
+      (fun i trit ->
+        let base = rotation.(!prev).(trit) in
+        codes.((b * trits_per_block) + i) <- base;
+        prev := base)
+      trits
+  done;
+  Dna.Strand.of_codes codes
+
+(* [decode ~n_bytes strand] recovers exactly [n_bytes] bytes. Raises
+   [Invalid_argument] when the strand is too short or violates the
+   no-repeat constraint (a detected, uncorrectable corruption). *)
+let decode ~n_bytes (strand : Dna.Strand.t) : Bytes.t =
+  let needed = encoded_length n_bytes in
+  if Dna.Strand.length strand < needed then invalid_arg "Constrained.decode: strand too short";
+  let n_blocks = needed / trits_per_block in
+  let out = Bytes.make (n_blocks * bytes_per_block) '\000' in
+  let prev = ref 4 in
+  for b = 0 to n_blocks - 1 do
+    let trits =
+      Array.init trits_per_block (fun i ->
+          let base = Dna.Strand.get_code strand ((b * trits_per_block) + i) in
+          let trit = rotation_inv.(!prev).(base) in
+          if trit < 0 then invalid_arg "Constrained.decode: repeated base (corrupt strand)";
+          prev := base;
+          trit)
+    in
+    let b0, b1, b2 = trits_to_block trits in
+    Bytes.set out (3 * b) (Char.chr b0);
+    Bytes.set out ((3 * b) + 1) (Char.chr b1);
+    Bytes.set out ((3 * b) + 2) (Char.chr b2)
+  done;
+  Bytes.sub out 0 n_bytes
+
+(* The constraint the code guarantees: no two consecutive equal bases. *)
+let satisfies_constraint (s : Dna.Strand.t) = Dna.Strand.max_homopolymer s <= 1

@@ -1,0 +1,23 @@
+(** Constrained coding (Section II-D): base-3 data mapped through the
+    Goldman rotation so no base ever repeats (homopolymer-free), at
+    1.5 bits per nucleotide versus 2.0 for unconstrained coding. Used by
+    the [density] benchmark to measure the trade-off the paper cites. *)
+
+val trits_per_block : int
+val bytes_per_block : int
+
+val bits_per_nt : float
+(** 1.5: the information density of this code. *)
+
+val encoded_length : int -> int
+(** Bases needed to encode that many bytes. *)
+
+val encode : Bytes.t -> Dna.Strand.t
+(** Homopolymer-free by construction. *)
+
+val decode : n_bytes:int -> Dna.Strand.t -> Bytes.t
+(** Recover exactly [n_bytes]. Raises [Invalid_argument] when the strand
+    is too short or contains a repeated base (detected corruption). *)
+
+val satisfies_constraint : Dna.Strand.t -> bool
+(** No two consecutive equal bases. *)

@@ -1,0 +1,93 @@
+(** DNAMapper: reliability-tiered data mapping (Section IV-C, after Lin
+    et al. [23]).
+
+    Trace reconstruction leaves some row positions of the molecule less
+    reliable than others (double-sided BMA concentrates errors in the
+    middle). Instead of equalizing like Gini, DNAMapper *exploits* the
+    skew: data that needs high fidelity is mapped onto reliable rows and
+    corruption-tolerant data (low-order bits of images, enhancement
+    layers of video) onto unreliable rows.
+
+    The mapping is a byte arrangement: all bytes stored at matrix row [r]
+    across the whole file form one "row stream"; streams are ranked by
+    reliability, and priority tiers fill streams from most to least
+    reliable. [arrange] produces the flat byte layout to feed into
+    {!File_codec.encode}; [extract] inverts it after decoding. *)
+
+type plan = {
+  rows : int;
+  offset : int;  (** byte offset of the arranged data inside the encoded
+                     stream (e.g. the file-codec header), which rotates
+                     the row that each position lands on *)
+  tier_lengths : int list;  (** original byte length of each tier, priority order *)
+  row_rank : int array;  (** physical rows sorted from most to least reliable *)
+  total : int;  (** arranged length *)
+}
+
+(* Rank rows from most to least reliable given a per-row error profile
+   (e.g. measured per-index reconstruction error, averaged per byte). *)
+let rank_rows (reliability : float array) : int array =
+  let rows = Array.length reliability in
+  let order = Array.init rows (fun i -> i) in
+  Array.sort (fun a b -> compare (reliability.(a), a) (reliability.(b), b)) order;
+  order
+
+(* Arranged position i sits at physical row (i + offset) mod rows once
+   the encoder prepends [offset] bytes of header. The stream of positions
+   on physical row r is therefore { j*rows + ((r - offset) mod rows) }. *)
+let stream_position ~rows ~offset ~physical_row j =
+  let base = ((physical_row - offset) mod rows + rows) mod rows in
+  (j * rows) + base
+
+let arrange ?(offset = 0) ~rows ~(reliability : float array) (tiers : Bytes.t list) :
+    Bytes.t * plan =
+  if Array.length reliability <> rows then invalid_arg "Dnamapper.arrange: profile size";
+  let row_rank = rank_rows reliability in
+  let total = List.fold_left (fun acc t -> acc + Bytes.length t) 0 tiers in
+  (* Pad to a whole number of rows so each row stream is well defined. *)
+  let padded = ((total + rows - 1) / rows) * rows in
+  let out = Bytes.make padded '\000' in
+  let per_stream = padded / rows in
+  let src = Bytes.concat Bytes.empty tiers in
+  let pos = ref 0 in
+  Array.iter
+    (fun physical_row ->
+      for j = 0 to per_stream - 1 do
+        if !pos < total then begin
+          Bytes.set out (stream_position ~rows ~offset ~physical_row j) (Bytes.get src !pos);
+          incr pos
+        end
+      done)
+    row_rank;
+  (out, { rows; offset; tier_lengths = List.map Bytes.length tiers; row_rank; total })
+
+let extract (plan : plan) (arranged : Bytes.t) : Bytes.t list =
+  let padded = ((plan.total + plan.rows - 1) / plan.rows) * plan.rows in
+  if Bytes.length arranged < padded then invalid_arg "Dnamapper.extract: arranged data too short";
+  let per_stream = padded / plan.rows in
+  let flat = Bytes.create plan.total in
+  let pos = ref 0 in
+  Array.iter
+    (fun physical_row ->
+      for j = 0 to per_stream - 1 do
+        if !pos < plan.total then begin
+          Bytes.set flat !pos
+            (Bytes.get arranged
+               (stream_position ~rows:plan.rows ~offset:plan.offset ~physical_row j));
+          incr pos
+        end
+      done)
+    plan.row_rank;
+  let rec split off = function
+    | [] -> []
+    | len :: rest -> Bytes.sub flat off len :: split (off + len) rest
+  in
+  split 0 plan.tier_lengths
+
+(* A default reliability profile for double-sided BMA reconstruction:
+   errors peak at the middle rows (Figure 6), so end rows rank first. *)
+let dbma_profile ~rows =
+  Array.init rows (fun r ->
+      let x = float_of_int r /. float_of_int (max 1 (rows - 1)) in
+      (* Triangle peaking at the center. *)
+      1.0 -. (2.0 *. abs_float (x -. 0.5)))

@@ -1,0 +1,28 @@
+(** DNAMapper: reliability-tiered data mapping (Section IV-C, Lin et
+    al.). All bytes stored at matrix row r form one "row stream";
+    streams are ranked by reliability and priority tiers fill them from
+    most to least reliable, so corruption lands on the data that
+    tolerates it. *)
+
+type plan = {
+  rows : int;
+  offset : int;  (** byte offset of the arranged data inside the encoded
+                     stream, which rotates the row each position lands on *)
+  tier_lengths : int list;
+  row_rank : int array;  (** physical rows, most reliable first *)
+  total : int;
+}
+
+val rank_rows : float array -> int array
+(** Rows ordered from most to least reliable given per-row error rates. *)
+
+val arrange : ?offset:int -> rows:int -> reliability:float array -> Bytes.t list -> Bytes.t * plan
+(** Arrange priority-ordered tiers into the flat byte layout to feed
+    into {!File_codec.encode}. *)
+
+val extract : plan -> Bytes.t -> Bytes.t list
+(** Invert {!arrange} after decoding. *)
+
+val dbma_profile : rows:int -> float array
+(** A default reliability profile for double-sided BMA reconstruction:
+    errors peak at the middle rows (Figure 6). *)

@@ -1,0 +1,126 @@
+(** File-level encoding and decoding (Section IV).
+
+    A file is scrambled (unconstrained coding, Section II-D), prefixed
+    with an 8-byte length header, chunked into encoding units, and each
+    unit is matrix-encoded. Decoding groups reconstructed strands by
+    unit, decodes every unit (missing molecules become erasures), then
+    unscrambles and trims to the recorded length. *)
+
+type encoded = {
+  params : Params.t;
+  layout : Layout.t;
+  strands : Dna.Strand.t array;  (** index + payload, no primers *)
+  n_units : int;
+}
+
+type decode_stats = {
+  units : Matrix_codec.unit_stats array;
+  missing_strands : int;  (** expected molecules never seen *)
+  unparsable_strands : int;  (** wrong length / bad index checksum *)
+}
+
+(* The 8-byte length header is stored three times, one copy per matrix
+   *column* (data fills column-major, so copy c goes at offset c*rows):
+   a misreconstructed molecule or a failed codeword can corrupt one copy,
+   and the per-byte majority vote recovers from the other two. Requires
+   rows >= 8 (payload of at least 32 bases). *)
+let header_copies = 3
+
+let header_span ~rows =
+  if rows < 8 then invalid_arg "File_codec: payload too short for the length header";
+  header_copies * rows
+
+let with_header ~rows data =
+  let span = header_span ~rows in
+  let n = Bytes.length data in
+  let out = Bytes.make (span + n) '\000' in
+  for c = 0 to header_copies - 1 do
+    for i = 0 to 7 do
+      Bytes.set out ((c * rows) + i) (Char.chr ((n lsr (8 * i)) land 0xff))
+    done
+  done;
+  Bytes.blit data 0 out span n;
+  out
+
+let read_header ~rows data =
+  let span = header_span ~rows in
+  if Bytes.length data < span then None
+  else begin
+    let byte i =
+      (* majority of the three copies; ties fall back to copy 0 *)
+      let a = Char.code (Bytes.get data i)
+      and b = Char.code (Bytes.get data (rows + i))
+      and c = Char.code (Bytes.get data ((2 * rows) + i)) in
+      if a = b || a = c then a else if b = c then b else a
+    in
+    let n = ref 0 in
+    for i = 7 downto 0 do
+      n := (!n lsl 8) lor byte i
+    done;
+    if !n < 0 || !n > Bytes.length data - span then None
+    else Some (Bytes.sub data span !n)
+  end
+
+let encode ?(layout = Layout.Baseline) ?(params = Params.default) (file : Bytes.t) : encoded =
+  Params.validate params;
+  let unit_bytes = Params.unit_data_bytes params in
+  let headered = with_header ~rows:(Params.rows params) file in
+  let n_units = (Bytes.length headered + unit_bytes - 1) / unit_bytes in
+  (* Pad to whole units *before* scrambling: otherwise the zero padding
+     would come out as identical all-A molecules that no clustering
+     algorithm could tell apart. *)
+  let padded = Bytes.make (n_units * unit_bytes) '\000' in
+  Bytes.blit headered 0 padded 0 (Bytes.length headered);
+  let payload = Dna.Randomizer.scramble ~seed:params.Params.scramble_seed padded in
+  if n_units > Index.max_unit + 1 then invalid_arg "File_codec.encode: file too large";
+  let strands = ref [] in
+  for u = n_units - 1 downto 0 do
+    let chunk = Bytes.sub payload (u * unit_bytes) unit_bytes in
+    let unit_strands = Matrix_codec.encode_unit params ~layout ~unit_id:u chunk in
+    strands := Array.to_list unit_strands @ !strands
+  done;
+  { params; layout; strands = Array.of_list !strands; n_units }
+
+(* Decode from reconstructed strands. Strands may arrive in any order,
+   with duplicates (the first parsed copy of a column wins), with
+   corrupted indices, or entirely missing. *)
+let decode ?(layout = Layout.Baseline) ?(params = Params.default) ~n_units
+    (strands : Dna.Strand.t list) : (Bytes.t * decode_stats, string) result =
+  Params.validate params;
+  let cols = Params.columns params in
+  let unit_columns = Array.init n_units (fun _ -> Array.make cols None) in
+  let unparsable = ref 0 in
+  List.iter
+    (fun s ->
+      match Matrix_codec.parse_strand params s with
+      | Some (idx, payload)
+        when idx.Index.unit_id < n_units && idx.Index.column < cols ->
+          if unit_columns.(idx.Index.unit_id).(idx.Index.column) = None then
+            unit_columns.(idx.Index.unit_id).(idx.Index.column) <- Some payload
+      | Some _ | None -> incr unparsable)
+    strands;
+  let missing = ref 0 in
+  Array.iter
+    (fun columns -> Array.iter (fun c -> if c = None then incr missing) columns)
+    unit_columns;
+  let stats_acc = Array.make n_units { Matrix_codec.failed_codewords = []; corrected_bytes = 0; erased_columns = [] } in
+  let buf = Buffer.create (n_units * Params.unit_data_bytes params) in
+  Array.iteri
+    (fun u columns ->
+      let data, stats = Matrix_codec.decode_unit params ~layout columns in
+      stats_acc.(u) <- stats;
+      Buffer.add_bytes buf data)
+    unit_columns;
+  let payload =
+    Dna.Randomizer.unscramble ~seed:params.Params.scramble_seed (Buffer.to_bytes buf)
+  in
+  match read_header ~rows:(Params.rows params) payload with
+  | Some file ->
+      Ok
+        ( file,
+          { units = stats_acc; missing_strands = !missing; unparsable_strands = !unparsable } )
+  | None -> Error "File_codec.decode: corrupted length header"
+
+(* Total decode failure indicator: any unit with failed codewords. *)
+let fully_recovered stats =
+  Array.for_all (fun u -> u.Matrix_codec.failed_codewords = []) stats.units

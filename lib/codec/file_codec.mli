@@ -1,0 +1,36 @@
+(** File-level encoding and decoding (Section IV): scramble, prefix a
+    replicated length header, chunk into units, matrix-encode; decoding
+    groups reconstructed strands by index, decodes every unit, then
+    unscrambles and trims to the recorded length. *)
+
+type encoded = {
+  params : Params.t;
+  layout : Layout.t;
+  strands : Dna.Strand.t array;  (** index + payload, no primers *)
+  n_units : int;
+}
+
+type decode_stats = {
+  units : Matrix_codec.unit_stats array;
+  missing_strands : int;  (** expected molecules never seen *)
+  unparsable_strands : int;  (** wrong length / bad index checksum / out of range *)
+}
+
+val header_copies : int
+
+val header_span : rows:int -> int
+(** Bytes reserved for the replicated length header; one copy per
+    matrix column. Raises [Invalid_argument] when [rows < 8]. *)
+
+val encode : ?layout:Layout.t -> ?params:Params.t -> Bytes.t -> encoded
+
+val decode :
+  ?layout:Layout.t -> ?params:Params.t -> n_units:int -> Dna.Strand.t list ->
+  (Bytes.t * decode_stats, string) result
+(** Strands may arrive in any order, duplicated (the first parsed copy
+    of a column wins — feed largest-cluster consensus first), corrupted
+    or missing. [Error] only when the length header itself is
+    unrecoverable; partial corruption is returned with stats. *)
+
+val fully_recovered : decode_stats -> bool
+(** No unit had a failed codeword. *)

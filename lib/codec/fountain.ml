@@ -1,0 +1,252 @@
+(** A DNA Fountain codec (Erlich & Zielinski), the rateless alternative
+    to the matrix architecture.
+
+    The file is cut into [k] fixed-size chunks. Each *droplet* XORs a
+    pseudo-random subset of chunks — the subset is fully determined by a
+    32-bit seed carried in the droplet's strand, and its size is drawn
+    from the robust soliton distribution. Any sufficiently large subset
+    of droplets decodes the file by peeling: a droplet of remaining
+    degree one reveals a chunk, which is XORed out of every other
+    droplet, and so on.
+
+    Rateless-ness is the point: molecules can be lost arbitrarily (no
+    erasure positions to declare) and the encoder can always synthesize
+    more droplets. A droplet strand is [seed (16 nt) | payload]; the
+    seed region reuses {!Index}'s masked encoding so it never forms
+    homopolymer runs. *)
+
+type params = {
+  chunk_bytes : int;  (** payload bytes per droplet *)
+  inner_parity : int;  (** Reed-Solomon parity bytes protecting each droplet *)
+  overhead : float;  (** droplets generated = ceil(k * (1 + overhead)) *)
+  c : float;  (** robust soliton parameter *)
+  delta : float;  (** robust soliton failure bound *)
+  scramble_seed : int;
+}
+
+let default_params =
+  { chunk_bytes = 30; inner_parity = 4; overhead = 0.6; c = 0.1; delta = 0.05; scramble_seed = 0xf0e1 }
+
+let validate p =
+  if p.chunk_bytes <= 0 then invalid_arg "Fountain: chunk_bytes must be positive";
+  if p.inner_parity < 0 then invalid_arg "Fountain: inner_parity must be nonnegative";
+  if p.overhead < 0.0 then invalid_arg "Fountain: overhead must be nonnegative"
+
+(* Inner code over one droplet payload: a reconstructed droplet with a
+   few byte errors is corrected; one beyond correction is rejected
+   rather than allowed to poison the XOR peeling (Erlich & Zielinski
+   protect droplets the same way). *)
+let inner_code p = if p.inner_parity = 0 then None else Some (Rs.create ~k:p.chunk_bytes ~nsym:p.inner_parity)
+
+let seed_nt = 16
+
+(* Robust soliton distribution over degrees 1..k (unnormalized rho+tau,
+   then normalized). *)
+let robust_soliton ~k ~c ~delta =
+  let kf = float_of_int k in
+  let r = c *. log (kf /. delta) *. sqrt kf in
+  let tau d =
+    let df = float_of_int d in
+    let threshold = int_of_float (kf /. r) in
+    if d < threshold then r /. (df *. kf)
+    else if d = threshold then r *. log (r /. delta) /. kf
+    else 0.0
+  in
+  let rho d = if d = 1 then 1.0 /. kf else 1.0 /. (float_of_int d *. float_of_int (d - 1)) in
+  let weights = Array.init k (fun i -> rho (i + 1) +. tau (i + 1)) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  Array.map (fun w -> w /. total) weights
+
+let sample_degree rng (dist : float array) =
+  let u = Dna.Rng.float rng in
+  let rec pick i acc =
+    if i >= Array.length dist - 1 then i + 1
+    else if acc +. dist.(i) >= u then i + 1
+    else pick (i + 1) (acc +. dist.(i))
+  in
+  pick 0 0.0
+
+(* The chunk subset of a droplet is derived deterministically from its
+   seed, so the decoder reconstructs it from the strand alone. *)
+let chunks_of_seed ~k ~dist seed =
+  let rng = Dna.Rng.create seed in
+  let degree = sample_degree rng dist in
+  Array.to_list (Dna.Rng.sample_indices rng ~n:k ~k:(min degree k))
+
+type encoded = {
+  params : params;
+  k : int;  (** number of source chunks *)
+  file_bytes : int;
+  strands : Dna.Strand.t array;
+}
+
+let xor_into dst src = Bytes.iteri (fun i c -> Bytes.set dst i (Char.chr (Char.code (Bytes.get dst i) lxor Char.code c))) src
+
+(* Seed region: reuse the index's masked 32-bit encoding. *)
+let strand_of_droplet p ~seed ~payload =
+  let protected_payload =
+    match inner_code p with None -> payload | Some code -> Rs.encode code payload
+  in
+  Dna.Strand.append (Codec_seed.encode32 seed) (Dna.Bitstream.strand_of_bytes protected_payload)
+
+let encode ?(params = default_params) rng (file : Bytes.t) : encoded =
+  validate params;
+  let scrambled = Dna.Randomizer.scramble ~seed:params.scramble_seed file in
+  let k = max 1 ((Bytes.length scrambled + params.chunk_bytes - 1) / params.chunk_bytes) in
+  let chunk i =
+    let b = Bytes.make params.chunk_bytes '\000' in
+    let off = i * params.chunk_bytes in
+    let len = min params.chunk_bytes (Bytes.length scrambled - off) in
+    if len > 0 then Bytes.blit scrambled off b 0 len;
+    b
+  in
+  let chunks = Array.init k chunk in
+  let dist = robust_soliton ~k ~c:params.c ~delta:params.delta in
+  let n_droplets = int_of_float (ceil (float_of_int k *. (1.0 +. params.overhead))) in
+  let strands =
+    Array.init n_droplets (fun _ ->
+        let seed = Int64.to_int (Dna.Rng.next_int64 rng) land Codec_seed.max_value in
+        let payload = Bytes.make params.chunk_bytes '\000' in
+        List.iter (fun c -> xor_into payload chunks.(c)) (chunks_of_seed ~k ~dist seed);
+        strand_of_droplet params ~seed ~payload)
+  in
+  { params; k; file_bytes = Bytes.length file; strands }
+
+let strand_nt params = seed_nt + (4 * (params.chunk_bytes + params.inner_parity))
+
+(* Parse a droplet strand back into (seed, payload): the seed checksum
+   and the inner Reed-Solomon code both have to accept. *)
+let parse_strand params (s : Dna.Strand.t) : (int * Bytes.t) option =
+  if Dna.Strand.length s <> strand_nt params then None
+  else
+    match Codec_seed.decode32 (Dna.Strand.sub s ~pos:0 ~len:seed_nt) with
+    | None -> None
+    | Some seed -> (
+        let received =
+          Dna.Bitstream.bytes_of_strand
+            (Dna.Strand.sub s ~pos:seed_nt ~len:(4 * (params.chunk_bytes + params.inner_parity)))
+        in
+        match inner_code params with
+        | None -> Some (seed, received)
+        | Some code -> (
+            match Rs.decode code received with
+            | Ok payload -> Some (seed, payload)
+            | Error _ -> None))
+
+type decode_stats = {
+  droplets_used : int;
+  droplets_bad : int;  (** unparsable strands *)
+  peeled : int;  (** chunks recovered *)
+}
+
+(* Peeling decoder. *)
+let decode ?(params = default_params) ~k ~file_bytes (strands : Dna.Strand.t list) :
+    (Bytes.t * decode_stats, string) result =
+  validate params;
+  let dist = robust_soliton ~k ~c:params.c ~delta:params.delta in
+  let bad = ref 0 in
+  (* Active droplets: payload buffer + remaining chunk set. *)
+  let droplets =
+    List.filter_map
+      (fun s ->
+        match parse_strand params s with
+        | Some (seed, payload) -> Some (ref (chunks_of_seed ~k ~dist seed), Bytes.copy payload)
+        | None ->
+            incr bad;
+            None)
+      strands
+  in
+  let chunks = Array.make k None in
+  let peeled = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun (remaining, payload) ->
+        (* Reduce by already-known chunks. *)
+        remaining :=
+          List.filter
+            (fun c ->
+              match chunks.(c) with
+              | Some known ->
+                  xor_into payload known;
+                  false
+              | None -> true)
+            !remaining;
+        match !remaining with
+        | [ c ] ->
+            chunks.(c) <- Some (Bytes.copy payload);
+            remaining := [];
+            incr peeled;
+            progress := true
+        | _ -> ())
+      droplets
+  done;
+  (* Inactivation decoding: peeling can stall with unknowns left even
+     though the surviving droplets still determine them. Solve the
+     residual XOR system by Gaussian elimination over GF(2). *)
+  if Array.exists (fun c -> c = None) chunks then begin
+    let unknowns = ref [] in
+    Array.iteri (fun i c -> if c = None then unknowns := i :: !unknowns) chunks;
+    let unknowns = Array.of_list (List.rev !unknowns) in
+    let m = Array.length unknowns in
+    let col_of = Hashtbl.create m in
+    Array.iteri (fun j c -> Hashtbl.add col_of c j) unknowns;
+    let rows =
+      List.filter_map
+        (fun (remaining, payload) ->
+          match !remaining with
+          | [] -> None
+          | chunks_left ->
+              let vec = Array.make m false in
+              List.iter (fun c -> vec.(Hashtbl.find col_of c) <- true) chunks_left;
+              Some (vec, Bytes.copy payload))
+        droplets
+      |> Array.of_list
+    in
+    let n_rows = Array.length rows in
+    let pivot_of_col = Array.make m (-1) in
+    let used = Array.make n_rows false in
+    for col = 0 to m - 1 do
+      (* Find an unused row with a 1 in this column. *)
+      let pivot = ref (-1) in
+      for r = 0 to n_rows - 1 do
+        if !pivot < 0 && (not used.(r)) && (fst rows.(r)).(col) then pivot := r
+      done;
+      if !pivot >= 0 then begin
+        used.(!pivot) <- true;
+        pivot_of_col.(col) <- !pivot;
+        let pvec, ppay = rows.(!pivot) in
+        for r = 0 to n_rows - 1 do
+          if r <> !pivot && (fst rows.(r)).(col) then begin
+            let vec, pay = rows.(r) in
+            Array.iteri (fun j v -> vec.(j) <- v <> pvec.(j)) (Array.copy vec);
+            xor_into pay ppay
+          end
+        done
+      end
+    done;
+    (* Fully reduced: each pivot row now covers exactly its column. *)
+    Array.iteri
+      (fun col r ->
+        if r >= 0 then begin
+          let vec, pay = rows.(r) in
+          let weight = Array.fold_left (fun a v -> if v then a + 1 else a) 0 vec in
+          if weight = 1 && vec.(col) then begin
+            chunks.(unknowns.(col)) <- Some pay;
+            incr peeled
+          end
+        end)
+      pivot_of_col
+  end;
+  let stats = { droplets_used = List.length droplets; droplets_bad = !bad; peeled = !peeled } in
+  if Array.exists (fun c -> c = None) chunks then
+    Error
+      (Printf.sprintf "Fountain.decode: only %d of %d chunks recovered (need more droplets)"
+         !peeled k)
+  else begin
+    let buf = Buffer.create (k * params.chunk_bytes) in
+    Array.iter (function Some c -> Buffer.add_bytes buf c | None -> ()) chunks;
+    let scrambled = Bytes.sub (Buffer.to_bytes buf) 0 file_bytes in
+    Ok (Dna.Randomizer.unscramble ~seed:params.scramble_seed scrambled, stats)
+  end

@@ -1,0 +1,52 @@
+(** A DNA Fountain codec (Erlich & Zielinski): the rateless alternative
+    to the matrix architecture. Droplets XOR seed-determined chunk
+    subsets (robust soliton degrees); a peeling decoder recovers the
+    file from any sufficiently large droplet subset — no erasure
+    positions to declare, and the encoder can always emit more
+    droplets. *)
+
+type params = {
+  chunk_bytes : int;  (** payload bytes per droplet *)
+  inner_parity : int;  (** Reed-Solomon parity bytes protecting each droplet:
+                           corrupted droplets are corrected or rejected,
+                           never allowed to poison the peeling *)
+  overhead : float;  (** droplets generated = ceil(k * (1 + overhead)) *)
+  c : float;  (** robust soliton parameter *)
+  delta : float;  (** robust soliton failure bound *)
+  scramble_seed : int;
+}
+
+val default_params : params
+val seed_nt : int
+
+val robust_soliton : k:int -> c:float -> delta:float -> float array
+(** The degree distribution over 1..k, normalized. *)
+
+val chunks_of_seed : k:int -> dist:float array -> int -> int list
+(** The chunk subset a droplet seed selects (deterministic). *)
+
+type encoded = {
+  params : params;
+  k : int;  (** number of source chunks *)
+  file_bytes : int;
+  strands : Dna.Strand.t array;
+}
+
+val encode : ?params:params -> Dna.Rng.t -> Bytes.t -> encoded
+
+val strand_nt : params -> int
+(** Total bases of one droplet strand: seed + payload. *)
+
+val parse_strand : params -> Dna.Strand.t -> (int * Bytes.t) option
+
+type decode_stats = {
+  droplets_used : int;
+  droplets_bad : int;  (** unparsable strands *)
+  peeled : int;  (** chunks recovered *)
+}
+
+val decode :
+  ?params:params -> k:int -> file_bytes:int -> Dna.Strand.t list ->
+  (Bytes.t * decode_stats, string) result
+(** Peeling decode; [Error] when too few droplets survived to cover all
+    chunks. *)

@@ -1,0 +1,56 @@
+(** Molecule indices (Section II-C).
+
+    A test tube has no physical order, so every molecule embeds an
+    internal address: the encoding-unit number and the column within the
+    unit. The index is 16 bases = 32 bits: 16 bits of unit id, 8 bits of
+    column id, and an 8-bit checksum. The checksum lets the decoder
+    reject a corrupted index — turning a would-be misplacement (which
+    silently corrupts two columns) into a clean erasure.
+
+    The 32 bits are XOR-masked with a fixed pattern before being mapped
+    to bases: small unit and column numbers would otherwise emit long
+    homopolymer runs of A (e.g. unit 0 starts with 8 A's), exactly the
+    pattern unconstrained coding scrambles the payload to avoid, and a
+    reconstruction hazard in their own right. *)
+
+type t = { unit_id : int; column : int }
+
+let nt_length = 16
+let max_unit = 0xffff
+let max_column = 0xff
+
+let checksum ~unit_id ~column =
+  (* Fold the 24 payload bits into 8, with a constant so an all-zero
+     index does not checksum trivially. *)
+  let v = (unit_id lsl 8) lor column in
+  (v lxor (v lsr 8) lxor (v lsr 16) lxor 0xa5) land 0xff
+
+(* Fixed randomizing mask over the 4 index bytes. *)
+let mask = [| 0x6b; 0xc5; 0x39; 0xd2 |]
+
+let apply_mask bytes =
+  Bytes.mapi (fun i c -> Char.chr (Char.code c lxor mask.(i))) bytes
+
+let encode { unit_id; column } : Dna.Strand.t =
+  if unit_id < 0 || unit_id > max_unit then invalid_arg "Index.encode: unit_id out of range";
+  if column < 0 || column > max_column then invalid_arg "Index.encode: column out of range";
+  let w = Dna.Bitstream.Writer.create () in
+  Dna.Bitstream.Writer.add w ~width:16 unit_id;
+  Dna.Bitstream.Writer.add w ~width:8 column;
+  Dna.Bitstream.Writer.add w ~width:8 (checksum ~unit_id ~column);
+  Dna.Bitstream.strand_of_bytes (apply_mask (Dna.Bitstream.Writer.to_bytes w))
+
+(* [None] when the checksum rejects the index. *)
+let decode (s : Dna.Strand.t) : t option =
+  if Dna.Strand.length s <> nt_length then None
+  else begin
+    let r = Dna.Bitstream.Reader.create (apply_mask (Dna.Bitstream.bytes_of_strand s)) in
+    let unit_id = Dna.Bitstream.Reader.read r ~width:16 in
+    let column = Dna.Bitstream.Reader.read r ~width:8 in
+    let check = Dna.Bitstream.Reader.read r ~width:8 in
+    if check = checksum ~unit_id ~column then Some { unit_id; column } else None
+  end
+
+let equal a b = a.unit_id = b.unit_id && a.column = b.column
+
+let pp fmt { unit_id; column } = Format.fprintf fmt "u%d.c%d" unit_id column

@@ -1,0 +1,23 @@
+(** Molecule indices (Section II-C): 16 bases = 32 bits of internal
+    address (unit id, column, checksum), XOR-masked so small ids do not
+    emit homopolymer runs. The checksum turns a corrupted index into a
+    clean erasure instead of a silent misplacement. *)
+
+type t = { unit_id : int; column : int }
+
+val nt_length : int
+(** 16 bases. *)
+
+val max_unit : int
+val max_column : int
+
+val checksum : unit_id:int -> column:int -> int
+
+val encode : t -> Dna.Strand.t
+(** Raises [Invalid_argument] out of range. *)
+
+val decode : Dna.Strand.t -> t option
+(** [None] when the length is wrong or the checksum rejects. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,25 @@
+(** Codeword layouts within an encoding unit (Section IV, Figure 2b).
+
+    An encoding unit is a matrix of [rows] x [columns] bytes; each column
+    becomes one molecule payload, and each of the [rows] codewords spans
+    all columns. The layout decides which matrix cell holds byte [c] of
+    codeword [r]:
+
+    - [Baseline] (Organick et al. [25]): codeword r lives in row r. The
+      trace-reconstruction error skew across row positions then hits some
+      codewords much harder than others.
+    - [Gini] (Lin et al. [23]): codeword r is spread diagonally, cell
+      (row (r+c) mod rows, column c), so every codeword samples every row
+      position exactly once and the skew is equalized. *)
+
+type t = Baseline | Gini
+
+let name = function Baseline -> "baseline" | Gini -> "gini"
+
+(* Matrix row holding byte [c] of codeword [r]. Column is always [c]. *)
+let row_of t ~rows ~codeword:r ~position:c =
+  match t with
+  | Baseline -> r
+  | Gini -> (r + c) mod rows
+
+let all = [ Baseline; Gini ]

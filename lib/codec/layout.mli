@@ -1,0 +1,14 @@
+(** Codeword layouts within an encoding unit (Section IV, Figure 2b). *)
+
+type t =
+  | Baseline  (** Organick et al.: codeword r lives in matrix row r *)
+  | Gini  (** Lin et al.: codeword r spread diagonally, equalizing the
+              positional reliability skew *)
+
+val name : t -> string
+
+val row_of : t -> rows:int -> codeword:int -> position:int -> int
+(** Matrix row holding byte [position] of codeword [codeword]; the
+    column is always [position]. *)
+
+val all : t list

@@ -1,0 +1,115 @@
+(** The matrix encoding unit (Section IV-A, Figure 2b).
+
+    Data bytes fill the matrix column-major (column [c] holds bytes
+    [c*rows .. (c+1)*rows)), each codeword is Reed-Solomon encoded across
+    the columns according to the chosen {!Layout}, and every column is
+    emitted as one molecule: index bases followed by the payload bases.
+
+    Decoding reverses the path: reconstructed strands are placed into
+    columns by their index (checksum-rejected or missing columns become
+    erasures), each codeword is gathered, RS-decoded with those erasures,
+    and the corrected data region is reassembled. Insertions or deletions
+    inside a molecule shift the whole column and surface as substitution
+    errors spread across the codewords — the observation the paper makes
+    about this architecture. *)
+
+type unit_stats = {
+  failed_codewords : int list;  (** rows whose RS decode failed *)
+  corrected_bytes : int;
+  erased_columns : int list;
+}
+
+let rs_code p = Rs.create ~k:p.Params.rs_data ~nsym:p.Params.rs_parity
+
+(* Encode one unit of data (at most [unit_data_bytes] long; padded with
+   zeros) into [columns] molecule strands (index + payload, no primers). *)
+let encode_unit p ~layout ~unit_id (data : Bytes.t) : Dna.Strand.t array =
+  Params.validate p;
+  let rows = Params.rows p and cols = Params.columns p in
+  let k = p.Params.rs_data in
+  if Bytes.length data > Params.unit_data_bytes p then
+    invalid_arg "Matrix_codec.encode_unit: data too large for one unit";
+  let matrix = Array.make_matrix rows cols 0 in
+  (* Fill the data region column-major. *)
+  for c = 0 to k - 1 do
+    for r = 0 to rows - 1 do
+      let idx = (c * rows) + r in
+      if idx < Bytes.length data then matrix.(r).(c) <- Char.code (Bytes.get data idx)
+    done
+  done;
+  (* Encode each codeword along the layout and scatter the parity. *)
+  let code = rs_code p in
+  for cw = 0 to rows - 1 do
+    let message =
+      Array.init k (fun c -> matrix.(Layout.row_of layout ~rows ~codeword:cw ~position:c).(c))
+    in
+    let encoded = Rs.encode_arr code message in
+    for c = k to cols - 1 do
+      matrix.(Layout.row_of layout ~rows ~codeword:cw ~position:c).(c) <- encoded.(c)
+    done
+  done;
+  (* Emit each column as index + payload bases. *)
+  Array.init cols (fun c ->
+      let payload_bytes = Bytes.init rows (fun r -> Char.chr matrix.(r).(c)) in
+      let payload = Dna.Bitstream.strand_of_bytes payload_bytes in
+      let index = Index.encode { Index.unit_id; column = c } in
+      Dna.Strand.append index payload)
+
+(* Split a reconstructed strand into its index and payload bytes. [None]
+   when the length is wrong or the index checksum fails; such strands are
+   treated as lost molecules. *)
+let parse_strand p (s : Dna.Strand.t) : (Index.t * Bytes.t) option =
+  if Dna.Strand.length s <> Params.strand_nt p then None
+  else begin
+    match Index.decode (Dna.Strand.sub s ~pos:0 ~len:Index.nt_length) with
+    | None -> None
+    | Some index ->
+        let payload = Dna.Strand.sub s ~pos:Index.nt_length ~len:p.Params.payload_nt in
+        Some (index, Dna.Bitstream.bytes_of_strand payload)
+  end
+
+(* Decode one unit from its columns; [columns.(c) = None] marks an
+   erased molecule. Returns the data region plus per-unit statistics.
+   Rows that fail RS decoding are returned as-is (uncorrected) and
+   reported in [failed_codewords]. *)
+let decode_unit p ~layout (columns : Bytes.t option array) : Bytes.t * unit_stats =
+  Params.validate p;
+  let rows = Params.rows p and cols = Params.columns p in
+  let k = p.Params.rs_data in
+  if Array.length columns <> cols then invalid_arg "Matrix_codec.decode_unit: column count";
+  let matrix = Array.make_matrix rows cols 0 in
+  let erased = ref [] in
+  Array.iteri
+    (fun c col ->
+      match col with
+      | Some bytes when Bytes.length bytes = rows ->
+          for r = 0 to rows - 1 do
+            matrix.(r).(c) <- Char.code (Bytes.get bytes r)
+          done
+      | Some _ | None -> erased := c :: !erased)
+    columns;
+  let erased = List.rev !erased in
+  let code = rs_code p in
+  let failed = ref [] in
+  let corrected = ref 0 in
+  for cw = 0 to rows - 1 do
+    let received =
+      Array.init cols (fun c -> matrix.(Layout.row_of layout ~rows ~codeword:cw ~position:c).(c))
+    in
+    match Rs.decode_arr ~erasures:erased code received with
+    | Ok d ->
+        corrected := !corrected + List.length d.Rs.corrected;
+        for c = 0 to cols - 1 do
+          matrix.(Layout.row_of layout ~rows ~codeword:cw ~position:c).(c) <- d.Rs.codeword.(c)
+        done
+    | Error _ -> failed := cw :: !failed
+  done;
+  let data = Bytes.create (Params.unit_data_bytes p) in
+  for c = 0 to k - 1 do
+    for r = 0 to rows - 1 do
+      Bytes.set data ((c * rows) + r) (Char.chr matrix.(r).(c))
+    done
+  done;
+  ( data,
+    { failed_codewords = List.rev !failed; corrected_bytes = !corrected; erased_columns = erased }
+  )

@@ -1,0 +1,25 @@
+(** The matrix encoding unit (Section IV-A, Figure 2b): data fills the
+    matrix column-major, codewords are Reed-Solomon encoded along the
+    chosen {!Layout}, every column becomes one molecule (index +
+    payload). Missing columns decode as erasures; indels inside a
+    molecule surface as substitutions across the codewords. *)
+
+type unit_stats = {
+  failed_codewords : int list;  (** codeword indices whose RS decode failed *)
+  corrected_bytes : int;
+  erased_columns : int list;
+}
+
+val rs_code : Params.t -> Rs.t
+
+val encode_unit : Params.t -> layout:Layout.t -> unit_id:int -> Bytes.t -> Dna.Strand.t array
+(** Encode at most [unit_data_bytes] (zero-padded) into [columns]
+    strands. *)
+
+val parse_strand : Params.t -> Dna.Strand.t -> (Index.t * Bytes.t) option
+(** Split a reconstructed strand into index and payload bytes; [None]
+    when the length is wrong or the index checksum fails. *)
+
+val decode_unit : Params.t -> layout:Layout.t -> Bytes.t option array -> Bytes.t * unit_stats
+(** Decode one unit from its columns ([None] marks an erased molecule).
+    Rows that fail RS decoding are returned uncorrected and reported. *)

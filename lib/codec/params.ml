@@ -1,0 +1,38 @@
+(** Codec configuration.
+
+    One encoding unit is a [rows x (rs_data + rs_parity)] byte matrix:
+    [rs_data] data molecules plus [rs_parity] ECC molecules, each molecule
+    carrying [payload_nt] payload bases = [rows] bytes, preceded by its
+    index. Defaults follow the paper's overall evaluation setting
+    (payload length 120 bases). *)
+
+type t = {
+  payload_nt : int;  (** payload bases per molecule; multiple of 4 *)
+  rs_data : int;  (** data columns (RS message length k) *)
+  rs_parity : int;  (** ECC columns (RS parity nsym) *)
+  scramble_seed : int;  (** randomizer seed for unconstrained coding *)
+}
+
+let default = { payload_nt = 120; rs_data = 20; rs_parity = 6; scramble_seed = 0x5eed }
+
+let validate t =
+  if t.payload_nt <= 0 || t.payload_nt mod 4 <> 0 then
+    invalid_arg "Params: payload_nt must be a positive multiple of 4";
+  if t.rs_data <= 0 || t.rs_parity <= 0 || t.rs_data + t.rs_parity > 255 then
+    invalid_arg "Params: need 0 < rs_data, 0 < rs_parity, rs_data + rs_parity <= 255"
+
+(* Bytes per molecule payload = codewords per unit. *)
+let rows t = t.payload_nt / 4
+
+(* Molecules per unit (RS codeword length n). *)
+let columns t = t.rs_data + t.rs_parity
+
+(* Data bytes carried by one unit. *)
+let unit_data_bytes t = rows t * t.rs_data
+
+(* Total bases of one encoded molecule: index + payload. *)
+let strand_nt t = Index.nt_length + t.payload_nt
+
+let pp fmt t =
+  Format.fprintf fmt "payload=%dnt rows=%d k=%d parity=%d" t.payload_nt (rows t) t.rs_data
+    t.rs_parity

@@ -1,0 +1,30 @@
+(** Codec configuration: one encoding unit is a
+    [rows x (rs_data + rs_parity)] byte matrix — [rs_data] data
+    molecules plus [rs_parity] ECC molecules, each carrying
+    [payload_nt / 4] bytes behind its index. *)
+
+type t = {
+  payload_nt : int;  (** payload bases per molecule; multiple of 4 *)
+  rs_data : int;  (** data columns (RS message length k) *)
+  rs_parity : int;  (** ECC columns (RS parity) *)
+  scramble_seed : int;  (** randomizer seed for unconstrained coding *)
+}
+
+val default : t
+(** Payload 120 nt (the paper's overall evaluation setting), 20 data +
+    6 parity columns. *)
+
+val validate : t -> unit
+(** Raises [Invalid_argument] on inconsistent parameters. *)
+
+val rows : t -> int
+(** Bytes per molecule payload = codewords per unit. *)
+
+val columns : t -> int
+(** Molecules per unit (RS codeword length). *)
+
+val unit_data_bytes : t -> int
+val strand_nt : t -> int
+(** Index plus payload bases of one encoded molecule. *)
+
+val pp : Format.formatter -> t -> unit

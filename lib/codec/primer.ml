@@ -1,0 +1,144 @@
+(** PCR primer design and handling (Sections II-D/F, VIII).
+
+    A primer pair is the "key" of a stored file: every molecule of the
+    file is flanked by the pair, and PCR amplification selects on it.
+    Primers are 20 bases, GC-balanced, free of long homopolymers, and
+    pairwise far apart in Hamming distance so that noisy reads still
+    match the right file. Reads come off the sequencer in either
+    orientation; [orient] detects and normalizes direction by matching
+    primers, and [strip] removes them, leaving the core payload.
+
+    Primer location in noisy reads uses semi-global alignment (the primer
+    must match end to end, the read position floats), so insertions and
+    deletions inside the primer region are absorbed instead of cascading
+    into mismatches. *)
+
+let primer_length = 20
+
+type pair = { forward : Dna.Strand.t; reverse : Dna.Strand.t }
+
+let gc_balanced s =
+  let gc = Dna.Strand.gc_content s in
+  gc >= 0.4 && gc <= 0.6
+
+let acceptable s = gc_balanced s && Dna.Strand.max_homopolymer s <= 3
+
+(* Generate [n] primers with pairwise Hamming distance at least
+   [min_distance], rejection-sampling random candidates. *)
+let generate ?(min_distance = 8) rng n : Dna.Strand.t array =
+  let chosen = ref [] in
+  let count = ref 0 in
+  let attempts = ref 0 in
+  while !count < n do
+    incr attempts;
+    if !attempts > 100_000 then failwith "Primer.generate: cannot satisfy constraints";
+    let cand = Dna.Strand.random rng primer_length in
+    let far_enough other = Dna.Distance.hamming cand other >= min_distance in
+    (* Also keep distance from every reverse complement, since reads can
+       arrive in either orientation. *)
+    if
+      acceptable cand
+      && List.for_all
+           (fun p -> far_enough p && far_enough (Dna.Strand.reverse_complement p))
+           !chosen
+    then begin
+      chosen := cand :: !chosen;
+      incr count
+    end
+  done;
+  Array.of_list (List.rev !chosen)
+
+let generate_pairs ?min_distance rng n : pair array =
+  let primers = generate ?min_distance rng (2 * n) in
+  Array.init n (fun i -> { forward = primers.(2 * i); reverse = primers.((2 * i) + 1) })
+
+(* Attach the pair around a core strand (Figure 2a). *)
+let attach pair core = Dna.Strand.concat [ pair.forward; core; pair.reverse ]
+
+(* Hamming mismatches of [pattern] against [s] at [pos]; [max_int] when
+   it does not fit. Used for strict matching on clean pool molecules. *)
+let mismatches_at s ~pos ~pattern =
+  let n = Dna.Strand.length s and m = Dna.Strand.length pattern in
+  if pos < 0 || pos + m > n then max_int
+  else begin
+    let d = ref 0 in
+    for i = 0 to m - 1 do
+      if Dna.Strand.get_code s (pos + i) <> Dna.Strand.get_code pattern i then incr d
+    done;
+    !d
+  end
+
+(* Semi-global alignment of the whole [pattern] against a prefix window
+   of [read]: returns [(end_position, edits)] for the alignment with the
+   fewest edits whose read span starts at position 0..slack. *)
+let locate_prefix ?(slack = 4) ~max_edits pattern (read : Dna.Strand.t) : (int * int) option =
+  let m = Dna.Strand.length pattern in
+  let window = min (Dna.Strand.length read) (m + slack + max_edits) in
+  if window < m - max_edits then None
+  else begin
+    (* dp.(j): cost of aligning the full prefix of pattern processed so
+       far against read[0..j), with free leading gap up to [slack]. *)
+    let prev = Array.make (window + 1) 0 in
+    let cur = Array.make (window + 1) 0 in
+    for j = 0 to window do
+      (* Leading read bases may be skipped cheaply up to [slack]. *)
+      prev.(j) <- if j <= slack then 0 else j - slack
+    done;
+    for i = 1 to m do
+      let pc = Dna.Strand.get_code pattern (i - 1) in
+      cur.(0) <- i;
+      for j = 1 to window do
+        let cost = if pc = Dna.Strand.get_code read (j - 1) then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (window + 1)
+    done;
+    (* Best end position of the pattern within the window. *)
+    let best = ref None in
+    for j = 0 to window do
+      match !best with
+      | Some (_, d) when d <= prev.(j) -> ()
+      | _ -> if prev.(j) <= max_edits then best := Some (j, prev.(j))
+    done;
+    !best
+  end
+
+(* Locate [pattern] at the tail of [read] by matching the reversed
+   strands at the head. Returns [(start_position, edits)]. *)
+let locate_suffix ?slack ~max_edits pattern (read : Dna.Strand.t) : (int * int) option =
+  match locate_prefix ?slack ~max_edits (Dna.Strand.rev pattern) (Dna.Strand.rev read) with
+  | None -> None
+  | Some (end_in_rev, edits) -> Some (Dna.Strand.length read - end_in_rev, edits)
+
+type orientation = Forward | Reverse
+
+(* Detect the read's orientation against [pair]: whichever direction
+   shows the forward primer at the head with fewer edits wins. *)
+let orient ?(max_edits = 5) ?slack pair (read : Dna.Strand.t) :
+    (Dna.Strand.t * orientation) option =
+  let fwd = locate_prefix ?slack ~max_edits pair.forward read in
+  let rc = Dna.Strand.reverse_complement read in
+  let rev = locate_prefix ?slack ~max_edits pair.forward rc in
+  match (fwd, rev) with
+  | Some (_, fd), Some (_, rd) -> if fd <= rd then Some (read, Forward) else Some (rc, Reverse)
+  | Some _, None -> Some (read, Forward)
+  | None, Some _ -> Some (rc, Reverse)
+  | None, None -> None
+
+(* Remove both primers from a normalized (5'->3') read. [None] when
+   either primer cannot be located, which filters foreign molecules. *)
+let strip ?(max_edits = 5) ?slack pair (read : Dna.Strand.t) : Dna.Strand.t option =
+  match
+    (locate_prefix ?slack ~max_edits pair.forward read,
+     locate_suffix ?slack ~max_edits pair.reverse read)
+  with
+  | Some (core_start, _), Some (core_end, _) when core_end > core_start ->
+      Some (Dna.Strand.sub read ~pos:core_start ~len:(core_end - core_start))
+  | _ -> None
+
+(* Orientation + strip in one step: the full preprocessing of one
+   sequenced read (Section VIII). *)
+let normalize ?max_edits ?slack pair read =
+  match orient ?max_edits ?slack pair read with
+  | None -> None
+  | Some (oriented, _) -> strip ?max_edits ?slack pair oriented

@@ -1,0 +1,51 @@
+(** PCR primer design and handling (Sections II-D/F, VIII). A primer
+    pair is a stored file's key: every molecule is flanked by it and PCR
+    selects on it. Primer location in noisy reads uses semi-global
+    alignment, so indels inside the primer region are absorbed. *)
+
+val primer_length : int
+(** 20 bases. *)
+
+type pair = { forward : Dna.Strand.t; reverse : Dna.Strand.t }
+
+val gc_balanced : Dna.Strand.t -> bool
+val acceptable : Dna.Strand.t -> bool
+(** GC in [0.4, 0.6] and homopolymers of at most 3. *)
+
+val generate : ?min_distance:int -> Dna.Rng.t -> int -> Dna.Strand.t array
+(** [n] acceptable primers pairwise at least [min_distance] (default 8)
+    apart in Hamming distance, including against reverse complements. *)
+
+val generate_pairs : ?min_distance:int -> Dna.Rng.t -> int -> pair array
+
+val attach : pair -> Dna.Strand.t -> Dna.Strand.t
+(** [forward ^ core ^ reverse] (Figure 2a). *)
+
+val mismatches_at : Dna.Strand.t -> pos:int -> pattern:Dna.Strand.t -> int
+(** Hamming mismatches of [pattern] at [pos]; [max_int] if out of range.
+    For strict matching on clean pool molecules. *)
+
+val locate_prefix :
+  ?slack:int -> max_edits:int -> Dna.Strand.t -> Dna.Strand.t -> (int * int) option
+(** Best semi-global alignment of the whole pattern near the read's
+    head: [(end_position, edits)] with at most [max_edits] edits. *)
+
+val locate_suffix :
+  ?slack:int -> max_edits:int -> Dna.Strand.t -> Dna.Strand.t -> (int * int) option
+(** Mirror of {!locate_prefix} at the read's tail: [(start_position,
+    edits)]. *)
+
+type orientation = Forward | Reverse
+
+val orient :
+  ?max_edits:int -> ?slack:int -> pair -> Dna.Strand.t -> (Dna.Strand.t * orientation) option
+(** Detect the read's direction against the pair and return it
+    normalized to 5'->3'; [None] when neither direction matches. *)
+
+val strip : ?max_edits:int -> ?slack:int -> pair -> Dna.Strand.t -> Dna.Strand.t option
+(** Remove both primers from a normalized read; [None] filters foreign
+    molecules. *)
+
+val normalize : ?max_edits:int -> ?slack:int -> pair -> Dna.Strand.t -> Dna.Strand.t option
+(** {!orient} then {!strip}: the full preprocessing of one sequenced
+    read (Section VIII). *)

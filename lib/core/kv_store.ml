@@ -1,0 +1,141 @@
+(** The key-value store architecture over a DNA pool (Section II-F).
+
+    A pair of PCR primers is the key; the payloads of all molecules
+    flanked by that pair are the value. [put] encodes a file, assigns it
+    a fresh primer pair and drops the tagged molecules into the shared
+    pool — unordered, mixed with every other file. [get] runs the random
+    access path: PCR selection by primer match, sequencing through the
+    configured channel, clustering, reconstruction, primer stripping and
+    decoding. *)
+
+type entry = {
+  key : string;
+  pair : Codec.Primer.pair;
+  n_units : int;
+  params : Codec.Params.t;
+  layout : Codec.Layout.t;
+  original_size : int;
+}
+
+type t = {
+  rng : Dna.Rng.t;
+  mutable pool : Dna.Strand.t array;  (** the test tube: all molecules of all files *)
+  mutable directory : entry list;  (** external metadata, not stored in DNA *)
+  mutable primers_used : Codec.Primer.pair list;
+}
+
+let create ~seed = { rng = Dna.Rng.create seed; pool = [||]; directory = []; primers_used = [] }
+
+let mem t key = List.exists (fun e -> e.key = key) t.directory
+let keys t = List.map (fun e -> e.key) t.directory
+let pool_size t = Array.length t.pool
+
+let fresh_pair t =
+  (* Keep the new pair far from every existing primer (and their reverse
+     complements) so PCR selection stays specific. *)
+  let rec attempt tries =
+    if tries > 1000 then failwith "Kv_store: primer space exhausted";
+    let candidates = Codec.Primer.generate_pairs t.rng 1 in
+    let cand = candidates.(0) in
+    let far p q = Dna.Distance.hamming p q >= 8 in
+    let all_far p =
+      List.for_all
+        (fun used ->
+          far p used.Codec.Primer.forward && far p used.Codec.Primer.reverse
+          && far p (Dna.Strand.reverse_complement used.Codec.Primer.forward)
+          && far p (Dna.Strand.reverse_complement used.Codec.Primer.reverse))
+        t.primers_used
+    in
+    if all_far cand.Codec.Primer.forward && all_far cand.Codec.Primer.reverse then cand
+    else attempt (tries + 1)
+  in
+  let pair = attempt 0 in
+  t.primers_used <- pair :: t.primers_used;
+  pair
+
+let put ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline) t ~key
+    (file : Bytes.t) =
+  if mem t key then invalid_arg ("Kv_store.put: duplicate key " ^ key);
+  let pair = fresh_pair t in
+  let encoded = Codec.File_codec.encode ~layout ~params file in
+  let tagged = Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands in
+  t.pool <- Array.append t.pool tagged;
+  Dna.Rng.shuffle_in_place t.rng t.pool;
+  t.directory <-
+    {
+      key;
+      pair;
+      n_units = encoded.Codec.File_codec.n_units;
+      params;
+      layout;
+      original_size = Bytes.length file;
+    }
+    :: t.directory
+
+(* PCR selection: amplify exactly the molecules carrying both primers.
+   The pool holds clean synthesized strands, so matching is strict here;
+   tolerant matching happens on noisy reads in [get]. *)
+let pcr_select t pair =
+  Array.of_list
+    (List.filter
+       (fun s ->
+         Codec.Primer.mismatches_at s ~pos:0 ~pattern:pair.Codec.Primer.forward <= 2
+         && Codec.Primer.mismatches_at s
+              ~pos:(Dna.Strand.length s - Codec.Primer.primer_length)
+              ~pattern:pair.Codec.Primer.reverse
+            <= 2)
+       (Array.to_list t.pool))
+
+type get_error = Key_not_found | Decode_failed of string
+
+let get ?(stages = Pipeline.default_stages ()) ?(domains = 1) t ~key :
+    (Bytes.t * Pipeline.timings, get_error) result =
+  match List.find_opt (fun e -> e.key = key) t.directory with
+  | None -> Error Key_not_found
+  | Some entry ->
+      let t0 = Unix.gettimeofday () in
+      let selected = pcr_select t entry.pair in
+      (* Sequencing: noisy reads of the selected molecules, arriving in
+         both orientations like a real sequencer run. *)
+      let sequencing = { stages.Pipeline.sequencing with Simulator.Sequencer.p_reverse = 0.5 } in
+      let reads = Simulator.Sequencer.sequence sequencing stages.Pipeline.channel t.rng selected in
+      let t1 = Unix.gettimeofday () in
+      (* Preprocess: orientation-normalize, strip primers. *)
+      let cores =
+        Array.to_list reads
+        |> List.filter_map (fun r ->
+               Codec.Primer.normalize entry.pair r.Simulator.Sequencer.seq)
+        |> Array.of_list
+      in
+      let clusters = stages.Pipeline.cluster t.rng cores in
+      let t2 = Unix.gettimeofday () in
+      let target_len = Codec.Params.strand_nt entry.params in
+      let consensus =
+        (* Largest clusters first so their consensus claims the column. *)
+        let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
+        Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
+        Dna.Par.map_array ~domains
+          (fun reads ->
+            if Array.length reads = 0 then None
+            else Some (stages.Pipeline.reconstruct ~target_len reads))
+          cluster_arr
+        |> Array.to_list |> List.filter_map Fun.id
+      in
+      let t3 = Unix.gettimeofday () in
+      let result =
+        Codec.File_codec.decode ~layout:entry.layout ~params:entry.params
+          ~n_units:entry.n_units consensus
+      in
+      let t4 = Unix.gettimeofday () in
+      let timings =
+        {
+          Pipeline.encode_s = 0.0;
+          simulate_s = t1 -. t0;
+          cluster_s = t2 -. t1;
+          reconstruct_s = t3 -. t2;
+          decode_s = t4 -. t3;
+        }
+      in
+      (match result with
+      | Ok (bytes, _) -> Ok (bytes, timings)
+      | Error e -> Error (Decode_failed e))

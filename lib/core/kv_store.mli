@@ -1,0 +1,43 @@
+(** The key-value store architecture over a DNA pool (Section II-F): a
+    pair of PCR primers is the key; the payloads of all molecules
+    flanked by it are the value. All files share one unordered pool. *)
+
+type entry = {
+  key : string;
+  pair : Codec.Primer.pair;
+  n_units : int;
+  params : Codec.Params.t;
+  layout : Codec.Layout.t;
+  original_size : int;
+}
+
+type t = {
+  rng : Dna.Rng.t;
+  mutable pool : Dna.Strand.t array;  (** the test tube *)
+  mutable directory : entry list;  (** external metadata, not stored in DNA *)
+  mutable primers_used : Codec.Primer.pair list;
+}
+
+val create : seed:int -> t
+
+val mem : t -> string -> bool
+val keys : t -> string list
+val pool_size : t -> int
+
+val put : ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> t -> key:string -> Bytes.t -> unit
+(** Encode the file, tag it with a fresh primer pair and mix its
+    molecules into the pool. Raises [Invalid_argument] on a duplicate
+    key. *)
+
+val pcr_select : t -> Codec.Primer.pair -> Dna.Strand.t array
+(** PCR amplification: the pool molecules carrying both primers. *)
+
+type get_error = Key_not_found | Decode_failed of string
+
+val get :
+  ?stages:Pipeline.stages -> ?domains:int -> t -> key:string ->
+  (Bytes.t * Pipeline.timings, get_error) result
+(** The full random-access path: PCR selection, sequencing (reads in
+    both orientations), orientation normalization, primer stripping,
+    clustering, reconstruction, decoding. Every call is a fresh
+    sequencing run. *)

@@ -1,0 +1,118 @@
+(** The end-to-end pipeline (Section III, Figure 1).
+
+    Five swappable stages: encoding, wetlab simulation, clustering, trace
+    reconstruction, decoding. Each stage is a function field in
+    {!stages}, so replacing any module is building a record — the OCaml
+    rendering of the paper's modularity claim. [run] wires a file through
+    all five and reports per-stage wall-clock latencies (Table III) plus
+    intermediate statistics. *)
+
+type stages = {
+  channel : Simulator.Channel.t;
+  sequencing : Simulator.Sequencer.params;
+  cluster : Dna.Rng.t -> Dna.Strand.t array -> Dna.Strand.t list list;
+  reconstruct : target_len:int -> Dna.Strand.t array -> Dna.Strand.t;
+}
+
+type timings = {
+  encode_s : float;
+  simulate_s : float;
+  cluster_s : float;
+  reconstruct_s : float;
+  decode_s : float;
+}
+
+let total_s t = t.encode_s +. t.simulate_s +. t.cluster_s +. t.reconstruct_s +. t.decode_s
+
+type outcome = {
+  file : Bytes.t option;  (** [None] when decoding failed outright *)
+  exact : bool;  (** decoded bytes match the input exactly *)
+  timings : timings;
+  n_strands : int;
+  n_reads : int;
+  n_clusters : int;
+  decode_stats : Codec.File_codec.decode_stats option;
+}
+
+(* Default clustering stage: parameters auto-configured from the data
+   (Section VI-B), then the iterative merge algorithm. *)
+let cluster_default ?(kind = Clustering.Signature.Qgram) ?(domains = 1) () rng reads =
+  match Array.length reads with
+  | 0 -> []
+  | _ ->
+      let read_len = Dna.Strand.length reads.(0) in
+      let params = { (Clustering.Cluster.default_params ~kind ~read_len ()) with domains } in
+      let config = Clustering.Auto_config.configure params rng reads in
+      let params = Clustering.Auto_config.apply config params in
+      let result = Clustering.Cluster.run params rng reads in
+      Clustering.Cluster.read_clusters result reads
+
+let reconstruct_bma ~target_len reads = Reconstruction.Bma.reconstruct ~target_len reads
+let reconstruct_dbma ~target_len reads = Reconstruction.Bma.reconstruct_double ~target_len reads
+let reconstruct_nw ~target_len reads = Reconstruction.Nw_consensus.reconstruct ~target_len reads
+
+let default_stages ?(error_rate = 0.06) ?(coverage = 10) () =
+  {
+    channel = Simulator.Iid_channel.create_rate ~error_rate;
+    sequencing = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage);
+    cluster = cluster_default ();
+    reconstruct = reconstruct_nw;
+  }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* Run the full pipeline on [file]. [domains] parallelizes per-cluster
+   reconstruction. *)
+let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
+    ?(stages = default_stages ()) ?(domains = 1) rng (file : Bytes.t) : outcome =
+  let encoded, encode_s = time (fun () -> Codec.File_codec.encode ~layout ~params file) in
+  let strands = encoded.Codec.File_codec.strands in
+  let reads, simulate_s =
+    time (fun () -> Simulator.Sequencer.sequence stages.sequencing stages.channel rng strands)
+  in
+  let read_strands = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
+  let clusters, cluster_s = time (fun () -> stages.cluster rng read_strands) in
+  let target_len = Codec.Params.strand_nt params in
+  let reconstructed, reconstruct_s =
+    time (fun () ->
+        (* Largest clusters first: when two clusters claim the same
+           column index, the consensus backed by more reads wins. *)
+        let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
+        Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
+        Dna.Par.map_array ~domains
+          (fun reads ->
+            if Array.length reads = 0 then None
+            else Some (stages.reconstruct ~target_len reads))
+          cluster_arr)
+  in
+  let consensus = List.filter_map Fun.id (Array.to_list reconstructed) in
+  let decoded, decode_s =
+    time (fun () ->
+        Codec.File_codec.decode ~layout ~params ~n_units:encoded.Codec.File_codec.n_units
+          consensus)
+  in
+  let timings = { encode_s; simulate_s; cluster_s; reconstruct_s; decode_s } in
+  match decoded with
+  | Ok (bytes, stats) ->
+      {
+        file = Some bytes;
+        exact = Bytes.equal bytes file;
+        timings;
+        n_strands = Array.length strands;
+        n_reads = Array.length reads;
+        n_clusters = List.length clusters;
+        decode_stats = Some stats;
+      }
+  | Error _ ->
+      {
+        file = None;
+        exact = false;
+        timings;
+        n_strands = Array.length strands;
+        n_reads = Array.length reads;
+        n_clusters = List.length clusters;
+        decode_stats = None;
+      }

@@ -1,0 +1,50 @@
+(** The end-to-end pipeline (Section III, Figure 1): five swappable
+    stages wired from a file to its recovery, with per-stage wall-clock
+    latencies (Table III). *)
+
+type stages = {
+  channel : Simulator.Channel.t;
+  sequencing : Simulator.Sequencer.params;
+  cluster : Dna.Rng.t -> Dna.Strand.t array -> Dna.Strand.t list list;
+  reconstruct : target_len:int -> Dna.Strand.t array -> Dna.Strand.t;
+}
+
+type timings = {
+  encode_s : float;
+  simulate_s : float;
+  cluster_s : float;
+  reconstruct_s : float;
+  decode_s : float;
+}
+
+val total_s : timings -> float
+
+type outcome = {
+  file : Bytes.t option;  (** [None] when decoding failed outright *)
+  exact : bool;  (** decoded bytes match the input exactly *)
+  timings : timings;
+  n_strands : int;
+  n_reads : int;
+  n_clusters : int;
+  decode_stats : Codec.File_codec.decode_stats option;
+}
+
+val cluster_default :
+  ?kind:Clustering.Signature.kind -> ?domains:int -> unit ->
+  Dna.Rng.t -> Dna.Strand.t array -> Dna.Strand.t list list
+(** The default clustering stage: thresholds auto-configured from the
+    data, then the iterative merge algorithm. *)
+
+val reconstruct_bma : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+val reconstruct_dbma : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+val reconstruct_nw : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+
+val default_stages : ?error_rate:float -> ?coverage:int -> unit -> stages
+(** i.i.d. channel at 6%, fixed coverage 10, auto-configured q-gram
+    clustering, Needleman-Wunsch reconstruction. *)
+
+val run :
+  ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> ?stages:stages -> ?domains:int ->
+  Dna.Rng.t -> Bytes.t -> outcome
+(** Encode, simulate, cluster, reconstruct (largest clusters first, in
+    parallel across [domains]), decode. *)

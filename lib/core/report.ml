@@ -1,0 +1,69 @@
+(** Plain-text rendering of experiment results: aligned tables and ASCII
+    profiles, used by the benchmark harness to print each of the paper's
+    tables and figure series. *)
+
+(* Render rows as a column-aligned table. The first row is the header. *)
+let table (rows : string list list) : string =
+  match rows with
+  | [] -> ""
+  | header :: _ ->
+      let n_cols = List.length header in
+      let widths = Array.make n_cols 0 in
+      List.iter
+        (fun row ->
+          List.iteri (fun i cell -> if i < n_cols then widths.(i) <- max widths.(i) (String.length cell)) row)
+        rows;
+      let buf = Buffer.create 256 in
+      let render_row row =
+        List.iteri
+          (fun i cell ->
+            Buffer.add_string buf cell;
+            if i < n_cols - 1 then
+              Buffer.add_string buf (String.make (widths.(i) - String.length cell + 2) ' '))
+          row;
+        Buffer.add_char buf '\n'
+      in
+      render_row header;
+      Buffer.add_string buf (String.make (Array.fold_left ( + ) (2 * (n_cols - 1)) widths) '-');
+      Buffer.add_char buf '\n';
+      List.iter render_row (List.tl rows);
+      Buffer.contents buf
+
+(* An ASCII rendering of a y-series (e.g. a per-index error profile):
+   one bar column per bucket of x values. *)
+let ascii_profile ?(height = 10) ?(buckets = 55) (ys : float array) : string =
+  let n = Array.length ys in
+  if n = 0 then ""
+  else begin
+    let buckets = min buckets n in
+    let bucketed =
+      Array.init buckets (fun b ->
+          let lo = b * n / buckets and hi = max (b * n / buckets + 1) ((b + 1) * n / buckets) in
+          let s = ref 0.0 in
+          for i = lo to hi - 1 do
+            s := !s +. ys.(i)
+          done;
+          !s /. float_of_int (hi - lo))
+    in
+    let ymax = Array.fold_left max 1e-9 bucketed in
+    let buf = Buffer.create 1024 in
+    for level = height downto 1 do
+      let threshold = float_of_int level /. float_of_int height *. ymax in
+      Buffer.add_string buf (Printf.sprintf "%6.3f |" threshold);
+      Array.iter
+        (fun y -> Buffer.add_char buf (if y >= threshold -. (ymax /. float_of_int height /. 2.0) then '#' else ' '))
+        bucketed;
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf ("       +" ^ String.make buckets '-' ^ "\n");
+    Buffer.add_string buf (Printf.sprintf "        index 0 .. %d (max y = %.4f)\n" (n - 1) ymax);
+    Buffer.contents buf
+  end
+
+let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
+let f3 x = Printf.sprintf "%.3f" x
+let f4 x = Printf.sprintf "%.4f" x
+
+let section title =
+  let bar = String.make (String.length title + 4) '=' in
+  Printf.sprintf "\n%s\n= %s =\n%s\n" bar title bar

@@ -1,0 +1,17 @@
+(** Plain-text rendering of experiment results: aligned tables and
+    ASCII profiles, used by the benchmark harness. *)
+
+val table : string list list -> string
+(** Column-aligned; the first row is the header. *)
+
+val ascii_profile : ?height:int -> ?buckets:int -> float array -> string
+(** A bar rendering of a y-series (e.g. a per-index error profile). *)
+
+val pct : float -> string
+(** "12.34%". *)
+
+val f3 : float -> string
+val f4 : float -> string
+
+val section : string -> string
+(** A boxed section heading. *)

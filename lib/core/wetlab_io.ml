@@ -1,0 +1,86 @@
+(** Handling real (or exported) wetlab data (Section VIII).
+
+    Sequencers emit FASTQ. This module converts FASTQ reads into the
+    pipeline's internal format — filtering unparsable records, detecting
+    strand directionality against the primer library, normalizing 3'->5'
+    reads to 5'->3', and stripping primers — so that a wetlab run can
+    seamlessly replace the simulation module. The reverse direction
+    ([export_fastq]) writes simulated reads out as FASTQ, useful for
+    interoperating with external tools. *)
+
+type ingest_stats = {
+  total_records : int;
+  parse_errors : int;
+  no_primer_match : int;  (** reads matching no known primer pair *)
+  forward : int;
+  reverse : int;
+}
+
+type ingested = {
+  (* Cores grouped per primer pair, pipeline-ready. *)
+  by_pair : (Codec.Primer.pair * Dna.Strand.t array) list;
+  stats : ingest_stats;
+}
+
+(* Match a read against a library of primer pairs; normalize orientation
+   and strip primers with the first pair that fits. *)
+let ingest_records (pairs : Codec.Primer.pair list) (records : Dna.Fastq.record list)
+    ~(parse_errors : int) : ingested =
+  let buckets = List.map (fun p -> (p, ref [])) pairs in
+  let no_match = ref 0 and fwd = ref 0 and rev = ref 0 in
+  List.iter
+    (fun (r : Dna.Fastq.record) ->
+      let rec try_pairs = function
+        | [] -> incr no_match
+        | (pair, bucket) :: rest -> (
+            match Codec.Primer.orient pair r.Dna.Fastq.seq with
+            | None -> try_pairs rest
+            | Some (oriented, dir) -> (
+                match Codec.Primer.strip pair oriented with
+                | None -> try_pairs rest
+                | Some core ->
+                    (match dir with
+                    | Codec.Primer.Forward -> incr fwd
+                    | Codec.Primer.Reverse -> incr rev);
+                    bucket := core :: !bucket))
+      in
+      try_pairs buckets)
+    records;
+  {
+    by_pair =
+      List.filter_map
+        (fun (p, b) -> if !b = [] then None else Some (p, Array.of_list (List.rev !b)))
+        buckets;
+    stats =
+      {
+        total_records = List.length records + parse_errors;
+        parse_errors;
+        no_primer_match = !no_match;
+        forward = !fwd;
+        reverse = !rev;
+      };
+  }
+
+let ingest_string pairs s =
+  let records, errors = Dna.Fastq.parse_string s in
+  ingest_records pairs records ~parse_errors:(List.length errors)
+
+let ingest_file pairs path =
+  let records, errors = Dna.Fastq.read_file path in
+  ingest_records pairs records ~parse_errors:(List.length errors)
+
+(* Export simulated reads as FASTQ with a uniform quality track. *)
+let export_fastq ?(quality = 30) (reads : Dna.Strand.t array) : string =
+  let records =
+    Array.to_list
+      (Array.mapi
+         (fun i seq ->
+           { Dna.Fastq.id = Printf.sprintf "read_%d" i; seq; qual = Dna.Fastq.with_uniform_quality ~q:quality seq })
+         reads)
+  in
+  Dna.Fastq.to_string records
+
+let export_fastq_file ?quality path reads =
+  let oc = open_out path in
+  output_string oc (export_fastq ?quality reads);
+  close_out oc

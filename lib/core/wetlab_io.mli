@@ -1,0 +1,27 @@
+(** Handling real (or exported) wetlab data (Section VIII): FASTQ in,
+    pipeline-ready primer-stripped cores out — so a sequencing run can
+    seamlessly replace the simulation module. *)
+
+type ingest_stats = {
+  total_records : int;
+  parse_errors : int;
+  no_primer_match : int;  (** reads matching no known primer pair *)
+  forward : int;
+  reverse : int;  (** reads that arrived 3'->5' and were normalized *)
+}
+
+type ingested = {
+  by_pair : (Codec.Primer.pair * Dna.Strand.t array) list;
+  stats : ingest_stats;
+}
+
+val ingest_records :
+  Codec.Primer.pair list -> Dna.Fastq.record list -> parse_errors:int -> ingested
+
+val ingest_string : Codec.Primer.pair list -> string -> ingested
+val ingest_file : Codec.Primer.pair list -> string -> ingested
+
+val export_fastq : ?quality:int -> Dna.Strand.t array -> string
+(** Simulated reads as FASTQ text with a uniform quality track. *)
+
+val export_fastq_file : ?quality:int -> string -> Dna.Strand.t array -> unit

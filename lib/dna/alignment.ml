@@ -1,0 +1,109 @@
+(** Needleman-Wunsch global pairwise alignment with traceback.
+
+    Used in two places: to derive edit scripts between paired clean/noisy
+    strands when training the data-driven simulators, and as the pairwise
+    kernel validated against [Distance.levenshtein] in tests. Unit costs
+    (match 0, mismatch/gap 1) make the optimal score equal to the edit
+    distance. *)
+
+type op =
+  | Match of Nucleotide.t
+  | Substitute of Nucleotide.t * Nucleotide.t  (** original base, read base *)
+  | Delete of Nucleotide.t  (** base of [a] missing from [b] *)
+  | Insert of Nucleotide.t  (** base of [b] absent from [a] *)
+
+type t = {
+  score : int;  (** total edit cost *)
+  script : op list;  (** operations transforming [a] into [b], left to right *)
+}
+
+(* Gap character used in the padded rendering of an alignment. *)
+let gap_char = '-'
+
+let align (a : Strand.t) (b : Strand.t) : t =
+  let la = Strand.length a and lb = Strand.length b in
+  (* dp.(i).(j): edit distance between a[0..i) and b[0..j). *)
+  let dp = Array.make_matrix (la + 1) (lb + 1) 0 in
+  for i = 0 to la do
+    dp.(i).(0) <- i
+  done;
+  for j = 0 to lb do
+    dp.(0).(j) <- j
+  done;
+  for i = 1 to la do
+    let ca = Strand.unsafe_get_code a (i - 1) in
+    for j = 1 to lb do
+      let cost = if ca = Strand.unsafe_get_code b (j - 1) then 0 else 1 in
+      dp.(i).(j) <-
+        min (min (dp.(i - 1).(j) + 1) (dp.(i).(j - 1) + 1)) (dp.(i - 1).(j - 1) + cost)
+    done
+  done;
+  (* Traceback, preferring diagonal moves so scripts stay maximally
+     aligned (fewer spurious indel pairs). *)
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i > 0 && j > 0
+            && dp.(i).(j)
+               = dp.(i - 1).(j - 1)
+                 + (if Strand.get_code a (i - 1) = Strand.get_code b (j - 1) then 0 else 1)
+    then
+      let xa = Strand.get a (i - 1) and xb = Strand.get b (j - 1) in
+      let op = if Nucleotide.equal xa xb then Match xa else Substitute (xa, xb) in
+      back (i - 1) (j - 1) (op :: acc)
+    else if i > 0 && dp.(i).(j) = dp.(i - 1).(j) + 1 then
+      back (i - 1) j (Delete (Strand.get a (i - 1)) :: acc)
+    else back i (j - 1) (Insert (Strand.get b (j - 1)) :: acc)
+  in
+  { score = dp.(la).(lb); script = back la lb [] }
+
+(* Render both strands padded with '-' so that aligned positions line up. *)
+let padded t =
+  let buf_a = Buffer.create 64 and buf_b = Buffer.create 64 in
+  List.iter
+    (fun op ->
+      match op with
+      | Match x ->
+          Buffer.add_char buf_a (Nucleotide.to_char x);
+          Buffer.add_char buf_b (Nucleotide.to_char x)
+      | Substitute (x, y) ->
+          Buffer.add_char buf_a (Nucleotide.to_char x);
+          Buffer.add_char buf_b (Nucleotide.to_char y)
+      | Delete x ->
+          Buffer.add_char buf_a (Nucleotide.to_char x);
+          Buffer.add_char buf_b gap_char
+      | Insert y ->
+          Buffer.add_char buf_a gap_char;
+          Buffer.add_char buf_b (Nucleotide.to_char y))
+    t.script;
+  (Buffer.contents buf_a, Buffer.contents buf_b)
+
+(* Apply the script to recover [b] from [a]; sanity check used in tests. *)
+let apply_script script =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun op ->
+      match op with
+      | Match x -> Buffer.add_char buf (Nucleotide.to_char x)
+      | Substitute (_, y) | Insert y -> Buffer.add_char buf (Nucleotide.to_char y)
+      | Delete _ -> ())
+    script;
+  Strand.of_string (Buffer.contents buf)
+
+type op_kind = Kmatch | Ksub | Kdel | Kins
+
+let kind = function
+  | Match _ -> Kmatch
+  | Substitute _ -> Ksub
+  | Delete _ -> Kdel
+  | Insert _ -> Kins
+
+(* Counts of each operation kind; the raw material of the learned channel. *)
+let counts t =
+  List.fold_left
+    (fun (m, s, d, i) op ->
+      match kind op with
+      | Kmatch -> (m + 1, s, d, i)
+      | Ksub -> (m, s + 1, d, i)
+      | Kdel -> (m, s, d + 1, i)
+      | Kins -> (m, s, d, i + 1))
+    (0, 0, 0, 0) t.script

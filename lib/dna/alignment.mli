@@ -1,0 +1,34 @@
+(** Needleman-Wunsch global pairwise alignment with traceback, at unit
+    costs — the optimal score equals the edit distance. *)
+
+type op =
+  | Match of Nucleotide.t
+  | Substitute of Nucleotide.t * Nucleotide.t  (** original base, read base *)
+  | Delete of Nucleotide.t  (** base of the first strand missing from the second *)
+  | Insert of Nucleotide.t  (** base of the second strand absent from the first *)
+
+type t = {
+  score : int;  (** total edit cost *)
+  script : op list;  (** operations transforming the first strand into the second *)
+}
+
+val gap_char : char
+(** '-', used by {!padded}. *)
+
+val align : Strand.t -> Strand.t -> t
+(** [align a b] computes an optimal global alignment, preferring
+    diagonal moves on ties so scripts stay maximally aligned. *)
+
+val padded : t -> string * string
+(** Both strands rendered with gap characters so that aligned positions
+    line up; the two strings have equal length. *)
+
+val apply_script : op list -> Strand.t
+(** Replay a script to recover the second strand. *)
+
+type op_kind = Kmatch | Ksub | Kdel | Kins
+
+val kind : op -> op_kind
+
+val counts : t -> int * int * int * int
+(** (matches, substitutions, deletions, insertions). *)

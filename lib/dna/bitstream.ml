@@ -1,0 +1,69 @@
+(** Packing binary data into bases and back.
+
+    Unconstrained coding maps two bits per nucleotide (Section II-D of the
+    paper): byte [b] becomes four bases, most significant bit pair first.
+    [Writer] and [Reader] additionally support arbitrary-width fields,
+    used for index headers. *)
+
+(* A byte yields 4 bases: bits 7-6, 5-4, 3-2, 1-0 in that order. *)
+let strand_of_bytes (data : Bytes.t) : Strand.t =
+  let n = Bytes.length data in
+  Strand.init_codes (4 * n) (fun i ->
+      let b = Char.code (Bytes.get data (i / 4)) in
+      let shift = 6 - 2 * (i mod 4) in
+      (b lsr shift) land 3)
+
+let bytes_of_strand (s : Strand.t) : Bytes.t =
+  let n = Strand.length s in
+  if n mod 4 <> 0 then invalid_arg "Bitstream.bytes_of_strand: length not a multiple of 4";
+  Bytes.init (n / 4) (fun i ->
+      let b =
+        (Strand.get_code s (4 * i) lsl 6)
+        lor (Strand.get_code s ((4 * i) + 1) lsl 4)
+        lor (Strand.get_code s ((4 * i) + 2) lsl 2)
+        lor Strand.get_code s ((4 * i) + 3)
+      in
+      Char.chr b)
+
+module Writer = struct
+  type t = { mutable acc : int; mutable nbits : int; buf : Buffer.t }
+
+  let create () = { acc = 0; nbits = 0; buf = Buffer.create 64 }
+
+  (* Append the low [width] bits of [v], most significant first. *)
+  let add t ~width v =
+    if width < 0 || width > 30 then invalid_arg "Bitstream.Writer.add: width";
+    if width > 0 && v lsr width <> 0 then invalid_arg "Bitstream.Writer.add: value too wide";
+    t.acc <- (t.acc lsl width) lor v;
+    t.nbits <- t.nbits + width;
+    while t.nbits >= 8 do
+      t.nbits <- t.nbits - 8;
+      Buffer.add_char t.buf (Char.chr ((t.acc lsr t.nbits) land 0xff))
+    done;
+    t.acc <- t.acc land ((1 lsl t.nbits) - 1)
+
+  (* Zero-pad the tail to a whole byte and return the contents. *)
+  let to_bytes t =
+    if t.nbits > 0 then add t ~width:(8 - t.nbits) 0;
+    Buffer.to_bytes t.buf
+end
+
+module Reader = struct
+  type t = { data : Bytes.t; mutable pos : int (* bit offset *) }
+
+  let create data = { data; pos = 0 }
+
+  let read t ~width =
+    if width < 0 || width > 30 then invalid_arg "Bitstream.Reader.read: width";
+    if t.pos + width > 8 * Bytes.length t.data then failwith "Bitstream.Reader.read: out of data";
+    let v = ref 0 in
+    for _ = 1 to width do
+      let byte = Char.code (Bytes.get t.data (t.pos / 8)) in
+      let bit = (byte lsr (7 - (t.pos mod 8))) land 1 in
+      v := (!v lsl 1) lor bit;
+      t.pos <- t.pos + 1
+    done;
+    !v
+
+  let remaining_bits t = (8 * Bytes.length t.data) - t.pos
+end

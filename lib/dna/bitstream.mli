@@ -1,0 +1,36 @@
+(** Packing binary data into bases and back: unconstrained coding maps
+    two bits per nucleotide, most significant bit pair first. *)
+
+val strand_of_bytes : Bytes.t -> Strand.t
+(** Four bases per byte. *)
+
+val bytes_of_strand : Strand.t -> Bytes.t
+(** Inverse of {!strand_of_bytes}; raises [Invalid_argument] when the
+    length is not a multiple of 4. *)
+
+(** Bit-level writer for arbitrary-width fields (index headers). *)
+module Writer : sig
+  type t
+
+  val create : unit -> t
+
+  val add : t -> width:int -> int -> unit
+  (** Append the low [width] bits (at most 30) of the value, most
+      significant first. Raises [Invalid_argument] when the value does
+      not fit. *)
+
+  val to_bytes : t -> Bytes.t
+  (** Zero-pads the tail to a whole byte. *)
+end
+
+(** Bit-level reader matching {!Writer}. *)
+module Reader : sig
+  type t
+
+  val create : Bytes.t -> t
+
+  val read : t -> width:int -> int
+  (** Raises [Failure] when fewer than [width] bits remain. *)
+
+  val remaining_bits : t -> int
+end

@@ -1,0 +1,113 @@
+(** Sequence distances.
+
+    Levenshtein (edit) distance is the similarity metric of the whole
+    pipeline (Section II-E), and also its main computational cost, so three
+    variants are provided: the plain two-row DP, a banded approximation for
+    strands of similar length, and a thresholded version that exits early
+    once the distance provably exceeds a bound (the workhorse of
+    clustering's merge test). *)
+
+let hamming a b =
+  let n = Strand.length a in
+  if n <> Strand.length b then invalid_arg "Distance.hamming: unequal lengths";
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    if Strand.unsafe_get_code a i <> Strand.unsafe_get_code b i then incr d
+  done;
+  !d
+
+let levenshtein a b =
+  let la = Strand.length a and lb = Strand.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) (fun j -> j) in
+    let cur = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      cur.(0) <- i;
+      let ca = Strand.unsafe_get_code a (i - 1) in
+      for j = 1 to lb do
+        let cost = if ca = Strand.unsafe_get_code b (j - 1) then 0 else 1 in
+        cur.(j) <- min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+(* Ukkonen band of half-width [band] around the diagonal. Exact whenever
+   the true distance is <= band; an upper bound otherwise. *)
+let levenshtein_banded ~band a b =
+  let la = Strand.length a and lb = Strand.length b in
+  if abs (la - lb) > band then max la lb (* cheap upper bound; outside band *)
+  else begin
+    let inf = max_int / 2 in
+    let prev = Array.make (lb + 1) inf in
+    let cur = Array.make (lb + 1) inf in
+    for j = 0 to min band lb do
+      prev.(j) <- j
+    done;
+    for i = 1 to la do
+      Array.fill cur 0 (lb + 1) inf;
+      let lo = max 0 (i - band) and hi = min lb (i + band) in
+      if lo = 0 then cur.(0) <- i;
+      let ca = Strand.unsafe_get_code a (i - 1) in
+      for j = max 1 lo to hi do
+        let cost = if ca = Strand.unsafe_get_code b (j - 1) then 0 else 1 in
+        let best = prev.(j - 1) + cost in
+        let best = if cur.(j - 1) + 1 < best then cur.(j - 1) + 1 else best in
+        let best = if prev.(j) + 1 < best then prev.(j) + 1 else best in
+        cur.(j) <- best
+      done;
+      Array.blit cur 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+(* [levenshtein_leq ~bound a b] is [Some d] when the edit distance [d] is
+   <= bound, [None] otherwise. Runs the DP inside a band of width
+   2*bound+1 and abandons a row whose minimum already exceeds the bound. *)
+let levenshtein_leq ~bound a b =
+  let la = Strand.length a and lb = Strand.length b in
+  if bound < 0 then None
+  else if abs (la - lb) > bound then None
+  else begin
+    let inf = max_int / 2 in
+    let prev = Array.make (lb + 1) inf in
+    let cur = Array.make (lb + 1) inf in
+    for j = 0 to min bound lb do
+      prev.(j) <- j
+    done;
+    let exceeded = ref false in
+    let i = ref 1 in
+    while (not !exceeded) && !i <= la do
+      Array.fill cur 0 (lb + 1) inf;
+      let lo = max 0 (!i - bound) and hi = min lb (!i + bound) in
+      if lo = 0 then cur.(0) <- !i;
+      let ca = Strand.unsafe_get_code a (!i - 1) in
+      let row_min = ref inf in
+      for j = max 1 lo to hi do
+        let cost = if ca = Strand.unsafe_get_code b (j - 1) then 0 else 1 in
+        let best = prev.(j - 1) + cost in
+        let best = if cur.(j - 1) + 1 < best then cur.(j - 1) + 1 else best in
+        let best = if prev.(j) + 1 < best then prev.(j) + 1 else best in
+        cur.(j) <- best;
+        if best < !row_min then row_min := best
+      done;
+      if lo = 0 && cur.(0) < !row_min then row_min := cur.(0);
+      if !row_min > bound then exceeded := true;
+      Array.blit cur 0 prev 0 (lb + 1);
+      incr i
+    done;
+    if !exceeded || prev.(lb) > bound then None else Some prev.(lb)
+  end
+
+(* L1 distance between integer vectors; used by w-gram signatures. *)
+let l1 a b =
+  let n = Array.length a in
+  if n <> Array.length b then invalid_arg "Distance.l1: unequal lengths";
+  let d = ref 0 in
+  for i = 0 to n - 1 do
+    d := !d + abs (a.(i) - b.(i))
+  done;
+  !d

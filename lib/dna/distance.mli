@@ -1,0 +1,21 @@
+(** Sequence distances. Levenshtein (edit) distance is the similarity
+    metric of the whole pipeline and its main computational cost. *)
+
+val hamming : Strand.t -> Strand.t -> int
+(** Positions that differ; raises [Invalid_argument] on unequal
+    lengths. *)
+
+val levenshtein : Strand.t -> Strand.t -> int
+(** Exact edit distance (two-row dynamic program). *)
+
+val levenshtein_banded : band:int -> Strand.t -> Strand.t -> int
+(** Ukkonen band of half-width [band]: exact whenever the true distance
+    is at most [band], an upper bound otherwise. *)
+
+val levenshtein_leq : bound:int -> Strand.t -> Strand.t -> int option
+(** [Some d] when the edit distance [d] is at most [bound], [None]
+    otherwise; abandons the computation as soon as the bound is provably
+    exceeded. The workhorse of clustering's merge test. *)
+
+val l1 : int array -> int array -> int
+(** L1 norm between equal-length integer vectors (w-gram signatures). *)

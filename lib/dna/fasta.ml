@@ -1,0 +1,72 @@
+(** Minimal FASTA reading and writing.
+
+    Records are [>id] header lines followed by one or more sequence lines.
+    Sequence lines may wrap; they are concatenated. Bases outside
+    {A,C,G,T} (e.g. N calls) make a record invalid and are reported rather
+    than silently dropped, since downstream stages assume clean strands. *)
+
+type record = { id : string; seq : Strand.t }
+
+type error = { line : int; message : string }
+
+let parse_lines lines =
+  let records = ref [] in
+  let errors = ref [] in
+  let cur_id = ref None in
+  let cur_seq = Buffer.create 256 in
+  let cur_line = ref 0 in
+  let flush () =
+    match !cur_id with
+    | None -> ()
+    | Some (id, line) ->
+        (match Strand.of_string_opt (Buffer.contents cur_seq) with
+        | Some seq -> records := { id; seq } :: !records
+        | None -> errors := { line; message = "invalid base in record " ^ id } :: !errors);
+        Buffer.clear cur_seq;
+        cur_id := None
+  in
+  List.iter
+    (fun raw ->
+      incr cur_line;
+      let line = String.trim raw in
+      if line = "" then ()
+      else if line.[0] = '>' then begin
+        flush ();
+        cur_id := Some (String.sub line 1 (String.length line - 1), !cur_line)
+      end
+      else
+        match !cur_id with
+        | None -> errors := { line = !cur_line; message = "sequence before header" } :: !errors
+        | Some _ -> Buffer.add_string cur_seq (String.uppercase_ascii line))
+    lines;
+  flush ();
+  (List.rev !records, List.rev !errors)
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let read_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  parse_lines (List.rev !lines)
+
+let to_string records =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun { id; seq } ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf id;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Strand.to_string seq);
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let write_file path records =
+  let oc = open_out path in
+  output_string oc (to_string records);
+  close_out oc

@@ -1,0 +1,12 @@
+(** Minimal FASTA reading and writing. Sequence lines may wrap; records
+    with bases outside A/C/G/T are reported as errors, not dropped
+    silently. *)
+
+type record = { id : string; seq : Strand.t }
+type error = { line : int; message : string }
+
+val parse_lines : string list -> record list * error list
+val parse_string : string -> record list * error list
+val read_file : string -> record list * error list
+val to_string : record list -> string
+val write_file : string -> record list -> unit

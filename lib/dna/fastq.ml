@@ -1,0 +1,90 @@
+(** Minimal FASTQ reading and writing (Section VIII: handling wetlab data).
+
+    Four lines per record: [@id], sequence, [+], Phred qualities. Quality
+    strings use the Sanger offset (33). Sequencers emit reads in both
+    orientations and with occasional non-ACGT calls; parsing therefore
+    returns per-record results instead of failing wholesale. *)
+
+type record = { id : string; seq : Strand.t; qual : int array }
+
+type error = { line : int; message : string }
+
+let phred_offset = 33
+
+let qual_of_string s =
+  Array.init (String.length s) (fun i -> Char.code s.[i] - phred_offset)
+
+let qual_to_string q =
+  String.init (Array.length q) (fun i -> Char.chr (min 93 (max 0 q.(i)) + phred_offset))
+
+let parse_lines lines =
+  let arr = Array.of_list lines in
+  let n = Array.length arr in
+  let records = ref [] in
+  let errors = ref [] in
+  let i = ref 0 in
+  (* Skip trailing blank lines between records. *)
+  while !i < n do
+    let line = String.trim arr.(!i) in
+    if line = "" then incr i
+    else if line.[0] <> '@' then begin
+      errors := { line = !i + 1; message = "expected @header" } :: !errors;
+      incr i
+    end
+    else if !i + 3 >= n then begin
+      errors := { line = !i + 1; message = "truncated record" } :: !errors;
+      i := n
+    end
+    else begin
+      let id = String.sub line 1 (String.length line - 1) in
+      let seq_s = String.trim arr.(!i + 1) in
+      let plus = String.trim arr.(!i + 2) in
+      let qual_s = String.trim arr.(!i + 3) in
+      if String.length plus = 0 || plus.[0] <> '+' then
+        errors := { line = !i + 3; message = "expected + separator" } :: !errors
+      else if String.length seq_s <> String.length qual_s then
+        errors := { line = !i + 4; message = "quality length mismatch" } :: !errors
+      else begin
+        match Strand.of_string_opt (String.uppercase_ascii seq_s) with
+        | Some seq -> records := { id; seq; qual = qual_of_string qual_s } :: !records
+        | None ->
+            errors := { line = !i + 2; message = "invalid base in read " ^ id } :: !errors
+      end;
+      i := !i + 4
+    end
+  done;
+  (List.rev !records, List.rev !errors)
+
+let parse_string s = parse_lines (String.split_on_char '\n' s)
+
+let read_file path =
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  parse_lines (List.rev !lines)
+
+let to_string records =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun { id; seq; qual } ->
+      Buffer.add_char buf '@';
+      Buffer.add_string buf id;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Strand.to_string seq);
+      Buffer.add_string buf "\n+\n";
+      Buffer.add_string buf (qual_to_string qual);
+      Buffer.add_char buf '\n')
+    records;
+  Buffer.contents buf
+
+let write_file path records =
+  let oc = open_out path in
+  output_string oc (to_string records);
+  close_out oc
+
+(* Synthesize a uniform quality track for simulated reads. *)
+let with_uniform_quality ~q seq = Array.make (Strand.length seq) q

@@ -1,0 +1,20 @@
+(** Minimal FASTQ reading and writing (Sanger quality offset 33).
+    Malformed records are reported per record, since sequencers emit
+    occasional junk. *)
+
+type record = { id : string; seq : Strand.t; qual : int array }
+type error = { line : int; message : string }
+
+val phred_offset : int
+
+val qual_of_string : string -> int array
+val qual_to_string : int array -> string
+
+val parse_lines : string list -> record list * error list
+val parse_string : string -> record list * error list
+val read_file : string -> record list * error list
+val to_string : record list -> string
+val write_file : string -> record list -> unit
+
+val with_uniform_quality : q:int -> Strand.t -> int array
+(** A constant quality track for simulated reads. *)

@@ -1,0 +1,43 @@
+(** The four DNA bases. Encoded as 0..3 (A, C, G, T) when performance
+    matters; this ordering makes complementation [3 - code]. *)
+
+type t = A | C | G | T
+
+let all = [| A; C; G; T |]
+
+let to_char = function A -> 'A' | C -> 'C' | G -> 'G' | T -> 'T'
+
+let of_char_opt = function
+  | 'A' | 'a' -> Some A
+  | 'C' | 'c' -> Some C
+  | 'G' | 'g' -> Some G
+  | 'T' | 't' -> Some T
+  | _ -> None
+
+let of_char c =
+  match of_char_opt c with
+  | Some b -> b
+  | None -> invalid_arg (Printf.sprintf "Nucleotide.of_char: %C" c)
+
+let to_code = function A -> 0 | C -> 1 | G -> 2 | T -> 3
+
+let of_code = function
+  | 0 -> A
+  | 1 -> C
+  | 2 -> G
+  | 3 -> T
+  | n -> invalid_arg (Printf.sprintf "Nucleotide.of_code: %d" n)
+
+(* Watson-Crick complement: A<->T, C<->G. *)
+let complement = function A -> T | C -> G | G -> C | T -> A
+
+let equal (a : t) b = a = b
+let compare (a : t) b = Stdlib.compare a b
+let random rng = all.(Rng.int rng 4)
+
+(* A random base different from [b]; used by substitution channels. *)
+let random_other rng b =
+  let shift = 1 + Rng.int rng 3 in
+  of_code ((to_code b + shift) land 3)
+
+let pp fmt b = Format.pp_print_char fmt (to_char b)

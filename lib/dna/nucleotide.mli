@@ -1,0 +1,35 @@
+(** The four DNA bases. *)
+
+type t = A | C | G | T
+
+val all : t array
+(** [|A; C; G; T|], indexed by {!to_code}. *)
+
+val to_char : t -> char
+(** 'A', 'C', 'G' or 'T'. *)
+
+val of_char : char -> t
+(** Parses either case; raises [Invalid_argument] on other characters. *)
+
+val of_char_opt : char -> t option
+
+val to_code : t -> int
+(** A = 0, C = 1, G = 2, T = 3 — so that {!complement} is [3 - code]. *)
+
+val of_code : int -> t
+(** Inverse of {!to_code}; raises [Invalid_argument] outside [0..3]. *)
+
+val complement : t -> t
+(** Watson-Crick complement: A<->T, C<->G. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val random : Rng.t -> t
+(** A uniform base. *)
+
+val random_other : Rng.t -> t -> t
+(** A uniform base different from the argument; used by substitution
+    channels. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,31 @@
+(** Domain-based parallel mapping.
+
+    The paper stresses that clustering and reconstruction must scale
+    across cores (Section IX). This helper fans array chunks out to
+    [domains] worker domains; with [domains = 1] it degrades to a plain
+    map, which tests use for full determinism. *)
+
+let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+let map_array ?(domains = default_domains ()) f (arr : 'a array) : 'b array =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if domains <= 1 || n < 2 then Array.map f arr
+  else begin
+    let workers = min domains n in
+    let chunk = (n + workers - 1) / workers in
+    let spawn w =
+      let lo = w * chunk in
+      let hi = min n (lo + chunk) in
+      Domain.spawn (fun () -> Array.init (hi - lo) (fun i -> f arr.(lo + i)))
+    in
+    let handles = List.init workers spawn in
+    let parts = List.map Domain.join handles in
+    Array.concat parts
+  end
+
+(* Parallel [iteri]-style fold: apply [f] to every element, collecting the
+   results in submission order. *)
+let mapi_array ?domains f arr =
+  let indexed = Array.mapi (fun i x -> (i, x)) arr in
+  map_array ?domains (fun (i, x) -> f i x) indexed

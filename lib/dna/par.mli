@@ -1,0 +1,11 @@
+(** Domain-based parallel mapping for the clustering and reconstruction
+    stages. With [domains = 1] it degrades to a plain map, which tests
+    use for determinism. *)
+
+val default_domains : unit -> int
+(** [recommended_domain_count () - 1], at least 1. *)
+
+val map_array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map. *)
+
+val mapi_array : ?domains:int -> (int -> 'a -> 'b) -> 'a array -> 'b array

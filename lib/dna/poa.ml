@@ -1,0 +1,336 @@
+(** Partial-order alignment (POA) graphs, after Lee, Grasso & Sharlow
+    (2002) and Lee (2003) — the pure-OCaml stand-in for spoa.
+
+    Reads are folded one at a time into a DAG whose nodes carry a base and
+    a support count. Each new read is globally aligned to the graph with
+    unit edit costs (the Needleman-Wunsch recurrence generalized to a DAG)
+    and fused: matches reinforce existing nodes, mismatches and insertions
+    add nodes. The consensus is the maximum-weight start-to-sink path,
+    which the reconstruction module trims using per-node support. *)
+
+type node = {
+  code : int;  (** base, 0..3 *)
+  mutable weight : int;  (** number of reads supporting this node *)
+  mutable preds : (int * int) list;  (** (node id, edge weight) *)
+  mutable succs : (int * int) list;
+  mutable aligned : int list;  (** other nodes occupying the same column *)
+}
+
+type t = { mutable nodes : node array; mutable size : int }
+
+let create () = { nodes = [||]; size = 0 }
+
+let node_count g = g.size
+
+let add_node g code =
+  if g.size = Array.length g.nodes then begin
+    let cap = max 16 (2 * g.size) in
+    let fresh =
+      Array.init cap (fun i ->
+          if i < g.size then g.nodes.(i)
+          else { code = 0; weight = 0; preds = []; succs = []; aligned = [] })
+    in
+    g.nodes <- fresh
+  end;
+  let id = g.size in
+  g.nodes.(id) <- { code; weight = 0; preds = []; succs = []; aligned = [] };
+  g.size <- id + 1;
+  id
+
+let bump_edge g ~src ~dst =
+  let a = g.nodes.(src) and b = g.nodes.(dst) in
+  let rec bump = function
+    | [] -> None
+    | (id, w) :: rest when id = dst -> Some ((id, w + 1) :: rest)
+    | e :: rest -> Option.map (fun r -> e :: r) (bump rest)
+  in
+  (match bump a.succs with
+  | Some succs -> a.succs <- succs
+  | None -> a.succs <- (dst, 1) :: a.succs);
+  let rec bump_p = function
+    | [] -> None
+    | (id, w) :: rest when id = src -> Some ((id, w + 1) :: rest)
+    | e :: rest -> Option.map (fun r -> e :: r) (bump_p rest)
+  in
+  match bump_p b.preds with
+  | Some preds -> b.preds <- preds
+  | None -> b.preds <- (src, 1) :: b.preds
+
+(* Kahn's algorithm; the graph is a DAG by construction. *)
+let topo_order g =
+  let indeg = Array.make g.size 0 in
+  for v = 0 to g.size - 1 do
+    indeg.(v) <- List.length g.nodes.(v).preds
+  done;
+  let order = Array.make g.size 0 in
+  let filled = ref 0 in
+  let queue = Queue.create () in
+  for v = 0 to g.size - 1 do
+    if indeg.(v) = 0 then Queue.add v queue
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    order.(!filled) <- v;
+    incr filled;
+    List.iter
+      (fun (s, _) ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue)
+      g.nodes.(v).succs
+  done;
+  assert (!filled = g.size);
+  order
+
+(* Insert the first read as a simple chain. *)
+let add_first g (s : Strand.t) =
+  let prev = ref (-1) in
+  for i = 0 to Strand.length s - 1 do
+    let id = add_node g (Strand.get_code s i) in
+    g.nodes.(id).weight <- 1;
+    if !prev >= 0 then bump_edge g ~src:!prev ~dst:id;
+    prev := id
+  done
+
+(* Fuse the base of column [v] (mismatching the read base [c]): reuse an
+   aligned sibling carrying [c] if one exists, otherwise create one and
+   link the alignment group. *)
+let aligned_sibling g v c =
+  let n = g.nodes.(v) in
+  List.find_opt (fun u -> g.nodes.(u).code = c) n.aligned
+
+let link_aligned g v u =
+  (* Alignment groups are cliques: every member lists every other. *)
+  let group = v :: g.nodes.(v).aligned in
+  List.iter
+    (fun m ->
+      g.nodes.(m).aligned <- u :: g.nodes.(m).aligned;
+      g.nodes.(u).aligned <- m :: g.nodes.(u).aligned)
+    group
+
+type trace_step =
+  | To_node of int  (** read base placed on this (possibly fresh) node id *)
+
+let add g (s : Strand.t) =
+  if g.size = 0 then add_first g s
+  else begin
+    let m = Strand.length s in
+    let order = topo_order g in
+    let rank = Array.make g.size 0 in
+    Array.iteri (fun r v -> rank.(v) <- r) order;
+    let n = g.size in
+    let inf = max_int / 2 in
+    (* dp.(r + 1).(j): min cost aligning graph-prefix ending at node
+       order.(r) against the first j read bases. Row 0 is the virtual
+       start. *)
+    let dp = Array.make_matrix (n + 1) (m + 1) inf in
+    (* move.(r+1).(j): 0 = diag from pred p, 1 = del (skip node), 2 = ins;
+       from.(r+1).(j): dp row index we came from (for diag/del). *)
+    let move = Array.make_matrix (n + 1) (m + 1) (-1) in
+    let from = Array.make_matrix (n + 1) (m + 1) 0 in
+    for j = 0 to m do
+      dp.(0).(j) <- j;
+      if j > 0 then move.(0).(j) <- 2
+    done;
+    for r = 0 to n - 1 do
+      let v = order.(r) in
+      let node = g.nodes.(v) in
+      (* Predecessor rows: rank+1 of each pred, or the virtual start row
+         when the node has no predecessor. *)
+      let pred_rows =
+        match node.preds with
+        | [] -> [ 0 ]
+        | preds -> List.map (fun (p, _) -> rank.(p) + 1) preds
+      in
+      let row = dp.(r + 1) in
+      List.iter
+        (fun pr ->
+          if dp.(pr).(0) + 1 < row.(0) then begin
+            row.(0) <- dp.(pr).(0) + 1;
+            move.(r + 1).(0) <- 1;
+            from.(r + 1).(0) <- pr
+          end)
+        pred_rows;
+      for j = 1 to m do
+        let c = Strand.unsafe_get_code s (j - 1) in
+        let cost = if c = node.code then 0 else 1 in
+        List.iter
+          (fun pr ->
+            let diag = dp.(pr).(j - 1) + cost in
+            if diag < row.(j) then begin
+              row.(j) <- diag;
+              move.(r + 1).(j) <- 0;
+              from.(r + 1).(j) <- pr
+            end;
+            let del = dp.(pr).(j) + 1 in
+            if del < row.(j) then begin
+              row.(j) <- del;
+              move.(r + 1).(j) <- 1;
+              from.(r + 1).(j) <- pr
+            end)
+          pred_rows;
+        let ins = row.(j - 1) + 1 in
+        if ins < row.(j) then begin
+          row.(j) <- ins;
+          move.(r + 1).(j) <- 2
+        end
+      done
+    done;
+    (* Global alignment ends at any sink node (no successors) with j = m. *)
+    let best_row = ref 0 in
+    let best = ref dp.(0).(m) in
+    for r = 0 to n - 1 do
+      let v = order.(r) in
+      if g.nodes.(v).succs = [] && dp.(r + 1).(m) < !best then begin
+        best := dp.(r + 1).(m);
+        best_row := r + 1
+      end
+    done;
+    (* Traceback collecting, for each read base, the node it lands on. *)
+    let steps = ref [] in
+    let r = ref !best_row and j = ref m in
+    while not (!r = 0 && !j = 0) do
+      match move.(!r).(!j) with
+      | 0 ->
+          let v = order.(!r - 1) in
+          let c = Strand.get_code s (!j - 1) in
+          let target =
+            if g.nodes.(v).code = c then v
+            else begin
+              match aligned_sibling g v c with
+              | Some u -> u
+              | None ->
+                  let u = add_node g c in
+                  link_aligned g v u;
+                  u
+            end
+          in
+          steps := To_node target :: !steps;
+          let pr = from.(!r).(!j) in
+          r := pr;
+          decr j
+      | 1 ->
+          let pr = from.(!r).(!j) in
+          r := pr
+      | 2 ->
+          (* Insertion: a fresh node carrying the read base, in its own
+             column. *)
+          let u = add_node g (Strand.get_code s (!j - 1)) in
+          steps := To_node u :: !steps;
+          decr j
+      | _ -> assert false
+    done;
+    (* Thread the read through its nodes: bump weights and edges. *)
+    let prev = ref (-1) in
+    List.iter
+      (fun (To_node v) ->
+        g.nodes.(v).weight <- g.nodes.(v).weight + 1;
+        if !prev >= 0 then bump_edge g ~src:!prev ~dst:v;
+        prev := v)
+      !steps
+  end
+
+(* Maximum-weight path, scoring each node by its support minus [penalty].
+   With penalty 0 this is the heaviest full path; with penalty around half
+   the read count, minority nodes (spurious insertions) cost score, so the
+   path naturally sticks to majority-supported columns. Returns base codes
+   and per-position support. *)
+let consensus_with_support ?(penalty = 0) g =
+  if g.size = 0 then ([||], [||])
+  else begin
+    let order = topo_order g in
+    let score = Array.make g.size 0 in
+    let back = Array.make g.size (-1) in
+    Array.iter
+      (fun v ->
+        let node = g.nodes.(v) in
+        let best_pred =
+          List.fold_left
+            (fun acc (p, _) ->
+              match acc with
+              | Some (_, s) when s >= score.(p) -> acc
+              | _ -> Some (p, score.(p)))
+            None node.preds
+        in
+        (match best_pred with Some (p, _) -> back.(v) <- p | None -> back.(v) <- -1);
+        score.(v) <- node.weight - penalty + (match best_pred with Some (_, s) -> s | None -> 0))
+      order;
+    let best_end = ref order.(0) in
+    for v = 0 to g.size - 1 do
+      if score.(v) > score.(!best_end) then best_end := v
+    done;
+    let rec collect v acc = if v < 0 then acc else collect back.(v) (v :: acc) in
+    let path = collect !best_end [] in
+    let codes = Array.of_list (List.map (fun v -> g.nodes.(v).code) path) in
+    let support = Array.of_list (List.map (fun v -> g.nodes.(v).weight) path) in
+    (codes, support)
+  end
+
+let consensus g =
+  let codes, _ = consensus_with_support g in
+  Strand.of_codes codes
+
+(* Column-wise consensus: alignment cliques are the columns of the
+   multiple sequence alignment. Each column's support is the total
+   number of reads placing a base there (the rest aligned a gap); the
+   majority base wins. This is the paper's "majority vote at every
+   index" over the NW alignment, and unlike the heaviest path it stays
+   stable as coverage grows: extra reads only sharpen the majorities.
+   Returns (majority codes, per-column support) in backbone order. *)
+let consensus_columns ?(n_reads = 0) g =
+  if g.size = 0 then ([||], [||])
+  else begin
+    let order = topo_order g in
+    let rank = Array.make g.size 0 in
+    Array.iteri (fun r v -> rank.(v) <- r) order;
+    (* Column id = representative node = member with minimum rank. *)
+    let column_of = Array.make g.size (-1) in
+    for v = 0 to g.size - 1 do
+      if column_of.(v) < 0 then begin
+        let members = v :: g.nodes.(v).aligned in
+        let repr =
+          List.fold_left (fun best m -> if rank.(m) < rank.(best) then m else best) v members
+        in
+        List.iter (fun m -> column_of.(m) <- repr) members
+      end
+    done;
+    (* Aggregate per column: total support and per-base support. *)
+    let tbl = Hashtbl.create 64 in
+    for v = 0 to g.size - 1 do
+      let c = column_of.(v) in
+      let counts =
+        match Hashtbl.find_opt tbl c with
+        | Some counts -> counts
+        | None ->
+            let counts = Array.make 4 0 in
+            Hashtbl.add tbl c counts;
+            counts
+      in
+      counts.(g.nodes.(v).code) <- counts.(g.nodes.(v).code) + g.nodes.(v).weight
+    done;
+    let columns =
+      Hashtbl.fold (fun repr counts acc -> (rank.(repr), counts) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    (* Keep columns where at least half the reads contributed a base;
+       with unknown [n_reads] keep everything and let the caller trim. *)
+    let majority_needed = if n_reads > 0 then (n_reads + 1) / 2 else 1 in
+    let kept =
+      List.filter_map
+        (fun (_, counts) ->
+          let total = Array.fold_left ( + ) 0 counts in
+          if total < majority_needed then None
+          else begin
+            let best = ref 0 in
+            Array.iteri (fun b c -> if c > counts.(!best) then best := b) counts;
+            Some (!best, total)
+          end)
+        columns
+    in
+    (Array.of_list (List.map fst kept), Array.of_list (List.map snd kept))
+  end
+
+(* Convenience: build a graph from reads and return it. *)
+let of_reads reads =
+  let g = create () in
+  List.iter (fun r -> add g r) reads;
+  g

@@ -1,0 +1,35 @@
+(** Partial-order alignment (POA) graphs, after Lee, Grasso & Sharlow
+    (2002) — the pure-OCaml stand-in for spoa.
+
+    Reads are folded one at a time into a DAG whose nodes carry a base
+    and a support count; aligned alternatives form column cliques. *)
+
+type t
+
+val create : unit -> t
+val node_count : t -> int
+
+val add : t -> Strand.t -> unit
+(** Globally align the read against the graph (unit costs, generalized
+    Needleman-Wunsch over the DAG) and fuse it: matches reinforce
+    existing nodes, mismatches join their column's alignment clique,
+    insertions add fresh nodes. The first read seeds the backbone. *)
+
+val add_first : t -> Strand.t -> unit
+(** Insert a read as a simple chain (what [add] does on an empty graph). *)
+
+val consensus_with_support : ?penalty:int -> t -> int array * int array
+(** Maximum-weight path through the graph, scoring each node by its
+    support minus [penalty] (default 0). Returns base codes and
+    per-position support. *)
+
+val consensus : t -> Strand.t
+(** [consensus g] is the heaviest path's bases. *)
+
+val consensus_columns : ?n_reads:int -> t -> int array * int array
+(** Column-wise consensus: alignment cliques are the columns of the
+    multiple sequence alignment; each column takes a majority vote and
+    is kept when at least half of [n_reads] placed a base there (all
+    columns are kept when [n_reads] is 0). Stable as coverage grows. *)
+
+val of_reads : Strand.t list -> t

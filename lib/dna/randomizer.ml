@@ -1,0 +1,24 @@
+(** Data randomization for unconstrained coding.
+
+    XORs the payload with a keystream derived from a seed, so that long
+    homopolymers occur with low probability and the average GC-content is
+    balanced (Section II-D). The transform is an involution: applying it
+    twice with the same seed recovers the input. *)
+
+let keystream_byte state =
+  (* One splitmix64 step per 8 bytes would be cheaper, but per-byte keeps
+     the stream alignment-independent, which simplifies partial scrambles. *)
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_int (Int64.logand z 0xffL)
+
+let scramble ~seed (data : Bytes.t) : Bytes.t =
+  let state = ref (Int64.of_int seed) in
+  Bytes.map
+    (fun c -> Char.chr (Char.code c lxor keystream_byte state))
+    data
+
+let unscramble ~seed data = scramble ~seed data

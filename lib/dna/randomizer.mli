@@ -1,0 +1,7 @@
+(** Data randomization for unconstrained coding: XOR with a
+    seed-derived keystream, so long homopolymers occur with low
+    probability and GC-content balances. An involution. *)
+
+val scramble : seed:int -> Bytes.t -> Bytes.t
+val unscramble : seed:int -> Bytes.t -> Bytes.t
+(** [unscramble ~seed (scramble ~seed b) = b]. *)

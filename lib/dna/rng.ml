@@ -1,0 +1,109 @@
+(** Deterministic, splittable pseudo-random number generator.
+
+    Implements xoshiro256** seeded through splitmix64. Every stochastic
+    component of the toolkit takes an explicit [t] so that all experiments
+    are reproducible from a single integer seed. [split] derives an
+    independent stream, which lets parallel stages draw without sharing
+    mutable state. *)
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+(* splitmix64 step: used for seeding and for splitting. *)
+let splitmix64 state =
+  let z = Int64.add !state 0x9E3779B97F4A7C15L in
+  state := z;
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let next_int64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let state = ref (next_int64 t) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3 }
+
+let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  bits62 t mod bound
+
+let float t =
+  (* 53 uniform bits mapped to [0, 1). *)
+  let x = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int x *. (1.0 /. 9007199254740992.0)
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Geometric distribution on {1, 2, ...}: number of Bernoulli(p) trials up
+   to and including the first success. *)
+let geometric t p =
+  if p <= 0.0 || p > 1.0 then invalid_arg "Rng.geometric: p must be in (0, 1]";
+  if p = 1.0 then 1
+  else
+    let u = float t in
+    1 + int_of_float (Float.of_int 0 +. floor (log1p (-.u) /. log1p (-.p)))
+
+(* Knuth's method; adequate for the small means used as sequencing coverage. *)
+let poisson t lambda =
+  if lambda <= 0.0 then invalid_arg "Rng.poisson: lambda must be positive";
+  let limit = exp (-.lambda) in
+  let rec loop k p =
+    let p = p *. float t in
+    if p <= limit then k else loop (k + 1) p
+  in
+  loop 0 1.0
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int t (Array.length a))
+
+(* Sample [k] distinct indices out of [n] (reservoir when k << n). *)
+let sample_indices t ~n ~k =
+  if k > n then invalid_arg "Rng.sample_indices: k > n";
+  let chosen = Array.init n (fun i -> i) in
+  for i = 0 to k - 1 do
+    let j = i + int t (n - i) in
+    let tmp = chosen.(i) in
+    chosen.(i) <- chosen.(j);
+    chosen.(j) <- tmp
+  done;
+  Array.sub chosen 0 k

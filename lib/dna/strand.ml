@@ -1,0 +1,140 @@
+(** An immutable DNA strand.
+
+    Stored as raw bytes holding the characters 'A' 'C' 'G' 'T', which makes
+    conversion to and from strings free while keeping integer-coded access
+    ([get_code]) cheap for the hot loops in distance computation and
+    alignment. The representation is private to this module; all
+    construction goes through validating or generating functions. *)
+
+type t = Bytes.t
+
+let length = Bytes.length
+
+let empty = Bytes.empty
+
+let validate s =
+  String.iter
+    (fun c ->
+      match c with
+      | 'A' | 'C' | 'G' | 'T' -> ()
+      | _ -> invalid_arg (Printf.sprintf "Strand.of_string: invalid base %C" c))
+    s
+
+let of_string s =
+  validate s;
+  Bytes.of_string s
+
+let of_string_opt s =
+  match of_string s with t -> Some t | exception Invalid_argument _ -> None
+
+let to_string = Bytes.to_string
+
+let get t i = Nucleotide.of_char (Bytes.get t i)
+
+let char_of_code = [| 'A'; 'C'; 'G'; 'T' |]
+
+let code_of_char c =
+  match c with
+  | 'A' -> 0
+  | 'C' -> 1
+  | 'G' -> 2
+  | 'T' -> 3
+  | _ -> invalid_arg "Strand.code_of_char"
+
+let get_code t i = code_of_char (Bytes.get t i)
+
+(* No bounds check; used by distance kernels. 'A'=65, 'C'=67, 'G'=71, 'T'=84. *)
+let unsafe_get_code t i =
+  match Char.code (Bytes.unsafe_get t i) with 65 -> 0 | 67 -> 1 | 71 -> 2 | _ -> 3
+
+let init n f = Bytes.init n (fun i -> Nucleotide.to_char (f i))
+let init_codes n f = Bytes.init n (fun i -> char_of_code.(f i))
+let make n b = Bytes.make n (Nucleotide.to_char b)
+
+let of_codes codes = Bytes.init (Array.length codes) (fun i -> char_of_code.(codes.(i)))
+let to_codes t = Array.init (length t) (fun i -> get_code t i)
+
+let of_nucleotides l =
+  let b = Buffer.create (List.length l) in
+  List.iter (fun n -> Buffer.add_char b (Nucleotide.to_char n)) l;
+  Bytes.of_string (Buffer.contents b)
+
+let sub t ~pos ~len = Bytes.sub t pos len
+let concat ts = Bytes.concat Bytes.empty ts
+let append a b = Bytes.cat a b
+
+let rev t =
+  let n = length t in
+  Bytes.init n (fun i -> Bytes.get t (n - 1 - i))
+
+let complement t =
+  Bytes.map
+    (fun c -> Nucleotide.(to_char (complement (of_char c))))
+    t
+
+let reverse_complement t = rev (complement t)
+
+let equal = Bytes.equal
+let compare = Bytes.compare
+let hash t = Hashtbl.hash (Bytes.to_string t)
+
+let iter f t = Bytes.iter (fun c -> f (Nucleotide.of_char c)) t
+
+let fold f init t =
+  let acc = ref init in
+  Bytes.iter (fun c -> acc := f !acc (Nucleotide.of_char c)) t;
+  !acc
+
+let count t b =
+  let c = Nucleotide.to_char b in
+  let n = ref 0 in
+  Bytes.iter (fun x -> if x = c then incr n) t;
+  !n
+
+(* Fraction of G and C bases; balanced GC-content aids synthesis. *)
+let gc_content t =
+  if length t = 0 then 0.0
+  else
+    let gc = count t Nucleotide.G + count t Nucleotide.C in
+    float_of_int gc /. float_of_int (length t)
+
+(* Length of the longest run of one repeated base. *)
+let max_homopolymer t =
+  let n = length t in
+  if n = 0 then 0
+  else begin
+    let best = ref 1 and run = ref 1 in
+    for i = 1 to n - 1 do
+      if Bytes.get t i = Bytes.get t (i - 1) then begin
+        incr run;
+        if !run > !best then best := !run
+      end
+      else run := 1
+    done;
+    !best
+  end
+
+let random rng n = Bytes.init n (fun _ -> char_of_code.(Rng.int rng 4))
+
+(* First occurrence of [pattern] in [t] at or after [from]; naive scan is
+   fine at the anchor lengths (<= 8) used by clustering. *)
+let find ?(from = 0) t ~pattern =
+  let n = length t and m = length pattern in
+  if m = 0 then Some from
+  else begin
+    let limit = n - m in
+    let rec at i =
+      if i > limit then None
+      else begin
+        let rec matches j =
+          j >= m || (Bytes.get t (i + j) = Bytes.get pattern j && matches (j + 1))
+        in
+        if matches 0 then Some i else at (i + 1)
+      end
+    in
+    at (max 0 from)
+  end
+
+let contains t ~pattern = Option.is_some (find t ~pattern)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,70 @@
+(** An immutable DNA strand.
+
+    Conversion to and from strings is free; integer-coded access
+    ([get_code], [unsafe_get_code]) keeps distance and alignment kernels
+    cheap. All construction validates or generates bases. *)
+
+type t
+
+val empty : t
+val length : t -> int
+
+val of_string : string -> t
+(** Accepts the characters A C G T (either case is normalized by the
+    FASTA/FASTQ parsers before reaching here; this function itself is
+    strict). Raises [Invalid_argument] on any other character. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+
+val get : t -> int -> Nucleotide.t
+val get_code : t -> int -> int
+(** Base at an index as its 0..3 code. *)
+
+val unsafe_get_code : t -> int -> int
+(** No bounds check; for inner loops only. *)
+
+val char_of_code : char array
+(** ['A'; 'C'; 'G'; 'T'], indexed by base code. *)
+
+val code_of_char : char -> int
+
+val init : int -> (int -> Nucleotide.t) -> t
+val init_codes : int -> (int -> int) -> t
+val make : int -> Nucleotide.t -> t
+val of_codes : int array -> t
+val to_codes : t -> int array
+val of_nucleotides : Nucleotide.t list -> t
+
+val sub : t -> pos:int -> len:int -> t
+val concat : t list -> t
+val append : t -> t -> t
+val rev : t -> t
+
+val complement : t -> t
+val reverse_complement : t -> t
+(** The strand as read from the opposite direction (3'->5' form). *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val iter : (Nucleotide.t -> unit) -> t -> unit
+val fold : ('a -> Nucleotide.t -> 'a) -> 'a -> t -> 'a
+val count : t -> Nucleotide.t -> int
+
+val gc_content : t -> float
+(** Fraction of G and C bases; 0 on the empty strand. *)
+
+val max_homopolymer : t -> int
+(** Length of the longest run of one repeated base. *)
+
+val random : Rng.t -> int -> t
+(** A uniform strand of the given length. *)
+
+val find : ?from:int -> t -> pattern:t -> int option
+(** Position of the first occurrence of [pattern] at or after [from]. *)
+
+val contains : t -> pattern:t -> bool
+
+val pp : Format.formatter -> t -> unit

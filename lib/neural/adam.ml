@@ -1,0 +1,44 @@
+(** The Adam optimizer (Kingma & Ba) over a parameter store. *)
+
+type t = {
+  store : Params.t;
+  lr : float;
+  beta1 : float;
+  beta2 : float;
+  eps : float;
+  m : (string * float array) list;
+  v : (string * float array) list;
+  mutable step : int;
+}
+
+let create ?(lr = 1e-3) ?(beta1 = 0.9) ?(beta2 = 0.999) ?(eps = 1e-8) store =
+  let zeros p = Array.make (Array.length p.Params.data) 0.0 in
+  {
+    store;
+    lr;
+    beta1;
+    beta2;
+    eps;
+    m = List.map (fun p -> (p.Params.name, zeros p)) (Params.in_order store);
+    v = List.map (fun p -> (p.Params.name, zeros p)) (Params.in_order store);
+    step = 0;
+  }
+
+let update t =
+  t.step <- t.step + 1;
+  let bc1 = 1.0 -. (t.beta1 ** float_of_int t.step) in
+  let bc2 = 1.0 -. (t.beta2 ** float_of_int t.step) in
+  List.iter
+    (fun p ->
+      let m = List.assoc p.Params.name t.m in
+      let v = List.assoc p.Params.name t.v in
+      let data = p.Params.data and grad = p.Params.grad in
+      for i = 0 to Array.length data - 1 do
+        let g = grad.(i) in
+        m.(i) <- (t.beta1 *. m.(i)) +. ((1.0 -. t.beta1) *. g);
+        v.(i) <- (t.beta2 *. v.(i)) +. ((1.0 -. t.beta2) *. g *. g);
+        let mhat = m.(i) /. bc1 and vhat = v.(i) /. bc2 in
+        data.(i) <- data.(i) -. (t.lr *. mhat /. (sqrt vhat +. t.eps))
+      done)
+    (Params.in_order t.store);
+  Params.zero_grads t.store

@@ -1,0 +1,9 @@
+(** The Adam optimizer over a parameter store. *)
+
+type t
+
+val create : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> Params.t -> t
+(** Defaults: lr 1e-3, beta1 0.9, beta2 0.999, eps 1e-8. *)
+
+val update : t -> unit
+(** One step from the accumulated gradients; zeroes them afterwards. *)

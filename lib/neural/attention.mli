@@ -1,0 +1,22 @@
+(** Additive (Bahdanau) attention: score_i = va . tanh(Wa h_i + Ua s). *)
+
+type t
+
+val create :
+  Params.t -> Dna.Rng.t -> prefix:string -> annot_dim:int -> state_dim:int -> attn_dim:int -> t
+
+type precomputed
+(** The keys [Wa h_i], computed once per sequence. *)
+
+val precompute : t -> Autodiff.tape -> Autodiff.v list -> precomputed
+
+val location_weight : float
+(** Slope of the fixed location bias. *)
+
+val apply :
+  ?position:int -> t -> Autodiff.tape -> precomputed -> state:Autodiff.v -> Autodiff.v * Autodiff.v
+(** (context vector, attention weights) for the given decoder state.
+    [position] adds a fixed monotonic location bias
+    [-location_weight * |i - position|] to the scores: channel
+    simulation is copy-like, and the prior frees training to model the
+    emission statistics instead of rediscovering alignment. *)

@@ -1,0 +1,223 @@
+(** Reverse-mode automatic differentiation at vector granularity.
+
+    Values are float vectors recorded on a tape; [backward] walks the tape
+    in reverse, accumulating gradients. Working at vector rather than
+    scalar granularity keeps the overhead small enough to train the GRU
+    simulator on CPU, while still letting the model code read like the
+    math (Section V-B of the paper). *)
+
+type v = {
+  data : float array;
+  grad : float array;
+  back : unit -> unit;  (** propagate [grad] into the inputs' grads *)
+}
+
+type tape = { mutable nodes : v list }
+
+let create_tape () = { nodes = [] }
+
+let record tape node =
+  tape.nodes <- node :: tape.nodes;
+  node
+
+let no_back () = ()
+
+(* A constant: participates in forward computation, receives no gradient
+   updates (its grad array is a sink). *)
+let const tape data = record tape { data; grad = Array.make (Array.length data) 0.0; back = no_back }
+
+(* A leaf sharing [data]/[grad] with a parameter store, so gradients
+   accumulate across time steps and sequences until the optimizer runs. *)
+let leaf tape ~data ~grad = record tape { data; grad; back = no_back }
+
+let length v = Array.length v.data
+
+(* y = A x, where [a] stores an [rows x cols] matrix row-major. *)
+let matvec tape a ~rows ~cols x =
+  if Array.length a.data <> rows * cols then invalid_arg "Autodiff.matvec: matrix size";
+  if length x <> cols then invalid_arg "Autodiff.matvec: vector size";
+  let ad = a.data and xd = x.data in
+  let out = Array.make rows 0.0 in
+  for i = 0 to rows - 1 do
+    let s = ref 0.0 in
+    let base = i * cols in
+    for j = 0 to cols - 1 do
+      s := !s +. (Array.unsafe_get ad (base + j) *. Array.unsafe_get xd j)
+    done;
+    Array.unsafe_set out i !s
+  done;
+  let node = { data = out; grad = Array.make rows 0.0; back = no_back } in
+  let back () =
+    let ag = a.grad and xg = x.grad in
+    for i = 0 to rows - 1 do
+      let g = Array.unsafe_get node.grad i in
+      if g <> 0.0 then begin
+        let base = i * cols in
+        for j = 0 to cols - 1 do
+          Array.unsafe_set ag (base + j)
+            (Array.unsafe_get ag (base + j) +. (g *. Array.unsafe_get xd j));
+          Array.unsafe_set xg j (Array.unsafe_get xg j +. (g *. Array.unsafe_get ad (base + j)))
+        done
+      end
+    done
+  in
+  record tape { node with back }
+
+let map2 tape f dfa dfb a b =
+  if length a <> length b then invalid_arg "Autodiff.map2: length mismatch";
+  let n = length a in
+  let out = Array.init n (fun i -> f a.data.(i) b.data.(i)) in
+  let node = { data = out; grad = Array.make n 0.0; back = no_back } in
+  let back () =
+    for i = 0 to n - 1 do
+      let g = node.grad.(i) in
+      a.grad.(i) <- a.grad.(i) +. (g *. dfa a.data.(i) b.data.(i));
+      b.grad.(i) <- b.grad.(i) +. (g *. dfb a.data.(i) b.data.(i))
+    done
+  in
+  record tape { node with back }
+
+let add tape a b = map2 tape ( +. ) (fun _ _ -> 1.0) (fun _ _ -> 1.0) a b
+let sub tape a b = map2 tape ( -. ) (fun _ _ -> 1.0) (fun _ _ -> -1.0) a b
+let mul tape a b = map2 tape ( *. ) (fun _ y -> y) (fun x _ -> x) a b
+
+let add3 tape a b c = add tape (add tape a b) c
+
+let map tape f df a =
+  let n = length a in
+  let out = Array.init n (fun i -> f a.data.(i)) in
+  let node = { data = out; grad = Array.make n 0.0; back = no_back } in
+  let back () =
+    for i = 0 to n - 1 do
+      a.grad.(i) <- a.grad.(i) +. (node.grad.(i) *. df a.data.(i) out.(i))
+    done
+  in
+  record tape { node with back }
+
+(* Derivatives are written in terms of the *output* where that is cheaper. *)
+let sigmoid tape a = map tape (fun x -> 1.0 /. (1.0 +. exp (-.x))) (fun _ y -> y *. (1.0 -. y)) a
+let tanh tape a = map tape Stdlib.tanh (fun _ y -> 1.0 -. (y *. y)) a
+
+let concat tape a b =
+  let na = length a and nb = length b in
+  let out = Array.append a.data b.data in
+  let node = { data = out; grad = Array.make (na + nb) 0.0; back = no_back } in
+  let back () =
+    for i = 0 to na - 1 do
+      a.grad.(i) <- a.grad.(i) +. node.grad.(i)
+    done;
+    for i = 0 to nb - 1 do
+      b.grad.(i) <- b.grad.(i) +. node.grad.(na + i)
+    done
+  in
+  record tape { node with back }
+
+(* Stack scalar (length-1) values into one vector; used to gather
+   attention scores before the softmax. *)
+let stack tape scalars =
+  let arr = Array.of_list scalars in
+  let n = Array.length arr in
+  let out = Array.map (fun s -> s.data.(0)) arr in
+  let node = { data = out; grad = Array.make n 0.0; back = no_back } in
+  let back () =
+    Array.iteri (fun i s -> s.grad.(0) <- s.grad.(0) +. node.grad.(i)) arr
+  in
+  record tape { node with back }
+
+let dot tape a b =
+  if length a <> length b then invalid_arg "Autodiff.dot: length mismatch";
+  let n = length a in
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. (a.data.(i) *. b.data.(i))
+  done;
+  let node = { data = [| !s |]; grad = [| 0.0 |]; back = no_back } in
+  let back () =
+    let g = node.grad.(0) in
+    for i = 0 to n - 1 do
+      a.grad.(i) <- a.grad.(i) +. (g *. b.data.(i));
+      b.grad.(i) <- b.grad.(i) +. (g *. a.data.(i))
+    done
+  in
+  record tape { node with back }
+
+let softmax tape a =
+  let n = length a in
+  let m = Array.fold_left max neg_infinity a.data in
+  let exps = Array.map (fun x -> exp (x -. m)) a.data in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  let out = Array.map (fun e -> e /. z) exps in
+  let node = { data = out; grad = Array.make n 0.0; back = no_back } in
+  let back () =
+    (* dL/dx_i = y_i * (g_i - sum_j g_j y_j) *)
+    let acc = ref 0.0 in
+    for j = 0 to n - 1 do
+      acc := !acc +. (node.grad.(j) *. out.(j))
+    done;
+    for i = 0 to n - 1 do
+      a.grad.(i) <- a.grad.(i) +. (out.(i) *. (node.grad.(i) -. !acc))
+    done
+  in
+  record tape { node with back }
+
+(* context = sum_i coeffs_i * vs_i, with gradients flowing to both the
+   coefficients (softmax output) and the encoder annotations. *)
+let weighted_sum tape coeffs vs =
+  let arr = Array.of_list vs in
+  let t = Array.length arr in
+  if length coeffs <> t then invalid_arg "Autodiff.weighted_sum: arity mismatch";
+  if t = 0 then invalid_arg "Autodiff.weighted_sum: empty";
+  let n = length arr.(0) in
+  let out = Array.make n 0.0 in
+  for i = 0 to t - 1 do
+    let c = coeffs.data.(i) in
+    for j = 0 to n - 1 do
+      out.(j) <- out.(j) +. (c *. arr.(i).data.(j))
+    done
+  done;
+  let node = { data = out; grad = Array.make n 0.0; back = no_back } in
+  let back () =
+    for i = 0 to t - 1 do
+      let c = coeffs.data.(i) in
+      let s = ref 0.0 in
+      for j = 0 to n - 1 do
+        let g = node.grad.(j) in
+        arr.(i).grad.(j) <- arr.(i).grad.(j) +. (g *. c);
+        s := !s +. (g *. arr.(i).data.(j))
+      done;
+      coeffs.grad.(i) <- coeffs.grad.(i) +. !s
+    done
+  in
+  record tape { node with back }
+
+(* Cross-entropy of logits against a target class. Forward stores the
+   loss; backward applies (softmax - onehot), the closed-form gradient. *)
+let cross_entropy tape logits ~target =
+  let n = length logits in
+  if target < 0 || target >= n then invalid_arg "Autodiff.cross_entropy: target";
+  let m = Array.fold_left max neg_infinity logits.data in
+  let exps = Array.map (fun x -> exp (x -. m)) logits.data in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  let probs = Array.map (fun e -> e /. z) exps in
+  let loss = -.log (max 1e-12 probs.(target)) in
+  let node = { data = [| loss |]; grad = [| 0.0 |]; back = no_back } in
+  let back () =
+    let g = node.grad.(0) in
+    for i = 0 to n - 1 do
+      let delta = if i = target then probs.(i) -. 1.0 else probs.(i) in
+      logits.grad.(i) <- logits.grad.(i) +. (g *. delta)
+    done
+  in
+  record tape { node with back }
+
+(* Seed the output gradient and run the tape backwards. *)
+let backward tape (loss : v) =
+  if length loss <> 1 then invalid_arg "Autodiff.backward: loss must be scalar";
+  loss.grad.(0) <- 1.0;
+  List.iter (fun node -> node.back ()) tape.nodes
+
+let softmax_probs logits =
+  let m = Array.fold_left max neg_infinity logits in
+  let exps = Array.map (fun x -> exp (x -. m)) logits in
+  let z = Array.fold_left ( +. ) 0.0 exps in
+  Array.map (fun e -> e /. z) exps

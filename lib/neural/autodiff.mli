@@ -1,0 +1,63 @@
+(** Reverse-mode automatic differentiation at vector granularity.
+    Values are float vectors recorded on a tape; {!backward} walks the
+    tape in reverse accumulating gradients. *)
+
+type v = {
+  data : float array;
+  grad : float array;
+  back : unit -> unit;  (** propagate [grad] into the inputs' grads *)
+}
+
+type tape
+
+val create_tape : unit -> tape
+
+val const : tape -> float array -> v
+(** A constant: no gradient flows out of it. *)
+
+val leaf : tape -> data:float array -> grad:float array -> v
+(** A parameter leaf sharing storage with a {!Params} entry, so
+    gradients accumulate in place across time steps. *)
+
+val length : v -> int
+
+val matvec : tape -> v -> rows:int -> cols:int -> v -> v
+(** [matvec t a ~rows ~cols x] is [A x] for [a] holding a row-major
+    [rows x cols] matrix. *)
+
+val map : tape -> (float -> float) -> (float -> float -> float) -> v -> v
+(** [map t f df a] applies [f] elementwise; [df x y] is the derivative
+    at input [x] with output [y] (whichever is cheaper to use). *)
+
+val add : tape -> v -> v -> v
+val sub : tape -> v -> v -> v
+val mul : tape -> v -> v -> v
+(** Hadamard product. *)
+
+val add3 : tape -> v -> v -> v -> v
+val sigmoid : tape -> v -> v
+val tanh : tape -> v -> v
+val concat : tape -> v -> v -> v
+
+val stack : tape -> v list -> v
+(** Stack scalar (length-1) values into one vector (attention scores). *)
+
+val dot : tape -> v -> v -> v
+(** Scalar (length-1) result. *)
+
+val softmax : tape -> v -> v
+
+val weighted_sum : tape -> v -> v list -> v
+(** [weighted_sum t coeffs vs] is [sum_i coeffs_i * vs_i], with
+    gradients flowing to both the coefficients and the vectors. *)
+
+val cross_entropy : tape -> v -> target:int -> v
+(** Cross-entropy of logits against a target class; backward applies
+    the closed-form (softmax - onehot) gradient. *)
+
+val backward : tape -> v -> unit
+(** Seed the scalar output's gradient with 1 and run the tape backwards.
+    Raises [Invalid_argument] on a non-scalar value. *)
+
+val softmax_probs : float array -> float array
+(** Forward-only softmax, for sampling. *)

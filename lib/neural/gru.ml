@@ -1,0 +1,57 @@
+(** A Gated Recurrent Unit cell (Cho et al. / Chung et al. [9]).
+
+    z = sigmoid(Wz x + Uz h + bz)        update gate
+    r = sigmoid(Wr x + Ur h + br)        reset gate
+    c = tanh(Wc x + Uc (r * h) + bc)     candidate
+    h' = (1 - z) * h + z * c
+
+    The paper's optimal simulator configuration uses single-layer GRUs in
+    both the encoder and decoder because of their resistance to
+    overfitting compared to LSTMs. *)
+
+type t = {
+  input : int;
+  hidden : int;
+  wz : Params.param;
+  uz : Params.param;
+  bz : Params.param;
+  wr : Params.param;
+  ur : Params.param;
+  br : Params.param;
+  wc : Params.param;
+  uc : Params.param;
+  bc : Params.param;
+}
+
+let create store rng ~prefix ~input ~hidden =
+  let mat name rows cols = Params.add_matrix store rng ~name:(prefix ^ name) ~rows ~cols in
+  let vec name size = Params.add_vector store ~name:(prefix ^ name) ~size in
+  {
+    input;
+    hidden;
+    wz = mat ".wz" hidden input;
+    uz = mat ".uz" hidden hidden;
+    bz = vec ".bz" hidden;
+    wr = mat ".wr" hidden input;
+    ur = mat ".ur" hidden hidden;
+    br = vec ".br" hidden;
+    wc = mat ".wc" hidden input;
+    uc = mat ".uc" hidden hidden;
+    bc = vec ".bc" hidden;
+  }
+
+let wrap tape (p : Params.param) = Autodiff.leaf tape ~data:p.Params.data ~grad:p.Params.grad
+
+(* One time step: state [h], input [x], both as tape values. *)
+let step t tape ~h ~x =
+  let open Autodiff in
+  let h_dim = t.hidden and x_dim = t.input in
+  let mv p v dim = matvec tape (wrap tape p) ~rows:t.hidden ~cols:dim v in
+  let z = sigmoid tape (add3 tape (mv t.wz x x_dim) (mv t.uz h h_dim) (wrap tape t.bz)) in
+  let r = sigmoid tape (add3 tape (mv t.wr x x_dim) (mv t.ur h h_dim) (wrap tape t.br)) in
+  let rh = mul tape r h in
+  let c = tanh tape (add3 tape (mv t.wc x x_dim) (mv t.uc rh h_dim) (wrap tape t.bc)) in
+  (* h' = h + z * (c - h), algebraically (1-z)h + zc without a ones vec. *)
+  add tape h (mul tape z (sub tape c h))
+
+let zero_state t tape = Autodiff.const tape (Array.make t.hidden 0.0)

@@ -1,0 +1,14 @@
+(** A Gated Recurrent Unit cell (Cho et al.). *)
+
+type t
+
+val create : Params.t -> Dna.Rng.t -> prefix:string -> input:int -> hidden:int -> t
+(** Registers the cell's nine parameters under [prefix]. *)
+
+val wrap : Autodiff.tape -> Params.param -> Autodiff.v
+(** A tape leaf over a stored parameter. *)
+
+val step : t -> Autodiff.tape -> h:Autodiff.v -> x:Autodiff.v -> Autodiff.v
+(** One time step: new hidden state from state [h] and input [x]. *)
+
+val zero_state : t -> Autodiff.tape -> Autodiff.v

@@ -1,0 +1,71 @@
+(** Named trainable parameters, persisted across tapes.
+
+    Each parameter owns its data and gradient arrays; forward passes wrap
+    them in [Autodiff.leaf] nodes so gradients accumulate in place. The
+    store serializes to a flat float array for checkpointing. *)
+
+type param = { name : string; data : float array; grad : float array }
+
+type t = { mutable params : param list (* in creation order, reversed *) }
+
+let create () = { params = [] }
+
+let add t ~name ~size ~init =
+  if List.exists (fun p -> p.name = name) t.params then
+    invalid_arg ("Params.add: duplicate name " ^ name);
+  let p = { name; data = Array.init size init; grad = Array.make size 0.0 } in
+  t.params <- p :: t.params;
+  p
+
+(* Glorot-style uniform init scaled by fan-in + fan-out. *)
+let add_matrix t rng ~name ~rows ~cols =
+  let bound = sqrt (6.0 /. float_of_int (rows + cols)) in
+  add t ~name ~size:(rows * cols) ~init:(fun _ -> (Dna.Rng.float rng *. 2.0 -. 1.0) *. bound)
+
+let add_vector t ~name ~size = add t ~name ~size ~init:(fun _ -> 0.0)
+
+let zero_grads t = List.iter (fun p -> Array.fill p.grad 0 (Array.length p.grad) 0.0) t.params
+
+let in_order t = List.rev t.params
+
+let total_size t = List.fold_left (fun acc p -> acc + Array.length p.data) 0 t.params
+
+let to_flat t =
+  let flat = Array.make (total_size t) 0.0 in
+  let pos = ref 0 in
+  List.iter
+    (fun p ->
+      Array.blit p.data 0 flat !pos (Array.length p.data);
+      pos := !pos + Array.length p.data)
+    (in_order t);
+  flat
+
+let of_flat t flat =
+  if Array.length flat <> total_size t then invalid_arg "Params.of_flat: size mismatch";
+  let pos = ref 0 in
+  List.iter
+    (fun p ->
+      Array.blit flat !pos p.data 0 (Array.length p.data);
+      pos := !pos + Array.length p.data)
+    (in_order t)
+
+(* Global L2 norm of the gradient; used for clipping. *)
+let grad_norm t =
+  let s =
+    List.fold_left
+      (fun acc p -> Array.fold_left (fun a g -> a +. (g *. g)) acc p.grad)
+      0.0 t.params
+  in
+  sqrt s
+
+let clip_grads t ~max_norm =
+  let norm = grad_norm t in
+  if norm > max_norm then begin
+    let scale = max_norm /. norm in
+    List.iter
+      (fun p ->
+        for i = 0 to Array.length p.grad - 1 do
+          p.grad.(i) <- p.grad.(i) *. scale
+        done)
+      t.params
+  end

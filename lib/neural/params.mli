@@ -1,0 +1,29 @@
+(** Named trainable parameters, persisted across tapes. *)
+
+type param = { name : string; data : float array; grad : float array }
+type t
+
+val create : unit -> t
+
+val add : t -> name:string -> size:int -> init:(int -> float) -> param
+(** Raises [Invalid_argument] on a duplicate name. *)
+
+val add_matrix : t -> Dna.Rng.t -> name:string -> rows:int -> cols:int -> param
+(** Glorot-uniform initialization. *)
+
+val add_vector : t -> name:string -> size:int -> param
+(** Zero-initialized. *)
+
+val zero_grads : t -> unit
+val in_order : t -> param list
+val total_size : t -> int
+
+val to_flat : t -> float array
+(** All parameter data concatenated in creation order (checkpoints). *)
+
+val of_flat : t -> float array -> unit
+
+val grad_norm : t -> float
+(** Global L2 norm of all gradients. *)
+
+val clip_grads : t -> max_norm:float -> unit

@@ -1,0 +1,197 @@
+(** Attention-based encoder-decoder for modeling Pr(noisy | clean).
+
+    Mirrors Figure 4 of the paper: a bi-directional GRU encoder turns the
+    clean strand into annotations; a unidirectional GRU decoder with
+    additive attention emits the noisy strand token by token. Training
+    uses teacher forcing; inference samples position-by-position (the
+    paper's "greedy sampling": immediate ancestral sampling once the
+    token probabilities are known).
+
+    Tokens: bases are 0..3; the decoder input vocabulary adds BOS = 4 and
+    the output classes add EOS = 4. *)
+
+let n_bases = 4
+let bos = 4
+let eos = 4
+let dec_vocab = 5 (* A C G T BOS *)
+let out_classes = 5 (* A C G T EOS *)
+
+type t = {
+  hidden : int;
+  store : Params.t;
+  enc_fw : Gru.t;
+  enc_bw : Gru.t;
+  attn : Attention.t;
+  dec : Gru.t;
+  w_init : Params.param;
+  w_out : Params.param;
+  b_out : Params.param;
+}
+
+let create ?(hidden = 32) rng =
+  let store = Params.create () in
+  let enc_fw = Gru.create store rng ~prefix:"enc_fw" ~input:n_bases ~hidden in
+  let enc_bw = Gru.create store rng ~prefix:"enc_bw" ~input:n_bases ~hidden in
+  let annot_dim = 2 * hidden in
+  let attn = Attention.create store rng ~prefix:"attn" ~annot_dim ~state_dim:hidden ~attn_dim:hidden in
+  let dec = Gru.create store rng ~prefix:"dec" ~input:(dec_vocab + annot_dim) ~hidden in
+  let w_init = Params.add_matrix store rng ~name:"w_init" ~rows:hidden ~cols:annot_dim in
+  let w_out = Params.add_matrix store rng ~name:"w_out" ~rows:out_classes ~cols:(hidden + annot_dim) in
+  let b_out = Params.add_vector store ~name:"b_out" ~size:out_classes in
+  { hidden; store; enc_fw; enc_bw; attn; dec; w_init; w_out; b_out }
+
+let one_hot tape ~size i =
+  let a = Array.make size 0.0 in
+  a.(i) <- 1.0;
+  Autodiff.const tape a
+
+(* Encode the clean strand into per-position annotations [fw_i; bw_i]. *)
+let encode t tape (clean : int array) =
+  let n = Array.length clean in
+  let inputs = Array.map (fun c -> one_hot tape ~size:n_bases c) clean in
+  let fw = Array.make n (Gru.zero_state t.enc_fw tape) in
+  let h = ref (Gru.zero_state t.enc_fw tape) in
+  for i = 0 to n - 1 do
+    h := Gru.step t.enc_fw tape ~h:!h ~x:inputs.(i);
+    fw.(i) <- !h
+  done;
+  let bw = Array.make n (Gru.zero_state t.enc_bw tape) in
+  let hb = ref (Gru.zero_state t.enc_bw tape) in
+  for i = n - 1 downto 0 do
+    hb := Gru.step t.enc_bw tape ~h:!hb ~x:inputs.(i);
+    bw.(i) <- !hb
+  done;
+  Array.to_list (Array.init n (fun i -> Autodiff.concat tape fw.(i) bw.(i)))
+
+let init_state t tape annotations =
+  match annotations with
+  | [] -> invalid_arg "Seq2seq: empty input"
+  | first :: _ ->
+      Autodiff.tanh tape
+        (Autodiff.matvec tape (Gru.wrap tape t.w_init) ~rows:t.hidden ~cols:(2 * t.hidden) first)
+
+let logits_of t tape ~state ~context =
+  let open Autodiff in
+  let cat = concat tape state context in
+  add tape
+    (matvec tape (Gru.wrap tape t.w_out) ~rows:out_classes ~cols:(t.hidden + (2 * t.hidden)) cat)
+    (Gru.wrap tape t.b_out)
+
+(* Average token cross-entropy of the noisy strand (plus EOS) given the
+   clean strand, with teacher forcing. With [scheduled_sampling] > 0,
+   each step feeds the model's own sampled token as the next input with
+   that probability instead of the target (Bengio et al.): the decoder
+   learns to recover from its own mistakes, taming the exposure bias
+   that otherwise makes free-running noise cascade toward the tail.
+   Returns the scalar loss node. *)
+let loss ?(scheduled_sampling = 0.0) ?sampling_rng t tape ~clean ~noisy =
+  let open Autodiff in
+  let annotations = encode t tape clean in
+  let pre = Attention.precompute t.attn tape annotations in
+  let state = ref (init_state t tape annotations) in
+  let steps = Array.length noisy + 1 in
+  let losses = ref [] in
+  let prev_token = ref bos in
+  for i = 0 to steps - 1 do
+    let target = if i < Array.length noisy then noisy.(i) else eos in
+    let context, _ = Attention.apply ~position:i t.attn tape pre ~state:!state in
+    let x = concat tape (one_hot tape ~size:dec_vocab !prev_token) context in
+    state := Gru.step t.dec tape ~h:!state ~x;
+    let logits = logits_of t tape ~state:!state ~context in
+    losses := cross_entropy tape logits ~target :: !losses;
+    prev_token :=
+      (match sampling_rng with
+      | Some rng when scheduled_sampling > 0.0 && Dna.Rng.float rng < scheduled_sampling ->
+          let probs = softmax_probs logits.data in
+          let u = Dna.Rng.float rng in
+          let rec pick j acc =
+            if j >= out_classes - 1 then j
+            else if acc +. probs.(j) >= u then j
+            else pick (j + 1) (acc +. probs.(j))
+          in
+          let tok = pick 0 0.0 in
+          if tok = eos then target else tok
+      | _ -> target)
+  done;
+  let total = List.fold_left (fun acc l -> add tape acc l) (const tape [| 0.0 |]) !losses in
+  map tape (fun x -> x /. float_of_int steps) (fun _ _ -> 1.0 /. float_of_int steps) total
+
+(* One SGD step on a single pair; returns the per-token loss. *)
+let train_pair ?scheduled_sampling ?sampling_rng t opt ~clean ~noisy =
+  let tape = Autodiff.create_tape () in
+  let l = loss ?scheduled_sampling ?sampling_rng t tape ~clean ~noisy in
+  Autodiff.backward tape l;
+  Params.clip_grads t.store ~max_norm:5.0;
+  Adam.update opt;
+  l.Autodiff.data.(0)
+
+(* Per-token loss without updating; for validation. *)
+let eval_pair t ~clean ~noisy =
+  let tape = Autodiff.create_tape () in
+  let l = loss t tape ~clean ~noisy in
+  l.Autodiff.data.(0)
+
+type sampling = Greedy | Stochastic of Dna.Rng.t
+
+(* Generate a noisy strand for [clean]. Stochastic sampling draws from the
+   predicted distribution at each position (this is how the simulator
+   produces noise); Greedy takes the argmax (the most likely read).
+   [temperature] sharpens (< 1) or flattens (> 1) the sampling
+   distribution: an imperfectly converged model is systematically
+   underconfident, and a temperature fitted on the validation split
+   recalibrates its sampled error rate (see Trainer.calibrate). *)
+let sample ?(max_factor = 1.6) ?(temperature = 1.0) t ~mode (clean : int array) : int array =
+  let tape = Autodiff.create_tape () in
+  let annotations = encode t tape clean in
+  let pre = Attention.precompute t.attn tape annotations in
+  let state = ref (init_state t tape annotations) in
+  let max_len = int_of_float (max_factor *. float_of_int (Array.length clean)) + 8 in
+  let out = ref [] in
+  let prev_token = ref bos in
+  let finished = ref false in
+  let produced = ref 0 in
+  while (not !finished) && !produced < max_len do
+    let context, _ = Attention.apply ~position:!produced t.attn tape pre ~state:!state in
+    let x = Autodiff.concat tape (one_hot tape ~size:dec_vocab !prev_token) context in
+    state := Gru.step t.dec tape ~h:!state ~x;
+    let logits = logits_of t tape ~state:!state ~context in
+    let scaled =
+      if temperature = 1.0 then logits.Autodiff.data
+      else Array.map (fun l -> l /. temperature) logits.Autodiff.data
+    in
+    let probs = Autodiff.softmax_probs scaled in
+    let token =
+      match mode with
+      | Greedy ->
+          let best = ref 0 in
+          Array.iteri (fun i p -> if p > probs.(!best) then best := i) probs;
+          !best
+      | Stochastic rng ->
+          let u = Dna.Rng.float rng in
+          let rec pick i acc =
+            if i >= out_classes - 1 then i
+            else if acc +. probs.(i) >= u then i
+            else pick (i + 1) (acc +. probs.(i))
+          in
+          pick 0 0.0
+    in
+    if token = eos then finished := true
+    else begin
+      out := token :: !out;
+      incr produced;
+      prev_token := token
+    end
+  done;
+  Array.of_list (List.rev !out)
+
+let save t path =
+  let flat = Params.to_flat t.store in
+  let oc = open_out_bin path in
+  output_value oc flat;
+  close_out oc
+
+let load t path =
+  let ic = open_in_bin path in
+  let flat : float array = input_value ic in
+  close_in ic;
+  Params.of_flat t.store flat

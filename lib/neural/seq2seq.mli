@@ -1,0 +1,58 @@
+(** Attention-based encoder-decoder modeling Pr(noisy | clean): a
+    bi-directional GRU encoder over the clean strand, a unidirectional
+    GRU decoder with additive attention emitting the noisy strand
+    (Figure 4 of the paper).
+
+    Tokens: bases are 0..3; BOS = 4 on the decoder input side, EOS = 4
+    among the output classes. *)
+
+val n_bases : int
+val bos : int
+val eos : int
+val dec_vocab : int
+val out_classes : int
+
+type t = {
+  hidden : int;
+  store : Params.t;
+  enc_fw : Gru.t;
+  enc_bw : Gru.t;
+  attn : Attention.t;
+  dec : Gru.t;
+  w_init : Params.param;
+  w_out : Params.param;
+  b_out : Params.param;
+}
+
+val create : ?hidden:int -> Dna.Rng.t -> t
+(** Default hidden size 32. *)
+
+val loss :
+  ?scheduled_sampling:float -> ?sampling_rng:Dna.Rng.t ->
+  t -> Autodiff.tape -> clean:int array -> noisy:int array -> Autodiff.v
+(** Average token cross-entropy (teacher forcing), as a scalar node.
+    With [scheduled_sampling] > 0 and a [sampling_rng], each step feeds
+    the model's own sampled token as the next input with that
+    probability — training the decoder to recover from its own
+    mistakes (exposure-bias mitigation). *)
+
+val train_pair :
+  ?scheduled_sampling:float -> ?sampling_rng:Dna.Rng.t ->
+  t -> Adam.t -> clean:int array -> noisy:int array -> float
+(** One optimizer step on a single pair; returns the per-token loss. *)
+
+val eval_pair : t -> clean:int array -> noisy:int array -> float
+(** Loss without updating; for validation. *)
+
+type sampling =
+  | Greedy  (** argmax at every position: the most likely read *)
+  | Stochastic of Dna.Rng.t  (** draw from the predicted distribution: simulate noise *)
+
+val sample : ?max_factor:float -> ?temperature:float -> t -> mode:sampling -> int array -> int array
+(** Generate a noisy strand for the clean input, stopping at EOS or at
+    [max_factor * length + 8] tokens. [temperature] (default 1.0)
+    sharpens (< 1) or flattens (> 1) the sampling distribution;
+    {!Simulator.Trainer} fits it on the validation split. *)
+
+val save : t -> string -> unit
+val load : t -> string -> unit

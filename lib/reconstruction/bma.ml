@@ -1,0 +1,102 @@
+(** Bitwise Majority Alignment with lookahead (Section VII-A, after
+    Organick et al. [25]) and its double-sided variant (Section VII-B,
+    after Lin et al. [23]).
+
+    Every read keeps a pointer. Each step takes the majority vote of the
+    pointed-at bases to fix the next consensus base; reads that disagree
+    are realigned by guessing the most likely edit (substitution,
+    insertion or deletion) from a small lookahead window. A wrong guess
+    propagates: single-sided BMA grows less reliable toward the far end
+    of the strand, and double-sided BMA meets in the middle, which is
+    exactly the positional reliability skew that motivates the Gini and
+    DNAMapper codecs. *)
+
+(* Majority base over [reads] at their pointers shifted by [offset],
+   restricted to indices in [active]. Returns -1 when nothing votes. *)
+let majority_at reads pointers active ~offset =
+  let counts = Array.make 4 0 in
+  List.iter
+    (fun i ->
+      let p = pointers.(i) + offset in
+      if p >= 0 && p < Dna.Strand.length reads.(i) then begin
+        let c = Dna.Strand.get_code reads.(i) p in
+        counts.(c) <- counts.(c) + 1
+      end)
+    active;
+  let best = ref (-1) and best_count = ref 0 in
+  for c = 0 to 3 do
+    if counts.(c) > !best_count then begin
+      best := c;
+      best_count := counts.(c)
+    end
+  done;
+  !best
+
+(* Score a realignment hypothesis: how well the read starting at [start]
+   matches the expected continuation [expected]. *)
+let hypothesis_score read ~start expected =
+  let n = Dna.Strand.length read in
+  let score = ref 0 in
+  List.iteri
+    (fun k e ->
+      if e >= 0 && start + k < n && start + k >= 0 && Dna.Strand.get_code read (start + k) = e then
+        incr score)
+    expected;
+  !score
+
+let reconstruct ?(lookahead = 2) ~target_len (reads : Dna.Strand.t array) : Dna.Strand.t =
+  let n_reads = Array.length reads in
+  if n_reads = 0 then invalid_arg "Bma.reconstruct: empty cluster";
+  let pointers = Array.make n_reads 0 in
+  let consensus = Array.make target_len 0 in
+  let all = List.init n_reads (fun i -> i) in
+  for t = 0 to target_len - 1 do
+    let active = List.filter (fun i -> pointers.(i) < Dna.Strand.length reads.(i)) all in
+    let c = majority_at reads pointers active ~offset:0 in
+    let c = if c < 0 then 0 (* all reads exhausted; emit A *) else c in
+    consensus.(t) <- c;
+    (* Expected continuation after this consensus base: the majority of
+       the agreeing reads' next bases. *)
+    let agreeing =
+      List.filter
+        (fun i ->
+          pointers.(i) < Dna.Strand.length reads.(i)
+          && Dna.Strand.get_code reads.(i) pointers.(i) = c)
+        active
+    in
+    let expected =
+      List.init lookahead (fun k -> majority_at reads pointers agreeing ~offset:(k + 1))
+    in
+    List.iter
+      (fun i ->
+        let p = pointers.(i) in
+        let read = reads.(i) in
+        if Dna.Strand.get_code read p = c then pointers.(i) <- p + 1
+        else begin
+          (* Disagreement: guess the edit. Each hypothesis implies where
+             the read should resume to match the expected continuation. *)
+          let sub_score = hypothesis_score read ~start:(p + 1) expected in
+          let ins_score = hypothesis_score read ~start:(p + 2) expected in
+          let del_score = hypothesis_score read ~start:p expected in
+          (* Insertion additionally requires the consensus base to appear
+             right after the inserted one. *)
+          let ins_ok = p + 1 < Dna.Strand.length read && Dna.Strand.get_code read (p + 1) = c in
+          let ins_score = if ins_ok then ins_score + 1 else -1 in
+          if sub_score >= ins_score && sub_score >= del_score then pointers.(i) <- p + 1
+          else if del_score >= ins_score then () (* base belongs to the next position *)
+          else pointers.(i) <- p + 2
+        end)
+      active
+  done;
+  Dna.Strand.of_codes consensus
+
+(* Double-sided BMA: reconstruct the left half left-to-right and the
+   right half right-to-left on reversed reads, then join. Errors now
+   propagate only to the middle of the strand. *)
+let reconstruct_double ?lookahead ~target_len (reads : Dna.Strand.t array) : Dna.Strand.t =
+  let left_len = (target_len + 1) / 2 in
+  let right_len = target_len - left_len in
+  let left = reconstruct ?lookahead ~target_len:left_len reads in
+  let reversed = Array.map Dna.Strand.rev reads in
+  let right_rev = reconstruct ?lookahead ~target_len:right_len reversed in
+  Dna.Strand.append left (Dna.Strand.rev right_rev)

@@ -1,0 +1,16 @@
+(** Bitwise Majority Alignment with lookahead (Organick et al.,
+    Section VII-A) and the double-sided variant (Lin et al.,
+    Section VII-B).
+
+    Misalignment guesses propagate: single-sided BMA grows unreliable
+    toward the far end of the strand; double-sided BMA meets in the
+    middle — the positional reliability skew behind Gini/DNAMapper. *)
+
+val reconstruct : ?lookahead:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+(** Left-to-right BMA-lookahead consensus of exactly [target_len]
+    bases (default lookahead window 2). Raises [Invalid_argument] on an
+    empty cluster. *)
+
+val reconstruct_double : ?lookahead:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+(** Double-sided BMA: the left half reconstructed left-to-right, the
+    right half right-to-left, joined in the middle. *)

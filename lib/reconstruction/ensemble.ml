@@ -1,0 +1,18 @@
+(** Ensemble trace reconstruction: run BMA, double-sided BMA and the
+    Needleman-Wunsch consensus on the same cluster and take a
+    per-position majority vote over their outputs (ties defer to the NW
+    consensus, the strongest individual algorithm).
+
+    The three algorithms fail differently — BMA toward the tail, DBMA in
+    the middle, NW uniformly — so their errors rarely coincide and the
+    vote cancels a useful fraction of them, at triple the cost. *)
+
+let reconstruct ?lookahead ?refinements ~target_len (reads : Dna.Strand.t array) : Dna.Strand.t =
+  let bma = Bma.reconstruct ?lookahead ~target_len reads in
+  let dbma = Bma.reconstruct_double ?lookahead ~target_len reads in
+  let nw = Nw_consensus.reconstruct ?refinements ~target_len reads in
+  Dna.Strand.init_codes target_len (fun i ->
+      let a = Dna.Strand.get_code bma i
+      and b = Dna.Strand.get_code dbma i
+      and c = Dna.Strand.get_code nw i in
+      if a = b then a else c)

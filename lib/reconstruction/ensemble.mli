@@ -1,0 +1,7 @@
+(** Ensemble reconstruction: per-position majority vote over BMA,
+    double-sided BMA and the NW consensus. Their error profiles peak in
+    different regions (Figure 6), so the vote cancels a useful fraction
+    of each, at triple the cost. *)
+
+val reconstruct :
+  ?lookahead:int -> ?refinements:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t

@@ -1,0 +1,138 @@
+(** Needleman-Wunsch consensus (Section VII-C, the paper's own
+    reconstruction algorithm).
+
+    Every read of the cluster is globally aligned (Needleman-Wunsch,
+    unit costs) against a reference — initially the longest read, since
+    deletions dominate and the longest read is the most complete
+    backbone. The alignments are stacked into a column profile: each
+    reference position contributes a *match column* (votes per base,
+    plus gap votes) and possibly an *insertion column* (reads that
+    insert a base there). A refinement pass realigns all reads against
+    the voted consensus, which removes the reference's own errors.
+
+    The final consensus keeps exactly [target_len] columns — the ones
+    with the strongest read support — which is the paper's rule of
+    omitting the x most unreliable (indel-heavy) indexes when the
+    alignment is longer than the expected strand, generalized to also
+    recover weakly-supported columns when it is shorter. *)
+
+type outcome = { consensus : Dna.Strand.t; trimmed : int; padded : int }
+
+type column = { code : int; support : int }
+
+(* One profile round: align [reads] to [reference] and produce ordered
+   candidate columns with support. [keep_majority_only] applies the
+   plain majority rule (used for intermediate refinement rounds). *)
+let profile_columns (reference : Dna.Strand.t) (reads : Dna.Strand.t array) : column list * int =
+  let m = Dna.Strand.length reference in
+  let counts = Array.make_matrix m 5 0 in
+  let ins = Array.make_matrix (m + 1) 4 0 in
+  Array.iter
+    (fun read ->
+      let al = Dna.Alignment.align reference read in
+      let pos = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Dna.Alignment.Match b | Dna.Alignment.Substitute (_, b) ->
+              counts.(!pos).(Dna.Nucleotide.to_code b) <-
+                counts.(!pos).(Dna.Nucleotide.to_code b) + 1;
+              incr pos
+          | Dna.Alignment.Delete _ ->
+              counts.(!pos).(4) <- counts.(!pos).(4) + 1;
+              incr pos
+          | Dna.Alignment.Insert b ->
+              ins.(!pos).(Dna.Nucleotide.to_code b) <- ins.(!pos).(Dna.Nucleotide.to_code b) + 1)
+        al.Dna.Alignment.script)
+    reads;
+  let columns = ref [] in
+  let n_majority = ref 0 in
+  let insertion_candidate i =
+    let best = ref 0 in
+    for b = 1 to 3 do
+      if ins.(i).(b) > ins.(i).(!best) then best := b
+    done;
+    if ins.(i).(!best) > 0 then
+      columns := { code = !best; support = ins.(i).(!best) } :: !columns
+  in
+  for i = 0 to m - 1 do
+    insertion_candidate i;
+    let best = ref 0 in
+    for b = 1 to 3 do
+      if counts.(i).(b) > counts.(i).(!best) then best := b
+    done;
+    let gap = counts.(i).(4) in
+    let support = counts.(i).(!best) in
+    (* Record the column with its base support; a gap majority is the
+       signal to drop it, encoded as low support relative to others. *)
+    if support >= gap then incr n_majority;
+    columns := { code = !best; support = (if support >= gap then support else support - gap) }
+               :: !columns
+  done;
+  insertion_candidate m;
+  (List.rev !columns, !n_majority)
+
+(* Majority-rule consensus used between refinement rounds: keep match
+   columns that beat their gap votes and insertions backed by most
+   reads. *)
+let majority_consensus (reference : Dna.Strand.t) (reads : Dna.Strand.t array) : Dna.Strand.t =
+  let n_reads = Array.length reads in
+  let columns, _ = profile_columns reference reads in
+  let kept =
+    List.filter_map
+      (fun c -> if 2 * c.support > n_reads then Some c.code else None)
+      columns
+  in
+  if kept = [] then reference else Dna.Strand.of_codes (Array.of_list kept)
+
+(* Final round: keep exactly [target_len] columns, strongest support
+   first (ties resolved toward earlier columns). *)
+let select_columns columns target_len =
+  let arr = Array.of_list columns in
+  let n = Array.length arr in
+  if n <= target_len then (Array.map (fun c -> c.code) arr, target_len - n)
+  else begin
+    let order = Array.init n (fun i -> i) in
+    (* Sort by (support desc, index asc); keep the first target_len. *)
+    Array.sort
+      (fun a b ->
+        match compare arr.(b).support arr.(a).support with 0 -> compare a b | c -> c)
+      order;
+    let keep = Array.make n false in
+    for k = 0 to target_len - 1 do
+      keep.(order.(k)) <- true
+    done;
+    let out = ref [] in
+    for i = n - 1 downto 0 do
+      if keep.(i) then out := arr.(i).code :: !out
+    done;
+    (Array.of_list !out, 0)
+  end
+
+let reconstruct_full ?(refinements = 2) ~target_len (reads : Dna.Strand.t array) : outcome =
+  let reads =
+    Array.of_list (List.filter (fun r -> Dna.Strand.length r > 0) (Array.to_list reads))
+  in
+  if Array.length reads = 0 then invalid_arg "Nw_consensus.reconstruct: empty cluster";
+  (* Longest read as the initial backbone. *)
+  let reference = ref reads.(0) in
+  Array.iter
+    (fun r -> if Dna.Strand.length r > Dna.Strand.length !reference then reference := r)
+    reads;
+  for _ = 1 to refinements do
+    reference := majority_consensus !reference reads
+  done;
+  let columns, _ = profile_columns !reference reads in
+  let n_candidates = List.length columns in
+  let codes, padded = select_columns columns target_len in
+  let n = Array.length codes in
+  if padded = 0 then
+    { consensus = Dna.Strand.of_codes codes; trimmed = max 0 (n_candidates - target_len); padded = 0 }
+  else begin
+    let out = Array.make target_len 0 in
+    Array.blit codes 0 out 0 n;
+    { consensus = Dna.Strand.of_codes out; trimmed = 0; padded }
+  end
+
+let reconstruct ?refinements ~target_len reads =
+  (reconstruct_full ?refinements ~target_len reads).consensus

@@ -1,0 +1,19 @@
+(** Needleman-Wunsch consensus (Section VII-C, the paper's own
+    reconstruction algorithm): reads are aligned against a reference
+    (initially the longest read), stacked into a column profile,
+    majority-voted per column, refined by realigning against the vote,
+    and finally exactly [target_len] columns are kept — the strongest-
+    supported ones, the paper's rule of omitting the most indel-heavy
+    indexes. *)
+
+type outcome = {
+  consensus : Dna.Strand.t;
+  trimmed : int;  (** candidate columns dropped for exceeding the target *)
+  padded : int;  (** positions padded because too few candidates existed *)
+}
+
+val reconstruct_full : ?refinements:int -> target_len:int -> Dna.Strand.t array -> outcome
+(** Default 2 refinement rounds. Raises [Invalid_argument] on an empty
+    cluster. *)
+
+val reconstruct : ?refinements:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t

@@ -1,0 +1,54 @@
+(** Evaluation metrics for trace reconstruction (Sections V-A and VII).
+
+    The paper's Figures 3 and 6 plot, per index, the proportion of bases
+    wrongly reconstructed; Table I summarizes with (ii) the average error
+    rate over all indexes, (iii) the average absolute deviation from a
+    reference profile, and (iv) the number of perfectly reconstructed
+    strands. *)
+
+(* Per-index error profile over (original, reconstructed) pairs. A
+   missing index (shorter reconstruction) counts as an error. *)
+let per_index_error (pairs : (Dna.Strand.t * Dna.Strand.t) list) : float array =
+  match pairs with
+  | [] -> [||]
+  | (first, _) :: _ ->
+      let len = Dna.Strand.length first in
+      let errors = Array.make len 0 in
+      let total = List.length pairs in
+      List.iter
+        (fun (original, reconstructed) ->
+          for i = 0 to Dna.Strand.length original - 1 do
+            if i < len then begin
+              let wrong =
+                i >= Dna.Strand.length reconstructed
+                || Dna.Strand.get_code original i <> Dna.Strand.get_code reconstructed i
+              in
+              if wrong then errors.(i) <- errors.(i) + 1
+            end
+          done)
+        pairs;
+      Array.map (fun e -> float_of_int e /. float_of_int total) errors
+
+(* Metric (ii): mean of the per-index error profile. *)
+let average_error profile =
+  if Array.length profile = 0 then 0.0
+  else Array.fold_left ( +. ) 0.0 profile /. float_of_int (Array.length profile)
+
+(* Metric (iii): mean absolute difference between two profiles. *)
+let average_abs_deviation a b =
+  let n = min (Array.length a) (Array.length b) in
+  if n = 0 then 0.0
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. abs_float (a.(i) -. b.(i))
+    done;
+    !s /. float_of_int n
+  end
+
+(* Metric (iv): number of exactly recovered strands. *)
+let perfect_count pairs =
+  List.fold_left
+    (fun acc (original, reconstructed) ->
+      if Dna.Strand.equal original reconstructed then acc + 1 else acc)
+    0 pairs

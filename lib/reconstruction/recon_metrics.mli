@@ -1,0 +1,16 @@
+(** Evaluation metrics for trace reconstruction (Figures 3 and 6,
+    Table I). *)
+
+val per_index_error : (Dna.Strand.t * Dna.Strand.t) list -> float array
+(** Over (original, reconstructed) pairs: for each index, the fraction
+    of pairs whose reconstruction is wrong there (missing indexes count
+    as wrong). *)
+
+val average_error : float array -> float
+(** Metric (ii): mean of a per-index profile. *)
+
+val average_abs_deviation : float array -> float array -> float
+(** Metric (iii): mean absolute difference between two profiles. *)
+
+val perfect_count : (Dna.Strand.t * Dna.Strand.t) list -> int
+(** Metric (iv): number of exactly recovered strands. *)

@@ -1,0 +1,88 @@
+(** Arithmetic in GF(2^8) with the primitive polynomial
+    x^8 + x^4 + x^3 + x^2 + 1 (0x11d), the field conventionally used by
+    Reed-Solomon storage codes. Multiplication goes through exp/log
+    tables; the exp table is doubled so products need no modulo. *)
+
+let prim = 0x11d
+
+let exp_table = Array.make 512 0
+let log_table = Array.make 256 0
+
+let () =
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp_table.(i) <- !x;
+    log_table.(!x) <- i;
+    x := !x lsl 1;
+    if !x land 0x100 <> 0 then x := !x lxor prim
+  done;
+  for i = 255 to 511 do
+    exp_table.(i) <- exp_table.(i - 255)
+  done
+
+let add a b = a lxor b
+let sub = add
+
+let mul a b = if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else if a = 0 then 0
+  else exp_table.(log_table.(a) - log_table.(b) + 255)
+
+let inv a = if a = 0 then raise Division_by_zero else exp_table.(255 - log_table.(a))
+
+let pow a n =
+  if a = 0 then if n = 0 then 1 else 0
+  else begin
+    let e = log_table.(a) * n mod 255 in
+    let e = if e < 0 then e + 255 else e in
+    exp_table.(e)
+  end
+
+(* alpha^i for the generator alpha = 2. *)
+let alpha_pow i =
+  let e = i mod 255 in
+  let e = if e < 0 then e + 255 else e in
+  exp_table.(e)
+
+(** Polynomials over GF(256), represented as int arrays with the
+    highest-degree coefficient first (index 0). *)
+module Poly = struct
+  type t = int array
+
+  (* Field operations, captured before this module shadows the names. *)
+  let gf_mul = mul
+
+  let scale p x = Array.map (fun c -> gf_mul c x) p
+
+  let add (p : t) (q : t) : t =
+    let lp = Array.length p and lq = Array.length q in
+    let n = max lp lq in
+    Array.init n (fun i ->
+        let cp = if i + lp >= n then p.(i - (n - lp)) else 0 in
+        let cq = if i + lq >= n then q.(i - (n - lq)) else 0 in
+        cp lxor cq)
+
+  let mul (p : t) (q : t) : t =
+    let r = Array.make (Array.length p + Array.length q - 1) 0 in
+    Array.iteri
+      (fun i ci ->
+        Array.iteri (fun j cj -> r.(i + j) <- r.(i + j) lxor gf_mul ci cj) q)
+      p;
+    r
+
+  (* Horner evaluation at x. *)
+  let eval (p : t) x = Array.fold_left (fun acc c -> gf_mul acc x lxor c) 0 p
+
+  (* Strip leading zero coefficients (keeping at least one). *)
+  let normalize (p : t) : t =
+    let n = Array.length p in
+    let rec lead i = if i >= n - 1 then i else if p.(i) <> 0 then i else lead (i + 1) in
+    let l = lead 0 in
+    if l = 0 then p else Array.sub p l (n - l)
+
+  let degree (p : t) =
+    let p = normalize p in
+    Array.length p - 1
+end

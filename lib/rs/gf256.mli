@@ -1,0 +1,43 @@
+(** Arithmetic in GF(2^8) with primitive polynomial 0x11d, the field
+    conventionally used by Reed-Solomon storage codes. *)
+
+val add : int -> int -> int
+(** XOR. *)
+
+val sub : int -> int -> int
+(** Same as {!add} in characteristic 2. *)
+
+val mul : int -> int -> int
+val div : int -> int -> int
+(** Raises [Division_by_zero] on a zero divisor. *)
+
+val inv : int -> int
+(** Multiplicative inverse; raises [Division_by_zero] on 0. *)
+
+val pow : int -> int -> int
+(** [pow a n] for any integer [n] (negative exponents allowed for
+    nonzero [a]). *)
+
+val alpha_pow : int -> int
+(** [alpha_pow i] is the generator 2 raised to [i] (mod 255). *)
+
+val exp_table : int array
+val log_table : int array
+
+(** Polynomials over GF(256): int arrays, highest-degree coefficient
+    first. *)
+module Poly : sig
+  type t = int array
+
+  val scale : t -> int -> t
+  val add : t -> t -> t
+  val mul : t -> t -> t
+
+  val eval : t -> int -> int
+  (** Horner evaluation. *)
+
+  val normalize : t -> t
+  (** Strip leading zero coefficients, keeping at least one. *)
+
+  val degree : t -> int
+end

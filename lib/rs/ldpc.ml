@@ -1,0 +1,155 @@
+(** A binary LDPC code with belief-propagation decoding — the
+    alternative error-correction module the paper discusses (Chandak et
+    al., Section X): one long low-density code instead of many short
+    Reed-Solomon codewords.
+
+    Construction is IRA-style (irregular repeat-accumulate): each of the
+    [m] parity checks XORs [row_weight] pseudo-random information bits,
+    and the parity bits form an accumulator chain (check j also covers
+    p_j and p_{j-1}), so encoding is a linear pass. Decoding is
+    normalized min-sum message passing over log-likelihood ratios, which
+    handles substitutions (finite LLR) and erasures (LLR 0) uniformly. *)
+
+type t = {
+  k : int;  (** information bits *)
+  m : int;  (** parity bits = number of checks *)
+  checks : int array array;  (** per check: the variable indices it covers *)
+  var_checks : int array array;  (** per variable: the checks covering it *)
+}
+
+let n t = t.k + t.m
+
+let create ?(seed = 0x1d9c) ?(column_weight = 3) ~k ~m () =
+  if k <= 0 || m <= 1 then invalid_arg "Ldpc.create: need k > 0, m > 1";
+  if column_weight < 2 || column_weight > m then invalid_arg "Ldpc.create: bad column_weight";
+  let rng = Dna.Rng.create seed in
+  (* Column-regular construction: every information bit lands in exactly
+     [column_weight] checks, via that many random permutations assigned
+     round-robin — the degree guarantee a decodable Tanner graph needs.
+     A duplicate (same bit twice in one check) would cancel over GF(2),
+     so collisions shift to the next check. *)
+  let check_info = Array.make m [] in
+  for _pass = 1 to column_weight do
+    let perm = Array.init k (fun i -> i) in
+    Dna.Rng.shuffle_in_place rng perm;
+    Array.iteri
+      (fun i v ->
+        let rec place j tries =
+          if tries > m then () (* degenerate parameters; give up on this edge *)
+          else if List.mem v check_info.(j mod m) then place (j + 1) (tries + 1)
+          else check_info.(j mod m) <- v :: check_info.(j mod m)
+        in
+        place (i mod m) 0)
+      perm
+  done;
+  let checks =
+    Array.init m (fun j ->
+        let parity = if j = 0 then [ k + j ] else [ k + j - 1; k + j ] in
+        Array.of_list (List.rev_append check_info.(j) parity))
+  in
+  let var_lists = Array.make (k + m) [] in
+  Array.iteri (fun j vars -> Array.iter (fun v -> var_lists.(v) <- j :: var_lists.(v)) vars) checks;
+  { k; m; checks; var_checks = Array.map (fun l -> Array.of_list (List.rev l)) var_lists }
+
+(* Systematic encoding via the accumulator: p_j = p_{j-1} xor (info bits
+   of check j). *)
+let encode t (info : bool array) : bool array =
+  if Array.length info <> t.k then invalid_arg "Ldpc.encode: message length";
+  let cw = Array.make (n t) false in
+  Array.blit info 0 cw 0 t.k;
+  let prev = ref false in
+  for j = 0 to t.m - 1 do
+    let acc = ref !prev in
+    Array.iter (fun v -> if v < t.k then acc := !acc <> cw.(v)) t.checks.(j);
+    cw.(t.k + j) <- !acc;
+    prev := !acc
+  done;
+  cw
+
+let syndrome_ok t (cw : bool array) =
+  Array.for_all
+    (fun vars ->
+      let parity = Array.fold_left (fun acc v -> acc <> cw.(v)) false vars in
+      not parity)
+    t.checks
+
+(* Channel LLRs (positive = bit is 0 likely). *)
+
+let llr_bsc ~p (received : bool array) : float array =
+  let mag = log ((1.0 -. p) /. max 1e-12 p) in
+  Array.map (fun bit -> if bit then -.mag else mag) received
+
+(* [None] marks an erased bit. *)
+let llr_erasure ?(confidence = 6.0) (received : bool option array) : float array =
+  Array.map (function None -> 0.0 | Some true -> -.confidence | Some false -> confidence) received
+
+(* Normalized min-sum belief propagation. Returns the corrected
+   information bits, or [Error] when no valid codeword is reached. *)
+let decode ?(max_iter = 60) ?(normalization = 0.8) t (channel_llr : float array) :
+    (bool array, string) result =
+  if Array.length channel_llr <> n t then Error "Ldpc.decode: LLR length"
+  else begin
+    (* Messages indexed per (check, position-in-check). *)
+    let check_to_var = Array.map (fun vars -> Array.make (Array.length vars) 0.0) t.checks in
+    let posterior = Array.copy channel_llr in
+    let hard = Array.map (fun l -> l < 0.0) posterior in
+    let ok = ref (syndrome_ok t hard) in
+    let iter = ref 0 in
+    while (not !ok) && !iter < max_iter do
+      incr iter;
+      (* Check update: for each check and member variable, the sign and
+         min-magnitude of the other members' variable-to-check
+         messages. Variable-to-check = posterior - previous check-to-var. *)
+      Array.iteri
+        (fun j vars ->
+          let msgs = check_to_var.(j) in
+          let v2c =
+            Array.mapi (fun idx v -> posterior.(v) -. msgs.(idx)) vars
+          in
+          let sign = ref 1.0 in
+          let min1 = ref infinity and min2 = ref infinity and min_idx = ref (-1) in
+          Array.iteri
+            (fun idx x ->
+              if x < 0.0 then sign := -. !sign;
+              let a = abs_float x in
+              if a < !min1 then begin
+                min2 := !min1;
+                min1 := a;
+                min_idx := idx
+              end
+              else if a < !min2 then min2 := a)
+            v2c;
+          Array.iteri
+            (fun idx x ->
+              let other_sign = if x < 0.0 then -. !sign else !sign in
+              let mag = if idx = !min_idx then !min2 else !min1 in
+              let fresh = normalization *. other_sign *. mag in
+              (* Update posterior incrementally: remove old message, add new. *)
+              posterior.(vars.(idx)) <- posterior.(vars.(idx)) -. msgs.(idx) +. fresh;
+              msgs.(idx) <- fresh)
+            v2c)
+        t.checks;
+      Array.iteri (fun v l -> hard.(v) <- l < 0.0) posterior;
+      ok := syndrome_ok t hard
+    done;
+    if !ok then Ok (Array.sub hard 0 t.k) else Error "Ldpc.decode: did not converge"
+  end
+
+(* Byte helpers: pack information bits as bytes (k must be a multiple
+   of 8 for an exact fit; extra bits are zero-padded). *)
+
+let bits_of_bytes (b : Bytes.t) ~bits : bool array =
+  Array.init bits (fun i ->
+      let byte = i / 8 in
+      if byte >= Bytes.length b then false
+      else Char.code (Bytes.get b byte) land (0x80 lsr (i mod 8)) <> 0)
+
+let bytes_of_bits (bits : bool array) : Bytes.t =
+  let n_bytes = (Array.length bits + 7) / 8 in
+  let out = Bytes.make n_bytes '\000' in
+  Array.iteri
+    (fun i bit ->
+      if bit then
+        Bytes.set out (i / 8) (Char.chr (Char.code (Bytes.get out (i / 8)) lor (0x80 lsr (i mod 8)))))
+    bits;
+  out

@@ -1,0 +1,33 @@
+(** A binary IRA-style LDPC code with normalized min-sum decoding — the
+    alternative error-correction module discussed in Section X: one long
+    low-density code handling substitutions (finite LLRs) and erasures
+    (zero LLRs) uniformly. *)
+
+type t
+
+val create : ?seed:int -> ?column_weight:int -> k:int -> m:int -> unit -> t
+(** [k] information bits, [m] parity checks/bits; every information bit
+    is covered by exactly [column_weight] (default 3) checks, plus the
+    parity accumulator chain. *)
+
+val n : t -> int
+(** Codeword length [k + m]. *)
+
+val encode : t -> bool array -> bool array
+(** Systematic; linear-time via the parity accumulator. *)
+
+val syndrome_ok : t -> bool array -> bool
+
+val llr_bsc : p:float -> bool array -> float array
+(** Channel LLRs for a binary symmetric channel with crossover [p]. *)
+
+val llr_erasure : ?confidence:float -> bool option array -> float array
+(** Channel LLRs with [None] marking erased bits. *)
+
+val decode :
+  ?max_iter:int -> ?normalization:float -> t -> float array -> (bool array, string) result
+(** Belief propagation from channel LLRs; returns the information bits
+    or [Error] when no valid codeword is reached. *)
+
+val bits_of_bytes : Bytes.t -> bits:int -> bool array
+val bytes_of_bits : bool array -> Bytes.t

@@ -1,0 +1,205 @@
+(** Systematic Reed-Solomon codes over GF(256).
+
+    A code [create ~k ~nsym] maps [k] data bytes to a codeword of
+    [n = k + nsym] bytes and corrects any combination of [e] errors and
+    [f] erasures with [2e + f <= nsym]. The decoder computes syndromes,
+    Forney syndromes for declared erasures, runs Berlekamp-Massey for the
+    error locator, finds positions by Chien search and magnitudes by the
+    Forney algorithm.
+
+    Polynomials are int arrays with the highest-degree coefficient first,
+    matching [Gf256.Poly]. *)
+
+(* [rs.ml] is the ECC library's main module; re-export the field
+   arithmetic and the alternative LDPC code as its submodules. *)
+module Gf256 = Gf256
+module Ldpc = Ldpc
+
+type t = { k : int; nsym : int; gen : int array }
+
+let generator_poly nsym =
+  let g = ref [| 1 |] in
+  for i = 0 to nsym - 1 do
+    g := Gf256.Poly.mul !g [| 1; Gf256.alpha_pow i |]
+  done;
+  !g
+
+let create ~k ~nsym =
+  if k <= 0 || nsym <= 0 || k + nsym > 255 then
+    invalid_arg "Rs.create: need k > 0, nsym > 0, k + nsym <= 255";
+  { k; nsym; gen = generator_poly nsym }
+
+let n t = t.k + t.nsym
+let k t = t.k
+let nsym t = t.nsym
+
+let encode_arr t (msg : int array) : int array =
+  if Array.length msg <> t.k then invalid_arg "Rs.encode: message length <> k";
+  let out = Array.make (t.k + t.nsym) 0 in
+  Array.blit msg 0 out 0 t.k;
+  (* Polynomial long division of msg * x^nsym by the (monic) generator;
+     what is left in the tail is the remainder, i.e. the parity bytes. *)
+  for i = 0 to t.k - 1 do
+    let coef = out.(i) in
+    if coef <> 0 then
+      for j = 1 to Array.length t.gen - 1 do
+        out.(i + j) <- out.(i + j) lxor Gf256.mul t.gen.(j) coef
+      done
+  done;
+  Array.blit msg 0 out 0 t.k;
+  out
+
+let syndromes t (cw : int array) : int array =
+  Array.init t.nsym (fun i -> Gf256.Poly.eval cw (Gf256.alpha_pow i))
+
+let is_codeword t cw = Array.for_all (fun s -> s = 0) (syndromes t cw)
+
+(* Errata locator from coefficient positions (position counted from the
+   low-order end of the codeword). *)
+let errata_locator coef_pos =
+  List.fold_left
+    (fun acc p -> Gf256.Poly.mul acc (Gf256.Poly.add [| 1 |] [| Gf256.alpha_pow p; 0 |]))
+    [| 1 |] coef_pos
+
+(* Omega(x) = (S(x) * Lambda(x)) mod x^(d+1): the low-order d+1
+   coefficients of the product, kept highest-degree-first. *)
+let error_evaluator synd_poly err_loc d =
+  let product = Gf256.Poly.mul synd_poly err_loc in
+  let lp = Array.length product in
+  let keep = min lp (d + 1) in
+  Array.sub product (lp - keep) keep
+
+(* Forney syndromes: fold declared erasures out of the syndromes so that
+   Berlekamp-Massey only has to find the unknown error positions. *)
+let forney_syndromes t synd erase_pos =
+  let nmess = n t in
+  let fsynd = Array.copy synd in
+  List.iter
+    (fun p ->
+      let x = Gf256.alpha_pow (nmess - 1 - p) in
+      for j = 0 to Array.length fsynd - 2 do
+        fsynd.(j) <- Gf256.mul fsynd.(j) x lxor fsynd.(j + 1)
+      done)
+    erase_pos;
+  fsynd
+
+exception Decode_failure of string
+
+(* Berlekamp-Massey on (Forney) syndromes, returning the error locator
+   polynomial (highest-degree first). [erase_count] reduces the number of
+   iterations available for unknown errors. *)
+let error_locator t fsynd ~erase_count =
+  let err_loc = ref [| 1 |] in
+  let old_loc = ref [| 1 |] in
+  for i = 0 to t.nsym - erase_count - 1 do
+    let kk = i in
+    let delta = ref fsynd.(kk) in
+    let el = !err_loc in
+    let len = Array.length el in
+    for j = 1 to len - 1 do
+      if kk - j >= 0 then delta := !delta lxor Gf256.mul el.(len - 1 - j) fsynd.(kk - j)
+    done;
+    old_loc := Array.append !old_loc [| 0 |];
+    if !delta <> 0 then begin
+      if Array.length !old_loc > Array.length !err_loc then begin
+        let new_loc = Gf256.Poly.scale !old_loc !delta in
+        old_loc := Gf256.Poly.scale !err_loc (Gf256.inv !delta);
+        err_loc := new_loc
+      end;
+      err_loc := Gf256.Poly.add !err_loc (Gf256.Poly.scale !old_loc !delta)
+    end
+  done;
+  let el = Gf256.Poly.normalize !err_loc in
+  let errs = Array.length el - 1 in
+  if (errs * 2) + erase_count > t.nsym then raise (Decode_failure "too many errors");
+  el
+
+(* Chien search: roots of the locator give the error positions. *)
+let find_errors t err_loc =
+  let nmess = n t in
+  let errs = Array.length err_loc - 1 in
+  let rev = Array.init (Array.length err_loc) (fun i -> err_loc.(Array.length err_loc - 1 - i)) in
+  let pos = ref [] in
+  for i = 0 to nmess - 1 do
+    if Gf256.Poly.eval rev (Gf256.alpha_pow i) = 0 then pos := (nmess - 1 - i) :: !pos
+  done;
+  if List.length !pos <> errs then
+    raise (Decode_failure "locator degree does not match roots found");
+  !pos
+
+(* Forney algorithm: compute magnitudes at the errata positions and
+   correct the codeword in place. *)
+let correct_errata t (cw : int array) synd err_pos =
+  let nmess = n t in
+  let coef_pos = List.map (fun p -> nmess - 1 - p) err_pos in
+  let err_loc = errata_locator coef_pos in
+  (* The syndrome polynomial for Forney: s_{d-1} x^d + ... + s_0 x, i.e.
+     the reversed syndromes with a trailing zero (S has no constant
+     term in this formulation). *)
+  let ns = Array.length synd in
+  let synd_poly = Array.init (ns + 1) (fun i -> if i < ns then synd.(ns - 1 - i) else 0) in
+  let err_eval = error_evaluator synd_poly err_loc (Array.length err_loc - 1) in
+  let xs = List.map (fun cp -> Gf256.pow 2 (-(255 - cp))) coef_pos in
+  let xs_arr = Array.of_list xs in
+  List.iteri
+    (fun i pos ->
+      let xi = xs_arr.(i) in
+      let xi_inv = Gf256.inv xi in
+      (* Derivative of the locator at Xi, computed as the product over the
+         other roots: prod_j (1 - Xi^-1 Xj). *)
+      let err_loc_prime = ref 1 in
+      Array.iteri
+        (fun j xj ->
+          if j <> i then err_loc_prime := Gf256.mul !err_loc_prime (1 lxor Gf256.mul xi_inv xj))
+        xs_arr;
+      if !err_loc_prime = 0 then raise (Decode_failure "locator derivative is zero");
+      let y = Gf256.Poly.eval err_eval xi_inv in
+      let y = Gf256.mul xi y in
+      let magnitude = Gf256.div y !err_loc_prime in
+      cw.(pos) <- cw.(pos) lxor magnitude)
+    err_pos;
+  cw
+
+type decoded = {
+  message : int array;
+  codeword : int array;
+  corrected : int list;  (** positions (0-based from codeword start) that were fixed *)
+}
+
+let decode_arr ?(erasures = []) t (received : int array) : (decoded, string) result =
+  if Array.length received <> n t then Error "Rs.decode: wrong codeword length"
+  else if List.exists (fun p -> p < 0 || p >= n t) erasures then Error "Rs.decode: erasure position out of range"
+  else if List.length erasures > t.nsym then Error "Rs.decode: too many erasures"
+  else begin
+    let cw = Array.copy received in
+    (* Erased positions carry no information; zero them before decoding. *)
+    List.iter (fun p -> cw.(p) <- 0) erasures;
+    let synd = syndromes t cw in
+    if Array.for_all (fun s -> s = 0) synd then
+      Ok { message = Array.sub cw 0 t.k; codeword = cw; corrected = [] }
+    else begin
+      try
+        let fsynd = forney_syndromes t synd erasures in
+        let err_loc = error_locator t fsynd ~erase_count:(List.length erasures) in
+        let err_pos = if Array.length err_loc - 1 = 0 then [] else find_errors t err_loc in
+        let all_pos = erasures @ err_pos in
+        let cw = correct_errata t cw synd all_pos in
+        let synd' = syndromes t cw in
+        if Array.for_all (fun s -> s = 0) synd' then
+          Ok { message = Array.sub cw 0 t.k; codeword = cw; corrected = all_pos }
+        else Error "Rs.decode: correction failed verification"
+      with
+      | Decode_failure msg -> Error ("Rs.decode: " ^ msg)
+      | Division_by_zero -> Error "Rs.decode: internal division by zero"
+    end
+  end
+
+(* Byte-level convenience wrappers. *)
+
+let arr_of_bytes b = Array.init (Bytes.length b) (fun i -> Char.code (Bytes.get b i))
+let bytes_of_arr a = Bytes.init (Array.length a) (fun i -> Char.chr a.(i))
+
+let encode t msg = bytes_of_arr (encode_arr t (arr_of_bytes msg))
+
+let decode ?erasures t received =
+  Result.map (fun d -> bytes_of_arr d.message) (decode_arr ?erasures t (arr_of_bytes received))

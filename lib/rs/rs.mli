@@ -1,0 +1,47 @@
+(** Systematic Reed-Solomon codes over GF(256).
+
+    [create ~k ~nsym] maps [k] data bytes to codewords of [n = k + nsym]
+    bytes and corrects any combination of [e] errors and [f] declared
+    erasures with [2e + f <= nsym]. *)
+
+module Gf256 = Gf256
+(** The underlying field arithmetic. *)
+
+module Ldpc = Ldpc
+(** The alternative low-density parity-check code (Section X). *)
+
+type t
+
+val create : k:int -> nsym:int -> t
+(** Raises [Invalid_argument] unless [0 < k], [0 < nsym] and
+    [k + nsym <= 255]. *)
+
+val n : t -> int
+(** Codeword length [k + nsym]. *)
+
+val k : t -> int
+val nsym : t -> int
+
+val encode_arr : t -> int array -> int array
+(** Systematic encoding: the message is the codeword's prefix. Raises
+    [Invalid_argument] when the message length differs from [k]. *)
+
+val syndromes : t -> int array -> int array
+val is_codeword : t -> int array -> bool
+
+type decoded = {
+  message : int array;
+  codeword : int array;  (** the corrected codeword *)
+  corrected : int list;  (** positions that were fixed *)
+}
+
+val decode_arr : ?erasures:int list -> t -> int array -> (decoded, string) result
+(** Decode a received word, treating the listed positions as erasures.
+    [Error] on overload (more errata than the code corrects), invalid
+    erasure positions, or a failed verification. *)
+
+val encode : t -> Bytes.t -> Bytes.t
+(** Byte-level convenience around {!encode_arr}. *)
+
+val decode : ?erasures:int list -> t -> Bytes.t -> (Bytes.t, string) result
+(** Byte-level convenience around {!decode_arr}; returns the message. *)

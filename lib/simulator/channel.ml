@@ -1,0 +1,41 @@
+(** The wetlab-channel abstraction.
+
+    A channel turns one clean (synthesized) strand into one noisy read,
+    modeling the composite effect of synthesis, storage, handling and
+    sequencing (Section V). Channels are plain records so that users can
+    swap in their own implementation of the simulation module. *)
+
+type t = {
+  name : string;
+  transmit : Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t;
+}
+
+let name t = t.name
+let transmit t rng strand = t.transmit rng strand
+
+(* The identity channel: a perfect wetlab. Useful for tests and for
+   isolating downstream modules. *)
+let noiseless = { name = "noiseless"; transmit = (fun _ s -> s) }
+
+(* Per-position error-rate estimate of a channel, measured by aligning
+   reads against their source. Returns, for each clean-strand index, the
+   fraction of transmissions in which that base was not matched
+   exactly. *)
+let measure_error_profile t rng ~strand_len ~trials =
+  let errors = Array.make strand_len 0 in
+  for _ = 1 to trials do
+    let clean = Dna.Strand.random rng strand_len in
+    let noisy = transmit t rng clean in
+    let al = Dna.Alignment.align clean noisy in
+    let i = ref 0 in
+    List.iter
+      (fun op ->
+        match op with
+        | Dna.Alignment.Match _ -> incr i
+        | Dna.Alignment.Substitute _ | Dna.Alignment.Delete _ ->
+            errors.(!i) <- errors.(!i) + 1;
+            incr i
+        | Dna.Alignment.Insert _ -> ())
+      al.Dna.Alignment.script
+  done;
+  Array.map (fun e -> float_of_int e /. float_of_int trials) errors

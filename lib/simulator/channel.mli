@@ -1,0 +1,20 @@
+(** The wetlab-channel abstraction: one clean (synthesized) strand in,
+    one noisy read out, modeling the composite of synthesis, storage,
+    handling and sequencing. Channels are plain records so users can
+    swap in their own simulation module. *)
+
+type t = {
+  name : string;
+  transmit : Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t;
+}
+
+val name : t -> string
+val transmit : t -> Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t
+
+val noiseless : t
+(** The identity channel: a perfect wetlab. *)
+
+val measure_error_profile : t -> Dna.Rng.t -> strand_len:int -> trials:int -> float array
+(** Per-position error rates measured by aligning reads against their
+    sources: for each clean-strand index, the fraction of transmissions
+    in which that base was not matched exactly. *)

@@ -1,0 +1,45 @@
+(** The baseline simulator of Rashtchian et al. [31] (Section V-A).
+
+    At every index of the input strand an insertion, deletion or
+    substitution is introduced with user-specified probabilities
+    [p_ins], [p_del], [p_sub]; every index of every strand is trialed
+    independently with the same probabilities. The paper implements this
+    model as its naive baseline and shows it underestimates the
+    difficulty of real wetlab data. *)
+
+type params = { p_ins : float; p_del : float; p_sub : float }
+
+let default_params ~error_rate =
+  (* Split a total per-base error rate evenly across the three types,
+     the convention used in the paper's Table II sweeps. *)
+  let p = error_rate /. 3.0 in
+  { p_ins = p; p_del = p; p_sub = p }
+
+let validate { p_ins; p_del; p_sub } =
+  if p_ins < 0.0 || p_del < 0.0 || p_sub < 0.0 || p_ins +. p_del +. p_sub > 1.0 then
+    invalid_arg "Iid_channel: probabilities must be nonnegative and sum to at most 1"
+
+let transmit params rng strand =
+  validate params;
+  let buf = Buffer.create (Dna.Strand.length strand + 8) in
+  let n = Dna.Strand.length strand in
+  for i = 0 to n - 1 do
+    let base = Dna.Strand.get strand i in
+    let u = Dna.Rng.float rng in
+    if u < params.p_ins then begin
+      (* Insertion before the current base; the base itself survives. *)
+      Buffer.add_char buf (Dna.Nucleotide.to_char (Dna.Nucleotide.random rng));
+      Buffer.add_char buf (Dna.Nucleotide.to_char base)
+    end
+    else if u < params.p_ins +. params.p_del then () (* deletion *)
+    else if u < params.p_ins +. params.p_del +. params.p_sub then
+      Buffer.add_char buf (Dna.Nucleotide.to_char (Dna.Nucleotide.random_other rng base))
+    else Buffer.add_char buf (Dna.Nucleotide.to_char base)
+  done;
+  Dna.Strand.of_string (Buffer.contents buf)
+
+let create params =
+  validate params;
+  { Channel.name = "rashtchian-iid"; transmit = transmit params }
+
+let create_rate ~error_rate = create (default_params ~error_rate)

@@ -1,0 +1,13 @@
+(** The baseline simulator of Rashtchian et al. (Section V-A): at every
+    index, an insertion, deletion or substitution with fixed
+    probabilities, independently per index and per strand. *)
+
+type params = { p_ins : float; p_del : float; p_sub : float }
+
+val default_params : error_rate:float -> params
+(** The total rate split evenly across the three error types. *)
+
+val create : params -> Channel.t
+(** Raises [Invalid_argument] on negative probabilities or a sum above 1. *)
+
+val create_rate : error_rate:float -> Channel.t

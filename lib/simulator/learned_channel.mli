@@ -1,0 +1,13 @@
+(** A data-driven channel estimated from paired (clean, noisy) reads:
+    per-position insertion/deletion-burst/substitution rates, a global
+    substitution matrix, a deletion run-length histogram and an inserted
+    base distribution — fitted from Needleman-Wunsch alignments of the
+    pairs, then replayed generatively. *)
+
+type model
+
+val train : (Dna.Strand.t * Dna.Strand.t) list -> model
+(** Raises [Invalid_argument] on an empty dataset or inconsistent clean
+    strand lengths. *)
+
+val create : model -> Channel.t

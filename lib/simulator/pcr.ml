@@ -1,0 +1,113 @@
+(** Polymerase chain reaction (Sections II-A and II-E).
+
+    PCR doubles the selected molecules once per thermal cycle, with an
+    [efficiency] probability that any given molecule is copied in a
+    cycle and a small per-base polymerase error rate on each fresh
+    copy. Because errors made in early cycles are themselves amplified,
+    PCR both multiplies molecules and *broadens* their error
+    distribution, and stochastic per-molecule amplification skews
+    abundances — the amplification bias that makes coverage uneven.
+
+    Populations are tracked as (strand, count) multisets; counts grow
+    exponentially while the number of distinct variants stays small. *)
+
+type params = {
+  cycles : int;  (** thermal cycles, typically 10-30 *)
+  efficiency : float;  (** per-molecule copy probability per cycle *)
+  p_sub : float;  (** polymerase substitution rate per base per copy *)
+}
+
+let default_params = { cycles = 12; efficiency = 0.85; p_sub = 1e-4 }
+
+let validate p =
+  if p.cycles < 0 then invalid_arg "Pcr: cycles must be nonnegative";
+  if p.efficiency < 0.0 || p.efficiency > 1.0 then invalid_arg "Pcr: efficiency out of range";
+  if p.p_sub < 0.0 || p.p_sub >= 1.0 then invalid_arg "Pcr: p_sub out of range"
+
+type population = (Dna.Strand.t * int) list
+(** Distinct molecule variants with their copy numbers. *)
+
+let total_molecules (pop : population) = List.fold_left (fun a (_, c) -> a + c) 0 pop
+
+(* Binomial sample by inversion for small n, normal approximation for
+   large n: the number of successfully copied molecules of a variant. *)
+let binomial rng ~n ~p =
+  if n <= 0 || p <= 0.0 then 0
+  else if p >= 1.0 then n
+  else if n < 64 then begin
+    let k = ref 0 in
+    for _ = 1 to n do
+      if Dna.Rng.float rng < p then incr k
+    done;
+    !k
+  end
+  else begin
+    (* Normal approximation with continuity, clamped to [0, n]. *)
+    let mean = float_of_int n *. p in
+    let sd = sqrt (float_of_int n *. p *. (1.0 -. p)) in
+    let u1 = max 1e-12 (Dna.Rng.float rng) and u2 = Dna.Rng.float rng in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    max 0 (min n (int_of_float (mean +. (sd *. z) +. 0.5)))
+  end
+
+(* One polymerase substitution at a random position. *)
+let mutate_copy rng strand =
+  let n = Dna.Strand.length strand in
+  let pos = Dna.Rng.int rng n in
+  let codes = Dna.Strand.to_codes strand in
+  codes.(pos) <- (codes.(pos) + 1 + Dna.Rng.int rng 3) land 3;
+  Dna.Strand.of_codes codes
+
+(* One thermal cycle over the population. Mutated copies spawn new
+   variants; clean copies increase their variant's count. *)
+let cycle p rng (pop : population) : population =
+  let fresh = ref [] in
+  let pop =
+    List.map
+      (fun (strand, count) ->
+        let copied = binomial rng ~n:count ~p:p.efficiency in
+        (* Of the copies, how many carry a new error? Expected
+           n_copies * len * p_sub; sample per-copy only for that few. *)
+        let p_err = min 1.0 (float_of_int (Dna.Strand.length strand) *. p.p_sub) in
+        let errored = binomial rng ~n:copied ~p:p_err in
+        for _ = 1 to errored do
+          fresh := (mutate_copy rng strand, 1) :: !fresh
+        done;
+        (strand, count + copied - errored))
+      pop
+  in
+  pop @ !fresh
+
+let amplify ?(params = default_params) rng (molecules : Dna.Strand.t array) : population =
+  validate params;
+  let pop = ref (Array.to_list (Array.map (fun s -> (s, 1)) molecules)) in
+  for _ = 1 to params.cycles do
+    pop := cycle params rng !pop
+  done;
+  !pop
+
+(* Draw [n] molecules from the population proportionally to abundance:
+   what actually gets loaded on the sequencer. *)
+let sample rng (pop : population) ~n : Dna.Strand.t array =
+  let total = total_molecules pop in
+  if total = 0 then [||]
+  else
+    Array.init n (fun _ ->
+        let target = Dna.Rng.int rng total in
+        let rec pick acc = function
+          | [] -> fst (List.hd pop)
+          | (s, c) :: rest -> if target < acc + c then s else pick (acc + c) rest
+        in
+        pick 0 pop)
+
+(* Amplification skew: coefficient of variation of per-origin abundance
+   when every input molecule was distinct. *)
+let abundance_skew (pop : population) =
+  let counts = List.map (fun (_, c) -> float_of_int c) pop in
+  let n = float_of_int (List.length counts) in
+  if n = 0.0 then 0.0
+  else begin
+    let mean = List.fold_left ( +. ) 0.0 counts /. n in
+    let var = List.fold_left (fun a c -> a +. ((c -. mean) ** 2.0)) 0.0 counts /. n in
+    if mean = 0.0 then 0.0 else sqrt var /. mean
+  end

@@ -1,0 +1,26 @@
+(** Polymerase chain reaction (Sections II-A and II-E): exponential
+    amplification with per-cycle efficiency, polymerase errors that are
+    themselves amplified, and the stochastic per-molecule bias that
+    skews abundances. *)
+
+type params = {
+  cycles : int;  (** thermal cycles, typically 10-30 *)
+  efficiency : float;  (** per-molecule copy probability per cycle *)
+  p_sub : float;  (** polymerase substitution rate per base per copy *)
+}
+
+val default_params : params
+
+type population = (Dna.Strand.t * int) list
+(** Distinct molecule variants with their copy numbers. *)
+
+val total_molecules : population -> int
+
+val amplify : ?params:params -> Dna.Rng.t -> Dna.Strand.t array -> population
+
+val sample : Dna.Rng.t -> population -> n:int -> Dna.Strand.t array
+(** Draw molecules proportionally to abundance: what gets loaded on the
+    sequencer. *)
+
+val abundance_skew : population -> float
+(** Coefficient of variation of per-variant abundance. *)

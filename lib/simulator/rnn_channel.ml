@@ -1,0 +1,21 @@
+(** The sequence-to-sequence RNN simulator as a channel (Section V-B).
+
+    Wraps a trained [Neural.Seq2seq] model: the clean strand is encoded by
+    the bi-GRU, and the noisy read is drawn token-by-token from the
+    decoder's predicted distributions (the paper's greedy/immediate
+    sampling). An untrained model produces near-random reads; train it
+    first with [Trainer.train_rnn]. *)
+
+let strand_of_codes codes = Dna.Strand.of_codes codes
+
+let transmit ?temperature model rng strand =
+  let clean = Dna.Strand.to_codes strand in
+  let noisy = Neural.Seq2seq.sample ?temperature model ~mode:(Neural.Seq2seq.Stochastic rng) clean in
+  if Array.length noisy = 0 then
+    (* An immediate EOS would yield an empty read; emit a single sampled
+       base instead so downstream stages see a molecule at all. *)
+    Dna.Strand.of_codes [| Dna.Rng.int rng 4 |]
+  else strand_of_codes noisy
+
+let create ?temperature model =
+  { Channel.name = "rnn-seq2seq"; transmit = transmit ?temperature model }

@@ -1,0 +1,8 @@
+(** The sequence-to-sequence RNN simulator as a channel (Section V-B):
+    noisy reads are drawn token-by-token from a trained
+    {!Neural.Seq2seq} model's predicted distributions. *)
+
+val create : ?temperature:float -> Neural.Seq2seq.t -> Channel.t
+(** [temperature] recalibrates the sampling distribution of an
+    imperfectly converged model; fit it with
+    {!Trainer.calibrate_temperature}. *)

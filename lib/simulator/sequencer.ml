@@ -1,0 +1,63 @@
+(** Sequencing-coverage model.
+
+    Turns a pool of encoded strands into a shuffled bag of noisy reads by
+    replicating each strand a variable number of times through a channel
+    (Section III: "we variably replicate the strands and introduce
+    errors"). Coverage can be fixed or Poisson-distributed around a mean,
+    with optional molecule dropout modeling strands lost to synthesis or
+    PCR skew. *)
+
+type coverage =
+  | Fixed of int  (** exactly this many reads per strand *)
+  | Poisson of float  (** mean reads per strand *)
+
+type read = {
+  seq : Dna.Strand.t;
+  origin : int;  (** index of the source strand; ground truth for evaluation *)
+}
+
+type params = {
+  coverage : coverage;
+  dropout : float;  (** probability a strand yields no reads at all *)
+  p_reverse : float;  (** probability a read comes off in 3'->5' orientation *)
+}
+
+let default_params ~coverage = { coverage; dropout = 0.0; p_reverse = 0.0 }
+
+let reads_for params rng =
+  match params.coverage with
+  | Fixed n -> n
+  | Poisson mean -> Dna.Rng.poisson rng mean
+
+(* Produce all reads for [strands], shuffled (a test tube has no order). *)
+let sequence ?(shuffle = true) params channel rng (strands : Dna.Strand.t array) : read array =
+  let out = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun origin strand ->
+      if Dna.Rng.float rng >= params.dropout then begin
+        let n = reads_for params rng in
+        for _ = 1 to n do
+          let seq = Channel.transmit channel rng strand in
+          let seq =
+            if params.p_reverse > 0.0 && Dna.Rng.float rng < params.p_reverse then
+              Dna.Strand.reverse_complement seq
+            else seq
+          in
+          if Dna.Strand.length seq > 0 then begin
+            out := { seq; origin } :: !out;
+            incr count
+          end
+        done
+      end)
+    strands;
+  let arr = Array.of_list !out in
+  if shuffle then Dna.Rng.shuffle_in_place rng arr;
+  arr
+
+(* Group reads by origin: the ideal clusters, used to evaluate clustering
+   and to isolate the reconstruction module. *)
+let ideal_clusters ~n_strands (reads : read array) : Dna.Strand.t list array =
+  let clusters = Array.make n_strands [] in
+  Array.iter (fun r -> clusters.(r.origin) <- r.seq :: clusters.(r.origin)) reads;
+  clusters

@@ -1,0 +1,28 @@
+(** Sequencing-coverage model: a pool of encoded strands becomes a
+    shuffled bag of noisy reads. *)
+
+type coverage =
+  | Fixed of int  (** exactly this many reads per strand *)
+  | Poisson of float  (** mean reads per strand *)
+
+type read = {
+  seq : Dna.Strand.t;
+  origin : int;  (** index of the source strand; ground truth for evaluation *)
+}
+
+type params = {
+  coverage : coverage;
+  dropout : float;  (** probability a strand yields no reads at all *)
+  p_reverse : float;  (** probability a read comes off in 3'->5' orientation *)
+}
+
+val default_params : coverage:coverage -> params
+(** No dropout, no reverse reads. *)
+
+val sequence : ?shuffle:bool -> params -> Channel.t -> Dna.Rng.t -> Dna.Strand.t array -> read array
+(** All reads for the pool, shuffled by default (a test tube has no
+    order). Empty reads are discarded. *)
+
+val ideal_clusters : n_strands:int -> read array -> Dna.Strand.t list array
+(** Group reads by origin: the ground-truth clusters, used to evaluate
+    clustering and to isolate the reconstruction module. *)

@@ -1,0 +1,67 @@
+(** A SOLQC-style probabilistic channel (Sabary et al. [32]).
+
+    Error probabilities are conditioned on the nucleotide: each base has
+    its own substitution distribution, deletion probability, and
+    *pre-insertion* probability (an insertion placed before the base).
+    As the paper notes, SOLQC models pre-insertions but not
+    post-insertions, which makes forward reconstruction harder than
+    reverse reconstruction. *)
+
+type base_params = {
+  p_del : float;
+  p_pre_ins : float;
+  ins_dist : float array;  (** distribution over the inserted base, length 4 *)
+  sub_dist : float array;  (** substitution distribution over 4 bases; own base = no-op mass *)
+}
+
+type params = base_params array (* indexed by base code 0..3 *)
+
+(* Defaults loosely shaped like published Illumina nucleotide biases:
+   C and G slightly more error-prone, A->G / T->C transitions favored. *)
+let default_params ~error_rate : params =
+  let e = error_rate in
+  let mk ~bias ~own sub =
+    {
+      p_del = e *. 0.35 *. bias;
+      p_pre_ins = e *. 0.25 *. bias;
+      ins_dist = [| 0.25; 0.25; 0.25; 0.25 |];
+      sub_dist =
+        (let total = e *. 0.4 *. bias in
+         Array.mapi (fun i w -> if i = own then 1.0 -. total else total *. w) sub);
+    }
+  in
+  [|
+    (* A: transitions to G favored *)
+    mk ~bias:0.9 ~own:0 [| 0.0; 0.2; 0.6; 0.2 |];
+    (* C: to T favored *)
+    mk ~bias:1.15 ~own:1 [| 0.2; 0.0; 0.2; 0.6 |];
+    (* G: to A favored *)
+    mk ~bias:1.15 ~own:2 [| 0.6; 0.2; 0.0; 0.2 |];
+    (* T: to C favored *)
+    mk ~bias:0.9 ~own:3 [| 0.2; 0.6; 0.2; 0.0 |];
+  |]
+
+let sample_dist rng (dist : float array) =
+  let u = Dna.Rng.float rng in
+  let rec pick i acc =
+    if i >= Array.length dist - 1 then i
+    else if acc +. dist.(i) >= u then i
+    else pick (i + 1) (acc +. dist.(i))
+  in
+  pick 0 0.0
+
+let transmit (params : params) rng strand =
+  let buf = Buffer.create (Dna.Strand.length strand + 8) in
+  let n = Dna.Strand.length strand in
+  for i = 0 to n - 1 do
+    let code = Dna.Strand.get_code strand i in
+    let p = params.(code) in
+    if Dna.Rng.float rng < p.p_pre_ins then
+      Buffer.add_char buf Dna.Strand.char_of_code.(sample_dist rng p.ins_dist);
+    if Dna.Rng.float rng < p.p_del then ()
+    else Buffer.add_char buf Dna.Strand.char_of_code.(sample_dist rng p.sub_dist)
+  done;
+  Dna.Strand.of_string (Buffer.contents buf)
+
+let create params = { Channel.name = "solqc"; transmit = transmit params }
+let create_rate ~error_rate = create (default_params ~error_rate)

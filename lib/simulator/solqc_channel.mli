@@ -1,0 +1,20 @@
+(** A SOLQC-style probabilistic channel (Sabary et al.): error
+    probabilities conditioned on the nucleotide, with pre-insertions
+    (an insertion before the base) but no post-insertions. *)
+
+type base_params = {
+  p_del : float;
+  p_pre_ins : float;
+  ins_dist : float array;  (** distribution of the inserted base *)
+  sub_dist : float array;  (** substitution distribution; own base = no-op mass *)
+}
+
+type params = base_params array
+(** Indexed by base code 0..3. *)
+
+val default_params : error_rate:float -> params
+(** Shaped like published Illumina nucleotide biases: C/G slightly more
+    error-prone, transitions favored. *)
+
+val create : params -> Channel.t
+val create_rate : error_rate:float -> Channel.t

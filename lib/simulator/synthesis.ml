@@ -1,0 +1,91 @@
+(** Array synthesis model (Section II-B).
+
+    Phosphoramidite synthesis adds bases one coupling at a time; each
+    coupling succeeds with probability [coupling_efficiency] (~0.99),
+    so yield decays geometrically with length and truncated partial
+    products accumulate — the reason synthetic molecules stay a few
+    hundred bases long. The model emits, for each designed strand, a
+    population of physical molecules: full-length copies plus truncated
+    prefixes, each optionally carrying synthesis substitutions. *)
+
+type params = {
+  coupling_efficiency : float;  (** per-base extension success, e.g. 0.99 *)
+  p_sub : float;  (** per-base synthesis substitution rate *)
+  copies : int;  (** physical molecules attempted per design *)
+  keep_truncated : float;  (** fraction of truncated products that survive cleanup *)
+}
+
+let default_params =
+  { coupling_efficiency = 0.99; p_sub = 0.001; copies = 20; keep_truncated = 0.05 }
+
+let validate p =
+  if p.coupling_efficiency <= 0.0 || p.coupling_efficiency > 1.0 then
+    invalid_arg "Synthesis: coupling_efficiency must be in (0, 1]";
+  if p.p_sub < 0.0 || p.p_sub >= 1.0 then invalid_arg "Synthesis: p_sub out of range";
+  if p.copies <= 0 then invalid_arg "Synthesis: copies must be positive"
+
+(* Expected fraction of molecules reaching full length. *)
+let full_length_yield p ~len = p.coupling_efficiency ** float_of_int len
+
+(* One physical molecule of a designed strand: possibly truncated,
+   possibly with substitutions. [None] when the truncated product is
+   washed away in cleanup. *)
+let synthesize_one p rng (design : Dna.Strand.t) : Dna.Strand.t option =
+  let n = Dna.Strand.length design in
+  (* Length reached before the first failed coupling. *)
+  let reached = ref n in
+  (try
+     for i = 0 to n - 1 do
+       if Dna.Rng.float rng >= p.coupling_efficiency then begin
+         reached := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  let len = !reached in
+  if len = 0 then None
+  else if len < n && Dna.Rng.float rng >= p.keep_truncated then None
+  else begin
+    let codes =
+      Array.init len (fun i ->
+          let c = Dna.Strand.get_code design i in
+          if Dna.Rng.float rng < p.p_sub then (c + 1 + Dna.Rng.int rng 3) land 3 else c)
+    in
+    Some (Dna.Strand.of_codes codes)
+  end
+
+(* The synthesized pool for a set of designs; molecules are unordered. *)
+let synthesize ?(params = default_params) rng (designs : Dna.Strand.t array) : Dna.Strand.t array
+    =
+  validate params;
+  let out = ref [] in
+  Array.iter
+    (fun design ->
+      for _ = 1 to params.copies do
+        match synthesize_one params rng design with
+        | Some molecule -> out := molecule :: !out
+        | None -> ()
+      done)
+    designs;
+  let arr = Array.of_list !out in
+  Dna.Rng.shuffle_in_place rng arr;
+  arr
+
+(* A channel view: one synthesis draw per transmit, retrying cleanup
+   losses so a read always comes out (the paper's simulation module
+   composes synthesis noise into the overall channel). *)
+let channel ?(params = default_params) () =
+  validate params;
+  {
+    Channel.name = "synthesis";
+    transmit =
+      (fun rng design ->
+        let rec attempt n =
+          if n = 0 then design
+          else
+            match synthesize_one params rng design with
+            | Some m -> m
+            | None -> attempt (n - 1)
+        in
+        attempt 16);
+  }

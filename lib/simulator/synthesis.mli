@@ -1,0 +1,27 @@
+(** Array synthesis model (Section II-B): per-base coupling succeeds
+    with probability [coupling_efficiency], so yield decays
+    geometrically with length and truncated partial products accumulate
+    — why synthetic molecules stay a few hundred bases long. *)
+
+type params = {
+  coupling_efficiency : float;  (** per-base extension success, e.g. 0.99 *)
+  p_sub : float;  (** per-base synthesis substitution rate *)
+  copies : int;  (** physical molecules attempted per design *)
+  keep_truncated : float;  (** fraction of truncated products surviving cleanup *)
+}
+
+val default_params : params
+
+val full_length_yield : params -> len:int -> float
+(** Expected fraction of molecules reaching full length. *)
+
+val synthesize_one : params -> Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t option
+(** One physical molecule: possibly truncated, possibly substituted;
+    [None] when the product is lost in cleanup. *)
+
+val synthesize : ?params:params -> Dna.Rng.t -> Dna.Strand.t array -> Dna.Strand.t array
+(** The synthesized pool for a set of designs, shuffled. *)
+
+val channel : ?params:params -> unit -> Channel.t
+(** Synthesis noise as a channel stage (retries cleanup losses so a
+    molecule always comes out). *)

@@ -1,0 +1,119 @@
+(** Dataset generation and training of the data-driven simulators.
+
+    Mirrors the paper's methodology: a corpus of paired clean/noisy
+    strands (there, real sequenced clusters; here, draws from the wetlab
+    stand-in channel) is split into train/validation/test, the learned
+    simulators are fit on the training split, and all channels are then
+    compared on the test split (Figure 3, Table I). *)
+
+type dataset = {
+  train : (Dna.Strand.t * Dna.Strand.t) list;
+  validation : (Dna.Strand.t * Dna.Strand.t) list;
+  test : (Dna.Strand.t * Dna.Strand.t) list;
+}
+
+(* Draw [n] clean strands of length [len] and one noisy read each. *)
+let generate_pairs channel rng ~n ~len =
+  List.init n (fun _ ->
+      let clean = Dna.Strand.random rng len in
+      (clean, Channel.transmit channel rng clean))
+
+let split rng ?(train_frac = 0.8) ?(val_frac = 0.1) pairs =
+  let arr = Array.of_list pairs in
+  Dna.Rng.shuffle_in_place rng arr;
+  let n = Array.length arr in
+  let n_train = int_of_float (train_frac *. float_of_int n) in
+  let n_val = int_of_float (val_frac *. float_of_int n) in
+  {
+    train = Array.to_list (Array.sub arr 0 n_train);
+    validation = Array.to_list (Array.sub arr n_train n_val);
+    test = Array.to_list (Array.sub arr (n_train + n_val) (n - n_train - n_val));
+  }
+
+let make_dataset channel rng ~n ~len = split rng (generate_pairs channel rng ~n ~len)
+
+(* Fit the count-based empirical channel. *)
+let train_learned dataset = Learned_channel.create (Learned_channel.train dataset.train)
+
+type rnn_progress = { epoch : int; train_loss : float; val_loss : float }
+
+(* Train the seq2seq model with per-pair Adam steps. [report] is called
+   after each epoch; training keeps the parameters of the best
+   validation epoch. Scheduled sampling ramps from 0 to
+   [scheduled_sampling] over the first half of training. *)
+let train_rnn ?(hidden = 32) ?(epochs = 4) ?(lr = 2e-3) ?(scheduled_sampling = 0.3) ?report
+    dataset rng =
+  let model = Neural.Seq2seq.create ~hidden rng in
+  let opt = Neural.Adam.create ~lr model.Neural.Seq2seq.store in
+  let pairs = Array.of_list dataset.train in
+  let to_codes (c, n) = (Dna.Strand.to_codes c, Dna.Strand.to_codes n) in
+  let train_codes = Array.map to_codes pairs in
+  let val_codes = Array.of_list (List.map to_codes dataset.validation) in
+  let eval_on codes =
+    if Array.length codes = 0 then 0.0
+    else
+      Array.fold_left
+        (fun acc (clean, noisy) -> acc +. Neural.Seq2seq.eval_pair model ~clean ~noisy)
+        0.0 codes
+      /. float_of_int (Array.length codes)
+  in
+  let best_val = ref infinity in
+  let best_params = ref (Neural.Params.to_flat model.Neural.Seq2seq.store) in
+  for epoch = 1 to epochs do
+    Dna.Rng.shuffle_in_place rng train_codes;
+    let ss =
+      scheduled_sampling *. min 1.0 (2.0 *. float_of_int (epoch - 1) /. float_of_int (max 1 epochs))
+    in
+    let total = ref 0.0 in
+    Array.iter
+      (fun (clean, noisy) ->
+        total :=
+          !total
+          +. Neural.Seq2seq.train_pair ~scheduled_sampling:ss ~sampling_rng:rng model opt ~clean
+               ~noisy)
+      train_codes;
+    let train_loss = !total /. float_of_int (max 1 (Array.length train_codes)) in
+    let val_loss = eval_on val_codes in
+    if val_loss < !best_val then begin
+      best_val := val_loss;
+      best_params := Neural.Params.to_flat model.Neural.Seq2seq.store
+    end;
+    match report with
+    | Some f -> f { epoch; train_loss; val_loss }
+    | None -> ()
+  done;
+  Neural.Params.of_flat model.Neural.Seq2seq.store !best_params;
+  model
+
+
+(* Fit the sampling temperature on the validation split: choose the
+   temperature whose sampled reads match the validation pairs' overall
+   edit rate. An under-trained seq2seq is systematically underconfident
+   and over-generates noise at temperature 1; this one scalar corrects
+   the calibration without touching the learned alignment. *)
+let calibrate_temperature ?(candidates = [ 0.4; 0.5; 0.6; 0.7; 0.8; 0.9; 1.0 ])
+    ?(trials = 40) model dataset rng =
+  let edit_rate pairs =
+    let edits, bases =
+      List.fold_left
+        (fun (e, b) (clean, noisy) ->
+          (e + Dna.Distance.levenshtein clean noisy, b + Dna.Strand.length clean))
+        (0, 0) pairs
+    in
+    float_of_int edits /. float_of_int (max 1 bases)
+  in
+  let target = edit_rate dataset.validation in
+  let cleans =
+    List.filteri (fun i _ -> i < trials) dataset.validation |> List.map fst
+  in
+  let best = ref (1.0, infinity) in
+  List.iter
+    (fun temperature ->
+      let channel = Rnn_channel.create ~temperature model in
+      let sampled =
+        List.map (fun clean -> (clean, Channel.transmit channel rng clean)) cleans
+      in
+      let gap = abs_float (edit_rate sampled -. target) in
+      if gap < snd !best then best := (temperature, gap))
+    candidates;
+  fst !best

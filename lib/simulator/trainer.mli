@@ -1,0 +1,35 @@
+(** Dataset generation and training of the data-driven simulators,
+    mirroring the paper's train/validation/test methodology. *)
+
+type dataset = {
+  train : (Dna.Strand.t * Dna.Strand.t) list;
+  validation : (Dna.Strand.t * Dna.Strand.t) list;
+  test : (Dna.Strand.t * Dna.Strand.t) list;
+}
+
+val generate_pairs : Channel.t -> Dna.Rng.t -> n:int -> len:int -> (Dna.Strand.t * Dna.Strand.t) list
+(** [n] clean strands of length [len], one noisy read each. *)
+
+val split : Dna.Rng.t -> ?train_frac:float -> ?val_frac:float ->
+  (Dna.Strand.t * Dna.Strand.t) list -> dataset
+(** Default split 80/10/10. *)
+
+val make_dataset : Channel.t -> Dna.Rng.t -> n:int -> len:int -> dataset
+
+val train_learned : dataset -> Channel.t
+(** Fit the count-based empirical channel on the training split. *)
+
+type rnn_progress = { epoch : int; train_loss : float; val_loss : float }
+
+val train_rnn :
+  ?hidden:int -> ?epochs:int -> ?lr:float -> ?scheduled_sampling:float ->
+  ?report:(rnn_progress -> unit) -> dataset -> Dna.Rng.t -> Neural.Seq2seq.t
+(** Train the seq2seq model with per-pair Adam steps, keeping the
+    parameters of the best validation epoch. Scheduled sampling ramps
+    from 0 to its target (default 0.3) over the first half of
+    training. *)
+
+val calibrate_temperature :
+  ?candidates:float list -> ?trials:int -> Neural.Seq2seq.t -> dataset -> Dna.Rng.t -> float
+(** The sampling temperature whose generated reads best match the
+    validation pairs' overall edit rate. *)

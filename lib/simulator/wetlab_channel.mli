@@ -1,0 +1,25 @@
+(** The "real wetlab" stand-in channel (see DESIGN.md, substitution 1):
+    position-dependent error rates (rising toward the 3' end, bumped at
+    the start), bursty deletions with geometric run lengths,
+    transition-biased substitutions and occasional tail truncation —
+    the properties Section V-A says naive simulators miss. Experiments
+    treat this channel's output as "Real". *)
+
+type params = {
+  base_error : float;  (** overall scale; ~per-base event probability *)
+  start_bump : float;  (** extra multiplier at index 0, decaying *)
+  start_tau : float;  (** decay length of the start bump *)
+  end_ramp : float;  (** extra multiplier at the last index, quadratic ramp *)
+  p_burst : float;  (** fraction of deletion events that open a burst *)
+  burst_continue : float;  (** geometric continuation probability *)
+  p_truncate : float;  (** probability the read tail is lost *)
+  truncate_max_frac : float;  (** at most this fraction of the read *)
+}
+
+val default_params : params
+(** ~10% base error: comparable to Nanopore sequencing. *)
+
+val position_weight : params -> len:int -> int -> float
+(** The positional error multiplier at an index. *)
+
+val create : ?params:params -> unit -> Channel.t

@@ -1,0 +1,523 @@
+(* Tests for the dna substrate library: RNG, nucleotides, strands,
+   bitstream packing, randomizer, distances, alignment, POA, FASTA/FASTQ. *)
+
+let rng () = Dna.Rng.create 12345
+
+let strand = Alcotest.testable Dna.Strand.pp Dna.Strand.equal
+
+(* ---------- Rng ---------- *)
+
+let test_rng_deterministic () =
+  let a = Dna.Rng.create 7 and b = Dna.Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Dna.Rng.int a 1000) (Dna.Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Dna.Rng.create 7 in
+  let b = Dna.Rng.split a in
+  let xs = List.init 50 (fun _ -> Dna.Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Dna.Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_rng_int_bounds () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Dna.Rng.int r 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    let v = Dna.Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_rng_poisson_mean () =
+  let r = rng () in
+  let n = 5000 in
+  let total = ref 0 in
+  for _ = 1 to n do
+    total := !total + Dna.Rng.poisson r 10.0
+  done;
+  let mean = float_of_int !total /. float_of_int n in
+  Alcotest.(check bool) "mean near 10" true (mean > 9.5 && mean < 10.5)
+
+let test_rng_geometric_support () =
+  let r = rng () in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "at least 1" true (Dna.Rng.geometric r 0.4 >= 1)
+  done;
+  Alcotest.(check int) "p=1 is always 1" 1 (Dna.Rng.geometric r 1.0)
+
+let test_rng_shuffle_permutation () =
+  let r = rng () in
+  let a = Array.init 100 (fun i -> i) in
+  Dna.Rng.shuffle_in_place r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 100 (fun i -> i)) sorted
+
+let test_rng_sample_indices_distinct () =
+  let r = rng () in
+  let s = Dna.Rng.sample_indices r ~n:50 ~k:20 in
+  Alcotest.(check int) "20 samples" 20 (Array.length s);
+  let distinct = List.sort_uniq compare (Array.to_list s) in
+  Alcotest.(check int) "all distinct" 20 (List.length distinct);
+  Array.iter (fun i -> Alcotest.(check bool) "in range" true (i >= 0 && i < 50)) s
+
+(* ---------- Nucleotide ---------- *)
+
+let test_nucleotide_roundtrip () =
+  Array.iter
+    (fun b ->
+      Alcotest.(check char) "char roundtrip" (Dna.Nucleotide.to_char b)
+        (Dna.Nucleotide.to_char (Dna.Nucleotide.of_char (Dna.Nucleotide.to_char b)));
+      Alcotest.(check int) "code roundtrip" (Dna.Nucleotide.to_code b)
+        (Dna.Nucleotide.to_code (Dna.Nucleotide.of_code (Dna.Nucleotide.to_code b))))
+    Dna.Nucleotide.all
+
+let test_nucleotide_complement_involutive () =
+  Array.iter
+    (fun b ->
+      Alcotest.(check bool) "complement twice" true
+        (Dna.Nucleotide.equal b Dna.Nucleotide.(complement (complement b))))
+    Dna.Nucleotide.all
+
+let test_nucleotide_random_other () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    let b = Dna.Nucleotide.random r in
+    let o = Dna.Nucleotide.random_other r b in
+    Alcotest.(check bool) "differs" false (Dna.Nucleotide.equal b o)
+  done
+
+let test_nucleotide_invalid_char () =
+  Alcotest.check_raises "of_char 'N'" (Invalid_argument "Nucleotide.of_char: 'N'") (fun () ->
+      ignore (Dna.Nucleotide.of_char 'N'))
+
+(* ---------- Strand ---------- *)
+
+let test_strand_of_string_roundtrip () =
+  let s = "ACGTACGTTTGGCA" in
+  Alcotest.(check string) "roundtrip" s (Dna.Strand.to_string (Dna.Strand.of_string s))
+
+let test_strand_of_string_invalid () =
+  Alcotest.(check bool) "invalid base rejected" true
+    (Dna.Strand.of_string_opt "ACGX" = None)
+
+let test_strand_reverse_complement () =
+  let s = Dna.Strand.of_string "AACGT" in
+  Alcotest.(check string) "revcomp" "ACGTT" (Dna.Strand.to_string (Dna.Strand.reverse_complement s));
+  (* involution *)
+  let r = rng () in
+  for _ = 1 to 50 do
+    let s = Dna.Strand.random r 30 in
+    Alcotest.check strand "revcomp involutive" s
+      (Dna.Strand.reverse_complement (Dna.Strand.reverse_complement s))
+  done
+
+let test_strand_gc_content () =
+  Alcotest.(check (float 1e-9)) "all GC" 1.0 (Dna.Strand.gc_content (Dna.Strand.of_string "GGCC"));
+  Alcotest.(check (float 1e-9)) "no GC" 0.0 (Dna.Strand.gc_content (Dna.Strand.of_string "ATAT"));
+  Alcotest.(check (float 1e-9)) "half" 0.5 (Dna.Strand.gc_content (Dna.Strand.of_string "ACGT"));
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Dna.Strand.gc_content Dna.Strand.empty)
+
+let test_strand_max_homopolymer () =
+  Alcotest.(check int) "empty" 0 (Dna.Strand.max_homopolymer Dna.Strand.empty);
+  Alcotest.(check int) "single" 1 (Dna.Strand.max_homopolymer (Dna.Strand.of_string "A"));
+  Alcotest.(check int) "run of 4" 4 (Dna.Strand.max_homopolymer (Dna.Strand.of_string "ACGGGGTA"));
+  Alcotest.(check int) "run at end" 3 (Dna.Strand.max_homopolymer (Dna.Strand.of_string "ACGTTT"))
+
+let test_strand_find () =
+  let s = Dna.Strand.of_string "ACGTACGT" in
+  Alcotest.(check (option int)) "find CGT" (Some 1)
+    (Dna.Strand.find s ~pattern:(Dna.Strand.of_string "CGT"));
+  Alcotest.(check (option int)) "find from 2" (Some 5)
+    (Dna.Strand.find ~from:2 s ~pattern:(Dna.Strand.of_string "CGT"));
+  Alcotest.(check (option int)) "absent" None
+    (Dna.Strand.find s ~pattern:(Dna.Strand.of_string "TTT"));
+  Alcotest.(check (option int)) "empty pattern" (Some 0)
+    (Dna.Strand.find s ~pattern:Dna.Strand.empty)
+
+let test_strand_codes () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let s = Dna.Strand.random r 40 in
+    Alcotest.check strand "codes roundtrip" s (Dna.Strand.of_codes (Dna.Strand.to_codes s))
+  done
+
+let test_strand_sub_concat () =
+  let s = Dna.Strand.of_string "ACGTACGT" in
+  let a = Dna.Strand.sub s ~pos:0 ~len:4 and b = Dna.Strand.sub s ~pos:4 ~len:4 in
+  Alcotest.check strand "split+concat" s (Dna.Strand.concat [ a; b ]);
+  Alcotest.check strand "append" s (Dna.Strand.append a b)
+
+let test_strand_count () =
+  let s = Dna.Strand.of_string "AACGTA" in
+  Alcotest.(check int) "count A" 3 (Dna.Strand.count s Dna.Nucleotide.A);
+  Alcotest.(check int) "count G" 1 (Dna.Strand.count s Dna.Nucleotide.G)
+
+(* ---------- Bitstream ---------- *)
+
+let test_bitstream_bytes_roundtrip () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let n = 1 + Dna.Rng.int r 64 in
+    let b = Bytes.init n (fun _ -> Char.chr (Dna.Rng.int r 256)) in
+    let s = Dna.Bitstream.strand_of_bytes b in
+    Alcotest.(check int) "4 bases per byte" (4 * n) (Dna.Strand.length s);
+    Alcotest.(check bytes) "roundtrip" b (Dna.Bitstream.bytes_of_strand s)
+  done
+
+let test_bitstream_writer_reader () =
+  let w = Dna.Bitstream.Writer.create () in
+  Dna.Bitstream.Writer.add w ~width:3 5;
+  Dna.Bitstream.Writer.add w ~width:11 1027;
+  Dna.Bitstream.Writer.add w ~width:2 2;
+  let b = Dna.Bitstream.Writer.to_bytes w in
+  let r = Dna.Bitstream.Reader.create b in
+  Alcotest.(check int) "field 1" 5 (Dna.Bitstream.Reader.read r ~width:3);
+  Alcotest.(check int) "field 2" 1027 (Dna.Bitstream.Reader.read r ~width:11);
+  Alcotest.(check int) "field 3" 2 (Dna.Bitstream.Reader.read r ~width:2)
+
+let test_bitstream_writer_rejects_wide_value () =
+  let w = Dna.Bitstream.Writer.create () in
+  Alcotest.check_raises "value too wide"
+    (Invalid_argument "Bitstream.Writer.add: value too wide") (fun () ->
+      Dna.Bitstream.Writer.add w ~width:3 9)
+
+(* ---------- Randomizer ---------- *)
+
+let test_randomizer_involution () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let n = Dna.Rng.int r 200 in
+    let b = Bytes.init n (fun _ -> Char.chr (Dna.Rng.int r 256)) in
+    let scrambled = Dna.Randomizer.scramble ~seed:99 b in
+    Alcotest.(check bytes) "unscramble inverts" b (Dna.Randomizer.unscramble ~seed:99 scrambled)
+  done
+
+let test_randomizer_changes_data () =
+  let b = Bytes.make 100 '\000' in
+  let s = Dna.Randomizer.scramble ~seed:1 b in
+  Alcotest.(check bool) "scrambled differs" false (Bytes.equal b s);
+  let s2 = Dna.Randomizer.scramble ~seed:2 b in
+  Alcotest.(check bool) "seed matters" false (Bytes.equal s s2)
+
+let test_randomizer_breaks_homopolymers () =
+  (* The whole point of unconstrained coding: an all-zero payload should
+     come out without long homopolymers. *)
+  let b = Bytes.make 256 '\000' in
+  let s = Dna.Bitstream.strand_of_bytes (Dna.Randomizer.scramble ~seed:42 b) in
+  Alcotest.(check bool) "homopolymer bounded" true (Dna.Strand.max_homopolymer s <= 10)
+
+(* ---------- Distance ---------- *)
+
+let test_levenshtein_known () =
+  let d a b = Dna.Distance.levenshtein (Dna.Strand.of_string a) (Dna.Strand.of_string b) in
+  Alcotest.(check int) "identical" 0 (d "ACGT" "ACGT");
+  Alcotest.(check int) "one sub" 1 (d "ACGT" "AGGT");
+  Alcotest.(check int) "one del" 1 (d "ACGT" "AGT");
+  Alcotest.(check int) "one ins" 1 (d "ACGT" "ACCGT");
+  Alcotest.(check int) "empty vs s" 4 (d "" "ACGT");
+  Alcotest.(check int) "disjoint" 4 (d "AAAA" "CCCC")
+
+let test_hamming () =
+  let d a b = Dna.Distance.hamming (Dna.Strand.of_string a) (Dna.Strand.of_string b) in
+  Alcotest.(check int) "identical" 0 (d "ACGT" "ACGT");
+  Alcotest.(check int) "two diffs" 2 (d "ACGT" "TCGA");
+  Alcotest.check_raises "unequal lengths"
+    (Invalid_argument "Distance.hamming: unequal lengths") (fun () ->
+      ignore (d "ACG" "ACGT"))
+
+let test_levenshtein_leq_agrees () =
+  let r = rng () in
+  for _ = 1 to 200 do
+    let a = Dna.Strand.random r (10 + Dna.Rng.int r 40) in
+    let b = Dna.Strand.random r (10 + Dna.Rng.int r 40) in
+    let d = Dna.Distance.levenshtein a b in
+    (match Dna.Distance.levenshtein_leq ~bound:d a b with
+    | Some d' -> Alcotest.(check int) "exact at bound" d d'
+    | None -> Alcotest.fail "leq missed distance at exact bound");
+    Alcotest.(check (option int)) "below bound rejects" None
+      (Dna.Distance.levenshtein_leq ~bound:(d - 1) a b)
+  done
+
+let test_levenshtein_banded_exact_within_band () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let a = Dna.Strand.random r 40 in
+    (* small perturbation: stays within band 10 *)
+    let b =
+      Dna.Strand.of_codes
+        (Array.map (fun c -> if Dna.Rng.float r < 0.05 then Dna.Rng.int r 4 else c)
+           (Dna.Strand.to_codes a))
+    in
+    let exact = Dna.Distance.levenshtein a b in
+    if exact <= 10 then
+      Alcotest.(check int) "banded matches exact" exact (Dna.Distance.levenshtein_banded ~band:10 a b)
+  done
+
+let test_l1 () =
+  Alcotest.(check int) "l1" 6 (Dna.Distance.l1 [| 1; 2; 3 |] [| 3; 0; 1 |])
+
+(* ---------- Alignment ---------- *)
+
+let test_alignment_score_equals_levenshtein () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let a = Dna.Strand.random r (5 + Dna.Rng.int r 40) in
+    let b = Dna.Strand.random r (5 + Dna.Rng.int r 40) in
+    let al = Dna.Alignment.align a b in
+    Alcotest.(check int) "score = edit distance" (Dna.Distance.levenshtein a b) al.Dna.Alignment.score
+  done
+
+let test_alignment_script_applies () =
+  let r = rng () in
+  for _ = 1 to 100 do
+    let a = Dna.Strand.random r (5 + Dna.Rng.int r 30) in
+    let b = Dna.Strand.random r (5 + Dna.Rng.int r 30) in
+    let al = Dna.Alignment.align a b in
+    Alcotest.check strand "apply_script recovers b" b
+      (Dna.Alignment.apply_script al.Dna.Alignment.script)
+  done
+
+let test_alignment_padded_same_length () =
+  let a = Dna.Strand.of_string "ACGTAC" and b = Dna.Strand.of_string "AGTACC" in
+  let al = Dna.Alignment.align a b in
+  let pa, pb = Dna.Alignment.padded al in
+  Alcotest.(check int) "padded equal lengths" (String.length pa) (String.length pb)
+
+let test_alignment_counts () =
+  let a = Dna.Strand.of_string "ACGT" and b = Dna.Strand.of_string "ACGT" in
+  let m, s, d, i = Dna.Alignment.counts (Dna.Alignment.align a b) in
+  Alcotest.(check (list int)) "all matches" [ 4; 0; 0; 0 ] [ m; s; d; i ]
+
+(* ---------- POA ---------- *)
+
+let test_poa_single_read () =
+  let g = Dna.Poa.create () in
+  let s = Dna.Strand.of_string "ACGTACGT" in
+  Dna.Poa.add g s;
+  Alcotest.check strand "consensus of one read" s (Dna.Poa.consensus g)
+
+let test_poa_identical_reads () =
+  let g = Dna.Poa.create () in
+  let s = Dna.Strand.of_string "ACGTTGCA" in
+  for _ = 1 to 5 do
+    Dna.Poa.add g s
+  done;
+  Alcotest.check strand "consensus of identical reads" s (Dna.Poa.consensus g);
+  Alcotest.(check int) "no extra nodes" (Dna.Strand.length s) (Dna.Poa.node_count g)
+
+let test_poa_majority_substitution () =
+  let g = Dna.Poa.create () in
+  List.iter
+    (fun s -> Dna.Poa.add g (Dna.Strand.of_string s))
+    [ "ACGTACGT"; "ACGTACGT"; "ACCTACGT" ];
+  Alcotest.check strand "substitution outvoted" (Dna.Strand.of_string "ACGTACGT")
+    (Dna.Poa.consensus g)
+
+let test_poa_column_consensus_noisy () =
+  let r = rng () in
+  let clean = Dna.Strand.random r 40 in
+  let mutate s =
+    Dna.Strand.of_codes
+      (Array.map (fun c -> if Dna.Rng.float r < 0.05 then Dna.Rng.int r 4 else c)
+         (Dna.Strand.to_codes s))
+  in
+  let g = Dna.Poa.create () in
+  for _ = 1 to 9 do
+    Dna.Poa.add g (mutate clean)
+  done;
+  let codes, support = Dna.Poa.consensus_columns ~n_reads:9 g in
+  Alcotest.check strand "columns recover clean" clean (Dna.Strand.of_codes codes);
+  Alcotest.(check int) "one support per column" (Array.length codes) (Array.length support)
+
+(* ---------- Fasta / Fastq ---------- *)
+
+let test_fasta_roundtrip () =
+  let records =
+    [
+      { Dna.Fasta.id = "a"; seq = Dna.Strand.of_string "ACGT" };
+      { Dna.Fasta.id = "b longer name"; seq = Dna.Strand.of_string "GGGG" };
+    ]
+  in
+  let parsed, errors = Dna.Fasta.parse_string (Dna.Fasta.to_string records) in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "two records" 2 (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "id" a.Dna.Fasta.id b.Dna.Fasta.id;
+      Alcotest.check strand "seq" a.Dna.Fasta.seq b.Dna.Fasta.seq)
+    records parsed
+
+let test_fasta_multiline_and_errors () =
+  let text = ">ok\nACGT\nACGT\n>bad\nACXT\n>also_ok\nTTTT\n" in
+  let parsed, errors = Dna.Fasta.parse_string text in
+  Alcotest.(check int) "two good records" 2 (List.length parsed);
+  Alcotest.(check int) "one error" 1 (List.length errors);
+  Alcotest.(check string) "wrapped seq" "ACGTACGT"
+    (Dna.Strand.to_string (List.hd parsed).Dna.Fasta.seq)
+
+let test_fastq_roundtrip () =
+  let records =
+    [
+      { Dna.Fastq.id = "r1"; seq = Dna.Strand.of_string "ACGT"; qual = [| 30; 30; 20; 10 |] };
+      { Dna.Fastq.id = "r2"; seq = Dna.Strand.of_string "TT"; qual = [| 5; 40 |] };
+    ]
+  in
+  let parsed, errors = Dna.Fastq.parse_string (Dna.Fastq.to_string records) in
+  Alcotest.(check int) "no errors" 0 (List.length errors);
+  Alcotest.(check int) "two records" 2 (List.length parsed);
+  List.iter2
+    (fun a b ->
+      Alcotest.(check string) "id" a.Dna.Fastq.id b.Dna.Fastq.id;
+      Alcotest.check strand "seq" a.Dna.Fastq.seq b.Dna.Fastq.seq;
+      Alcotest.(check (array int)) "qual" a.Dna.Fastq.qual b.Dna.Fastq.qual)
+    records parsed
+
+let test_fastq_malformed () =
+  let text = "@r1\nACGT\n+\nIIII\n@r2\nACGT\n+\nIII\n@r3\nAC\n+\nII\n" in
+  let parsed, errors = Dna.Fastq.parse_string text in
+  Alcotest.(check int) "two good" 2 (List.length parsed);
+  Alcotest.(check int) "one bad (quality length)" 1 (List.length errors)
+
+(* ---------- QCheck properties ---------- *)
+
+let arb_strand =
+  QCheck.make
+    ~print:(fun s -> Dna.Strand.to_string s)
+    QCheck.Gen.(
+      map
+        (fun codes -> Dna.Strand.of_codes (Array.of_list codes))
+        (list_size (int_range 0 60) (int_range 0 3)))
+
+let prop_levenshtein_symmetric =
+  QCheck.Test.make ~name:"levenshtein symmetric" ~count:300 (QCheck.pair arb_strand arb_strand)
+    (fun (a, b) -> Dna.Distance.levenshtein a b = Dna.Distance.levenshtein b a)
+
+let prop_levenshtein_triangle =
+  QCheck.Test.make ~name:"levenshtein triangle inequality" ~count:200
+    (QCheck.triple arb_strand arb_strand arb_strand) (fun (a, b, c) ->
+      Dna.Distance.levenshtein a c
+      <= Dna.Distance.levenshtein a b + Dna.Distance.levenshtein b c)
+
+let prop_levenshtein_identity =
+  QCheck.Test.make ~name:"levenshtein identity" ~count:100 arb_strand (fun a ->
+      Dna.Distance.levenshtein a a = 0)
+
+let prop_revcomp_involution =
+  QCheck.Test.make ~name:"reverse complement involutive" ~count:200 arb_strand (fun s ->
+      Dna.Strand.equal s (Dna.Strand.reverse_complement (Dna.Strand.reverse_complement s)))
+
+let prop_bytes_strand_roundtrip =
+  QCheck.Test.make ~name:"bytes->strand->bytes" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 50) (int_bound 255))
+    (fun l ->
+      let b = Bytes.of_string (String.init (List.length l) (fun i -> Char.chr (List.nth l i))) in
+      Bytes.equal b (Dna.Bitstream.bytes_of_strand (Dna.Bitstream.strand_of_bytes b)))
+
+let prop_scramble_involution =
+  QCheck.Test.make ~name:"scramble involutive" ~count:200
+    QCheck.(pair small_int (list (int_bound 255)))
+    (fun (seed, l) ->
+      let b = Bytes.of_string (String.init (List.length l) (fun i -> Char.chr (List.nth l i))) in
+      Bytes.equal b (Dna.Randomizer.unscramble ~seed (Dna.Randomizer.scramble ~seed b)))
+
+let prop_alignment_score =
+  QCheck.Test.make ~name:"alignment score = levenshtein" ~count:200
+    (QCheck.pair arb_strand arb_strand) (fun (a, b) ->
+      (Dna.Alignment.align a b).Dna.Alignment.score = Dna.Distance.levenshtein a b)
+
+let () =
+  Alcotest.run "dna"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "poisson mean" `Quick test_rng_poisson_mean;
+          Alcotest.test_case "geometric support" `Quick test_rng_geometric_support;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_indices_distinct;
+        ] );
+      ( "nucleotide",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_nucleotide_roundtrip;
+          Alcotest.test_case "complement involutive" `Quick test_nucleotide_complement_involutive;
+          Alcotest.test_case "random other" `Quick test_nucleotide_random_other;
+          Alcotest.test_case "invalid char" `Quick test_nucleotide_invalid_char;
+        ] );
+      ( "strand",
+        [
+          Alcotest.test_case "string roundtrip" `Quick test_strand_of_string_roundtrip;
+          Alcotest.test_case "invalid rejected" `Quick test_strand_of_string_invalid;
+          Alcotest.test_case "reverse complement" `Quick test_strand_reverse_complement;
+          Alcotest.test_case "gc content" `Quick test_strand_gc_content;
+          Alcotest.test_case "max homopolymer" `Quick test_strand_max_homopolymer;
+          Alcotest.test_case "find" `Quick test_strand_find;
+          Alcotest.test_case "codes roundtrip" `Quick test_strand_codes;
+          Alcotest.test_case "sub/concat" `Quick test_strand_sub_concat;
+          Alcotest.test_case "count" `Quick test_strand_count;
+        ] );
+      ( "bitstream",
+        [
+          Alcotest.test_case "bytes roundtrip" `Quick test_bitstream_bytes_roundtrip;
+          Alcotest.test_case "writer/reader fields" `Quick test_bitstream_writer_reader;
+          Alcotest.test_case "rejects wide values" `Quick test_bitstream_writer_rejects_wide_value;
+        ] );
+      ( "randomizer",
+        [
+          Alcotest.test_case "involution" `Quick test_randomizer_involution;
+          Alcotest.test_case "changes data" `Quick test_randomizer_changes_data;
+          Alcotest.test_case "breaks homopolymers" `Quick test_randomizer_breaks_homopolymers;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "levenshtein known" `Quick test_levenshtein_known;
+          Alcotest.test_case "hamming" `Quick test_hamming;
+          Alcotest.test_case "leq agrees" `Quick test_levenshtein_leq_agrees;
+          Alcotest.test_case "banded exact in band" `Quick test_levenshtein_banded_exact_within_band;
+          Alcotest.test_case "l1" `Quick test_l1;
+        ] );
+      ( "alignment",
+        [
+          Alcotest.test_case "score = levenshtein" `Quick test_alignment_score_equals_levenshtein;
+          Alcotest.test_case "script applies" `Quick test_alignment_script_applies;
+          Alcotest.test_case "padded lengths" `Quick test_alignment_padded_same_length;
+          Alcotest.test_case "counts" `Quick test_alignment_counts;
+        ] );
+      ( "poa",
+        [
+          Alcotest.test_case "single read" `Quick test_poa_single_read;
+          Alcotest.test_case "identical reads" `Quick test_poa_identical_reads;
+          Alcotest.test_case "majority substitution" `Quick test_poa_majority_substitution;
+          Alcotest.test_case "column consensus noisy" `Quick test_poa_column_consensus_noisy;
+        ] );
+      ( "fasta",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fasta_roundtrip;
+          Alcotest.test_case "multiline + errors" `Quick test_fasta_multiline_and_errors;
+        ] );
+      ( "fastq",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_fastq_roundtrip;
+          Alcotest.test_case "malformed" `Quick test_fastq_malformed;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_levenshtein_symmetric;
+            prop_levenshtein_triangle;
+            prop_levenshtein_identity;
+            prop_revcomp_involution;
+            prop_bytes_strand_roundtrip;
+            prop_scramble_involution;
+            prop_alignment_score;
+          ] );
+    ]

@@ -1,0 +1,289 @@
+(* Tests for the neural substrate: autodiff correctness (against finite
+   differences), GRU/attention shapes, Adam behaviour, and seq2seq
+   training on tiny problems. *)
+
+let rng () = Dna.Rng.create 4242
+
+(* Finite-difference gradient check for a scalar-valued function built
+   from autodiff ops over one parameter vector. *)
+let grad_check ?(eps = 1e-5) ?(tol = 1e-3) ~size build =
+  let r = rng () in
+  let store = Neural.Params.create () in
+  let p = Neural.Params.add store ~name:"p" ~size ~init:(fun _ -> Dna.Rng.float r -. 0.5) in
+  let loss () =
+    let tape = Neural.Autodiff.create_tape () in
+    let leaf = Neural.Autodiff.leaf tape ~data:p.Neural.Params.data ~grad:p.Neural.Params.grad in
+    (build tape leaf).Neural.Autodiff.data.(0)
+  in
+  Neural.Params.zero_grads store;
+  let tape = Neural.Autodiff.create_tape () in
+  let leaf = Neural.Autodiff.leaf tape ~data:p.Neural.Params.data ~grad:p.Neural.Params.grad in
+  let out = build tape leaf in
+  Neural.Autodiff.backward tape out;
+  for i = 0 to size - 1 do
+    let orig = p.Neural.Params.data.(i) in
+    p.Neural.Params.data.(i) <- orig +. eps;
+    let lp = loss () in
+    p.Neural.Params.data.(i) <- orig -. eps;
+    let lm = loss () in
+    p.Neural.Params.data.(i) <- orig;
+    let fd = (lp -. lm) /. (2.0 *. eps) in
+    let an = p.Neural.Params.grad.(i) in
+    let denom = max 1e-4 (abs_float fd +. abs_float an) in
+    if abs_float (fd -. an) /. denom > tol then
+      Alcotest.failf "grad mismatch at %d: fd=%.6f analytic=%.6f" i fd an
+  done
+
+let test_grad_dot () =
+  grad_check ~size:6 (fun tape p ->
+      let c = Neural.Autodiff.const tape [| 1.0; -2.0; 0.5; 3.0; 0.0; 1.5 |] in
+      Neural.Autodiff.dot tape p c)
+
+let test_grad_tanh_sigmoid () =
+  grad_check ~size:4 (fun tape p ->
+      let open Neural.Autodiff in
+      let t = tanh tape p in
+      let s = sigmoid tape p in
+      let m = mul tape t s in
+      dot tape m m)
+
+let test_grad_matvec () =
+  grad_check ~size:12 (fun tape p ->
+      (* p as a 3x4 matrix applied to a constant vector. *)
+      let open Neural.Autodiff in
+      let x = const tape [| 0.3; -0.7; 1.1; 0.2 |] in
+      let y = matvec tape p ~rows:3 ~cols:4 x in
+      dot tape y y)
+
+let test_grad_softmax_weighted_sum () =
+  grad_check ~size:3 (fun tape p ->
+      let open Neural.Autodiff in
+      let w = softmax tape p in
+      let vs =
+        [ const tape [| 1.0; 0.0 |]; const tape [| 0.0; 1.0 |]; const tape [| 1.0; 1.0 |] ]
+      in
+      let ctx = weighted_sum tape w vs in
+      dot tape ctx ctx)
+
+let test_grad_cross_entropy () =
+  grad_check ~size:5 (fun tape p -> Neural.Autodiff.cross_entropy tape p ~target:2)
+
+let test_grad_concat_sub () =
+  grad_check ~size:4 (fun tape p ->
+      let open Neural.Autodiff in
+      let c = const tape [| 0.5; -0.5 |] in
+      let cat = concat tape p c in
+      let twice = add tape cat cat in
+      let diff = sub tape twice cat in
+      dot tape diff diff)
+
+let test_grad_stack () =
+  grad_check ~size:3 (fun tape p ->
+      let open Neural.Autodiff in
+      let s1 = dot tape p p in
+      let s2 = dot tape p (const tape [| 1.0; 2.0; 3.0 |]) in
+      let stacked = stack tape [ s1; s2 ] in
+      dot tape stacked stacked)
+
+(* ---------- GRU ---------- *)
+
+let test_gru_step_shapes () =
+  let r = rng () in
+  let store = Neural.Params.create () in
+  let cell = Neural.Gru.create store r ~prefix:"g" ~input:5 ~hidden:7 in
+  let tape = Neural.Autodiff.create_tape () in
+  let h = Neural.Gru.zero_state cell tape in
+  let x = Neural.Autodiff.const tape (Array.make 5 0.3) in
+  let h' = Neural.Gru.step cell tape ~h ~x in
+  Alcotest.(check int) "hidden size" 7 (Neural.Autodiff.length h')
+
+let test_gru_state_bounded () =
+  (* GRU state is a convex combination of tanh outputs: always in (-1,1). *)
+  let r = rng () in
+  let store = Neural.Params.create () in
+  let cell = Neural.Gru.create store r ~prefix:"g" ~input:4 ~hidden:6 in
+  let tape = Neural.Autodiff.create_tape () in
+  let h = ref (Neural.Gru.zero_state cell tape) in
+  for _ = 1 to 20 do
+    let x = Neural.Autodiff.const tape (Array.init 4 (fun _ -> Dna.Rng.float r *. 2.0 -. 1.0)) in
+    h := Neural.Gru.step cell tape ~h:!h ~x
+  done;
+  Array.iter
+    (fun v -> Alcotest.(check bool) "bounded" true (v > -1.0 && v < 1.0))
+    !h.Neural.Autodiff.data
+
+let test_gru_grad () =
+  (* End-to-end gradient through a one-step GRU. *)
+  let r = rng () in
+  let store = Neural.Params.create () in
+  let cell = Neural.Gru.create store r ~prefix:"g" ~input:3 ~hidden:4 in
+  let loss () =
+    let tape = Neural.Autodiff.create_tape () in
+    let h = Neural.Gru.zero_state cell tape in
+    let x = Neural.Autodiff.const tape [| 0.2; -0.4; 0.9 |] in
+    let h' = Neural.Gru.step cell tape ~h ~x in
+    let l = Neural.Autodiff.dot tape h' h' in
+    (tape, l)
+  in
+  Neural.Params.zero_grads store;
+  let tape, l = loss () in
+  Neural.Autodiff.backward tape l;
+  (* spot check one weight of wz *)
+  let p = List.hd (Neural.Params.in_order store) in
+  let i = 2 in
+  let orig = p.Neural.Params.data.(i) in
+  let eps = 1e-5 in
+  p.Neural.Params.data.(i) <- orig +. eps;
+  let _, lp = loss () in
+  let lp = lp.Neural.Autodiff.data.(0) in
+  p.Neural.Params.data.(i) <- orig -. eps;
+  let _, lm = loss () in
+  let lm = lm.Neural.Autodiff.data.(0) in
+  p.Neural.Params.data.(i) <- orig;
+  let fd = (lp -. lm) /. (2.0 *. eps) in
+  let an = p.Neural.Params.grad.(i) in
+  Alcotest.(check bool) "gru grad matches fd" true
+    (abs_float (fd -. an) /. max 1e-4 (abs_float fd +. abs_float an) < 1e-3)
+
+(* ---------- Params / Adam ---------- *)
+
+let test_params_flat_roundtrip () =
+  let r = rng () in
+  let store = Neural.Params.create () in
+  let _ = Neural.Params.add_matrix store r ~name:"m" ~rows:3 ~cols:4 in
+  let _ = Neural.Params.add_vector store ~name:"v" ~size:5 in
+  let flat = Neural.Params.to_flat store in
+  Alcotest.(check int) "total size" 17 (Array.length flat);
+  let mutated = Array.map (fun x -> x +. 1.0) flat in
+  Neural.Params.of_flat store mutated;
+  Alcotest.(check (array (float 1e-12))) "of_flat applied" mutated (Neural.Params.to_flat store)
+
+let test_params_duplicate_name () =
+  let store = Neural.Params.create () in
+  let _ = Neural.Params.add_vector store ~name:"x" ~size:2 in
+  Alcotest.check_raises "duplicate" (Invalid_argument "Params.add: duplicate name x") (fun () ->
+      ignore (Neural.Params.add_vector store ~name:"x" ~size:2))
+
+let test_clip_grads () =
+  let store = Neural.Params.create () in
+  let p = Neural.Params.add_vector store ~name:"x" ~size:4 in
+  Array.blit [| 3.0; 4.0; 0.0; 0.0 |] 0 p.Neural.Params.grad 0 4;
+  Neural.Params.clip_grads store ~max_norm:1.0;
+  let norm = Neural.Params.grad_norm store in
+  Alcotest.(check (float 1e-6)) "clipped to max_norm" 1.0 norm
+
+let test_adam_minimizes_quadratic () =
+  (* Minimize ||p - target||^2 with Adam; must converge close. *)
+  let store = Neural.Params.create () in
+  let p = Neural.Params.add store ~name:"p" ~size:3 ~init:(fun _ -> 0.0) in
+  let target = [| 1.0; -2.0; 0.5 |] in
+  let opt = Neural.Adam.create ~lr:0.05 store in
+  for _ = 1 to 500 do
+    let tape = Neural.Autodiff.create_tape () in
+    let leaf = Neural.Autodiff.leaf tape ~data:p.Neural.Params.data ~grad:p.Neural.Params.grad in
+    let t = Neural.Autodiff.const tape target in
+    let d = Neural.Autodiff.sub tape leaf t in
+    let l = Neural.Autodiff.dot tape d d in
+    Neural.Autodiff.backward tape l;
+    Neural.Adam.update opt
+  done;
+  Array.iteri
+    (fun i t ->
+      Alcotest.(check bool) "converged" true (abs_float (p.Neural.Params.data.(i) -. t) < 0.01))
+    target
+
+(* ---------- Seq2seq ---------- *)
+
+let test_seq2seq_loss_finite () =
+  let r = rng () in
+  let model = Neural.Seq2seq.create ~hidden:8 r in
+  let clean = Array.init 15 (fun _ -> Dna.Rng.int r 4) in
+  let noisy = Array.init 14 (fun _ -> Dna.Rng.int r 4) in
+  let l = Neural.Seq2seq.eval_pair model ~clean ~noisy in
+  Alcotest.(check bool) "finite positive" true (Float.is_finite l && l > 0.0);
+  (* an untrained model sits near the uniform loss ln 5 *)
+  Alcotest.(check bool) "near ln 5" true (abs_float (l -. log 5.0) < 0.7)
+
+let test_seq2seq_sample_tokens_valid () =
+  let r = rng () in
+  let model = Neural.Seq2seq.create ~hidden:8 r in
+  let clean = Array.init 12 (fun _ -> Dna.Rng.int r 4) in
+  let out = Neural.Seq2seq.sample model ~mode:(Neural.Seq2seq.Stochastic r) clean in
+  Array.iter (fun t -> Alcotest.(check bool) "base token" true (t >= 0 && t < 4)) out;
+  Alcotest.(check bool) "bounded length" true
+    (Array.length out <= int_of_float (1.6 *. 12.0) + 8)
+
+let test_seq2seq_learns_identity () =
+  (* Tiny task: noiseless channel, short strands. The model must beat
+     the uniform baseline clearly after a few epochs. *)
+  let r = rng () in
+  let model = Neural.Seq2seq.create ~hidden:12 r in
+  let opt = Neural.Adam.create ~lr:5e-3 model.Neural.Seq2seq.store in
+  let pairs =
+    Array.init 80 (fun _ ->
+        let s = Array.init 8 (fun _ -> Dna.Rng.int r 4) in
+        (s, Array.copy s))
+  in
+  let final = ref infinity in
+  for _ = 1 to 8 do
+    let total = ref 0.0 in
+    Array.iter
+      (fun (clean, noisy) -> total := !total +. Neural.Seq2seq.train_pair model opt ~clean ~noisy)
+      pairs;
+    final := !total /. 80.0
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "loss dropped (%.3f < 1.0)" !final)
+    true (!final < 1.0)
+
+let test_seq2seq_save_load () =
+  let r = rng () in
+  let model = Neural.Seq2seq.create ~hidden:8 r in
+  let clean = Array.init 10 (fun _ -> Dna.Rng.int r 4) in
+  let noisy = Array.init 10 (fun _ -> Dna.Rng.int r 4) in
+  let l0 = Neural.Seq2seq.eval_pair model ~clean ~noisy in
+  let path = Filename.temp_file "seq2seq" ".ckpt" in
+  Neural.Seq2seq.save model path;
+  (* clobber weights, reload, loss restored *)
+  let zeros = Array.make (Array.length (Neural.Params.to_flat model.Neural.Seq2seq.store)) 0.0 in
+  Neural.Params.of_flat model.Neural.Seq2seq.store zeros;
+  Alcotest.(check bool) "weights clobbered" true
+    (abs_float (Neural.Seq2seq.eval_pair model ~clean ~noisy -. l0) > 1e-9);
+  Neural.Seq2seq.load model path;
+  Alcotest.(check (float 1e-9)) "loss restored" l0 (Neural.Seq2seq.eval_pair model ~clean ~noisy);
+  Sys.remove path
+
+let () =
+  Alcotest.run "neural"
+    [
+      ( "autodiff-grad",
+        [
+          Alcotest.test_case "dot" `Quick test_grad_dot;
+          Alcotest.test_case "tanh*sigmoid" `Quick test_grad_tanh_sigmoid;
+          Alcotest.test_case "matvec" `Quick test_grad_matvec;
+          Alcotest.test_case "softmax+weighted_sum" `Quick test_grad_softmax_weighted_sum;
+          Alcotest.test_case "cross entropy" `Quick test_grad_cross_entropy;
+          Alcotest.test_case "concat/sub" `Quick test_grad_concat_sub;
+          Alcotest.test_case "stack" `Quick test_grad_stack;
+        ] );
+      ( "gru",
+        [
+          Alcotest.test_case "step shapes" `Quick test_gru_step_shapes;
+          Alcotest.test_case "state bounded" `Quick test_gru_state_bounded;
+          Alcotest.test_case "gradient" `Quick test_gru_grad;
+        ] );
+      ( "params-adam",
+        [
+          Alcotest.test_case "flat roundtrip" `Quick test_params_flat_roundtrip;
+          Alcotest.test_case "duplicate name" `Quick test_params_duplicate_name;
+          Alcotest.test_case "clip grads" `Quick test_clip_grads;
+          Alcotest.test_case "adam minimizes" `Quick test_adam_minimizes_quadratic;
+        ] );
+      ( "seq2seq",
+        [
+          Alcotest.test_case "loss finite" `Quick test_seq2seq_loss_finite;
+          Alcotest.test_case "sample tokens valid" `Quick test_seq2seq_sample_tokens_valid;
+          Alcotest.test_case "learns identity" `Slow test_seq2seq_learns_identity;
+          Alcotest.test_case "save/load" `Quick test_seq2seq_save_load;
+        ] );
+    ]

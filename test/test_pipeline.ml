@@ -1,0 +1,278 @@
+(* Integration tests: the full pipeline, the key-value store, wetlab
+   FASTQ ingestion, and report rendering. *)
+
+let rng () = Dna.Rng.create 5050
+
+let random_file r n = Bytes.init n (fun _ -> Char.chr (Dna.Rng.int r 256))
+
+(* ---------- pipeline ---------- *)
+
+let test_pipeline_end_to_end_exact () =
+  let r = rng () in
+  let file = random_file r 1200 in
+  let out = Dnastore.Pipeline.run r file in
+  Alcotest.(check bool) "exact recovery" true out.Dnastore.Pipeline.exact;
+  (match out.Dnastore.Pipeline.file with
+  | Some bytes -> Alcotest.(check bytes) "bytes equal" file bytes
+  | None -> Alcotest.fail "no file decoded");
+  Alcotest.(check bool) "reads = strands x coverage" true
+    (out.Dnastore.Pipeline.n_reads = 10 * out.Dnastore.Pipeline.n_strands)
+
+let test_pipeline_every_stage_combination () =
+  (* Swap reconstruction and signature stages; all combinations must
+     recover the file at the default setting (the paper's modularity
+     claim, Section IX: alter one component at a time). *)
+  let file = random_file (rng ()) 700 in
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (rname, recon) ->
+          let r = Dna.Rng.create 17 in
+          let stages =
+            {
+              (Dnastore.Pipeline.default_stages ()) with
+              Dnastore.Pipeline.cluster = Dnastore.Pipeline.cluster_default ~kind ();
+              reconstruct = recon;
+            }
+          in
+          let out = Dnastore.Pipeline.run ~stages r file in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s + %s exact"
+               (match kind with Clustering.Signature.Qgram -> "qgram" | _ -> "wgram")
+               rname)
+            true out.Dnastore.Pipeline.exact)
+        [
+          ("bma", Dnastore.Pipeline.reconstruct_bma);
+          ("dbma", Dnastore.Pipeline.reconstruct_dbma);
+          ("nw", Dnastore.Pipeline.reconstruct_nw);
+        ])
+    [ Clustering.Signature.Qgram; Clustering.Signature.Wgram ]
+
+let test_pipeline_gini_layout () =
+  let r = rng () in
+  let file = random_file r 900 in
+  let out = Dnastore.Pipeline.run ~layout:Codec.Layout.Gini r file in
+  Alcotest.(check bool) "gini exact" true out.Dnastore.Pipeline.exact
+
+let test_pipeline_noiseless_channel () =
+  let r = rng () in
+  let file = random_file r 400 in
+  let stages =
+    { (Dnastore.Pipeline.default_stages ()) with Dnastore.Pipeline.channel = Simulator.Channel.noiseless }
+  in
+  let out = Dnastore.Pipeline.run ~stages r file in
+  Alcotest.(check bool) "noiseless exact" true out.Dnastore.Pipeline.exact
+
+let test_pipeline_timings_positive () =
+  let r = rng () in
+  let file = random_file r 500 in
+  let out = Dnastore.Pipeline.run r file in
+  let t = out.Dnastore.Pipeline.timings in
+  Alcotest.(check bool) "all stages timed" true
+    (t.Dnastore.Pipeline.encode_s >= 0.0 && t.simulate_s >= 0.0 && t.cluster_s > 0.0
+   && t.reconstruct_s > 0.0 && t.decode_s >= 0.0);
+  Alcotest.(check bool) "total is the sum" true
+    (abs_float (Dnastore.Pipeline.total_s t
+                -. (t.Dnastore.Pipeline.encode_s +. t.simulate_s +. t.cluster_s
+                    +. t.reconstruct_s +. t.decode_s))
+    < 1e-9)
+
+let test_pipeline_parallel_domains () =
+  let r = rng () in
+  let file = random_file r 800 in
+  let out = Dnastore.Pipeline.run ~domains:2 r file in
+  Alcotest.(check bool) "parallel exact" true out.Dnastore.Pipeline.exact
+
+let test_pipeline_dropout_within_parity () =
+  let r = rng () in
+  let file = random_file r 600 in
+  let stages =
+    {
+      (Dnastore.Pipeline.default_stages ()) with
+      Dnastore.Pipeline.sequencing =
+        {
+          (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed 10)) with
+          Simulator.Sequencer.dropout = 0.05;
+        };
+    }
+  in
+  let out = Dnastore.Pipeline.run ~stages r file in
+  Alcotest.(check bool) "survives molecule dropout" true out.Dnastore.Pipeline.exact
+
+(* ---------- kv store ---------- *)
+
+let test_kv_put_get_multiple_files () =
+  let store = Dnastore.Kv_store.create ~seed:11 in
+  let contents =
+    [ ("a", "first file contents"); ("b", "second, longer file contents right here"); ("c", "third") ]
+  in
+  List.iter (fun (k, c) -> Dnastore.Kv_store.put store ~key:k (Bytes.of_string c)) contents;
+  Alcotest.(check int) "three keys" 3 (List.length (Dnastore.Kv_store.keys store));
+  List.iter
+    (fun (k, c) ->
+      match Dnastore.Kv_store.get store ~key:k with
+      | Ok (bytes, _) -> Alcotest.(check string) ("get " ^ k) c (Bytes.to_string bytes)
+      | Error _ -> Alcotest.fail ("get failed for " ^ k))
+    contents
+
+let test_kv_missing_key () =
+  let store = Dnastore.Kv_store.create ~seed:12 in
+  Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "data");
+  match Dnastore.Kv_store.get store ~key:"y" with
+  | Error Dnastore.Kv_store.Key_not_found -> ()
+  | Ok _ | Error (Decode_failed _) -> Alcotest.fail "expected Key_not_found"
+
+let test_kv_duplicate_key_rejected () =
+  let store = Dnastore.Kv_store.create ~seed:13 in
+  Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "data");
+  Alcotest.check_raises "duplicate" (Invalid_argument "Kv_store.put: duplicate key x") (fun () ->
+      Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "other"))
+
+let test_kv_pcr_selects_only_target () =
+  let store = Dnastore.Kv_store.create ~seed:14 in
+  Dnastore.Kv_store.put store ~key:"a" (Bytes.of_string (String.make 400 'a'));
+  Dnastore.Kv_store.put store ~key:"b" (Bytes.of_string (String.make 700 'b'));
+  let entry_a =
+    List.find (fun e -> e.Dnastore.Kv_store.key = "a") store.Dnastore.Kv_store.directory
+  in
+  let selected = Dnastore.Kv_store.pcr_select store entry_a.Dnastore.Kv_store.pair in
+  (* 400 bytes + header fits in 1 unit = 26 molecules *)
+  Alcotest.(check int) "only file a's molecules" (26 * entry_a.Dnastore.Kv_store.n_units)
+    (Array.length selected)
+
+let test_kv_get_repeatable () =
+  (* Each get is a fresh PCR + sequencing run; both must succeed. *)
+  let store = Dnastore.Kv_store.create ~seed:15 in
+  Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "read me twice");
+  let get () =
+    match Dnastore.Kv_store.get store ~key:"x" with
+    | Ok (bytes, _) -> Bytes.to_string bytes
+    | Error _ -> Alcotest.fail "get failed"
+  in
+  Alcotest.(check string) "first read" "read me twice" (get ());
+  Alcotest.(check string) "second read" "read me twice" (get ())
+
+(* ---------- wetlab io ---------- *)
+
+let test_wetlab_ingest_roundtrip () =
+  let r = rng () in
+  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let cores = Array.init 12 (fun _ -> Dna.Strand.random r 100) in
+  let tagged = Array.map (Codec.Primer.attach pair) cores in
+  (* Mix orientations, export as FASTQ text, ingest. *)
+  let reads =
+    Array.map
+      (fun s -> if Dna.Rng.bool r then Dna.Strand.reverse_complement s else s)
+      tagged
+  in
+  let text = Dnastore.Wetlab_io.export_fastq reads in
+  let ingested = Dnastore.Wetlab_io.ingest_string [ pair ] text in
+  let stats = ingested.Dnastore.Wetlab_io.stats in
+  Alcotest.(check int) "all records parsed" 12 stats.Dnastore.Wetlab_io.total_records;
+  Alcotest.(check int) "no unmatched" 0 stats.Dnastore.Wetlab_io.no_primer_match;
+  match ingested.Dnastore.Wetlab_io.by_pair with
+  | [ (_, got) ] ->
+      Alcotest.(check int) "all cores recovered" 12 (Array.length got);
+      let sort a = List.sort compare (Array.to_list (Array.map Dna.Strand.to_string a)) in
+      Alcotest.(check (list string)) "cores identical" (sort cores) (sort got)
+  | _ -> Alcotest.fail "expected one primer bucket"
+
+let test_wetlab_ingest_multiple_pairs () =
+  let r = rng () in
+  let pairs = Array.to_list (Codec.Primer.generate_pairs r 2) in
+  let mk pair n = Array.init n (fun _ -> Codec.Primer.attach pair (Dna.Strand.random r 80)) in
+  let reads = Array.append (mk (List.nth pairs 0) 5) (mk (List.nth pairs 1) 7) in
+  let text = Dnastore.Wetlab_io.export_fastq reads in
+  let ingested = Dnastore.Wetlab_io.ingest_string pairs text in
+  let by_size =
+    List.sort compare (List.map (fun (_, cores) -> Array.length cores) ingested.Dnastore.Wetlab_io.by_pair)
+  in
+  Alcotest.(check (list int)) "grouped by pair" [ 5; 7 ] by_size
+
+let test_wetlab_ingest_garbage_fastq () =
+  let r = rng () in
+  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let text = "@ok\n" ^ Dna.Strand.to_string (Codec.Primer.attach pair (Dna.Strand.random r 50))
+             ^ "\n+\n" ^ String.make 90 'I' ^ "\nnot a fastq line\n" in
+  let ingested = Dnastore.Wetlab_io.ingest_string [ pair ] text in
+  Alcotest.(check bool) "parse errors counted" true
+    (ingested.Dnastore.Wetlab_io.stats.Dnastore.Wetlab_io.parse_errors >= 1)
+
+let test_wetlab_fastq_quality_roundtrip () =
+  let r = rng () in
+  let reads = Array.init 3 (fun _ -> Dna.Strand.random r 40) in
+  let text = Dnastore.Wetlab_io.export_fastq ~quality:25 reads in
+  let records, errors = Dna.Fastq.parse_string text in
+  Alcotest.(check int) "no parse errors" 0 (List.length errors);
+  List.iter
+    (fun rec_ ->
+      Array.iter (fun q -> Alcotest.(check int) "quality 25" 25 q) rec_.Dna.Fastq.qual)
+    records
+
+(* ---------- par ---------- *)
+
+let test_par_map_matches_sequential () =
+  let arr = Array.init 100 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "same results" (Array.map f arr)
+    (Dna.Par.map_array ~domains:3 f arr);
+  Alcotest.(check (array int)) "empty" [||] (Dna.Par.map_array ~domains:3 f [||])
+
+let test_par_mapi () =
+  let arr = [| 10; 20; 30 |] in
+  Alcotest.(check (array int)) "index aware" [| 10; 21; 32 |]
+    (Dna.Par.mapi_array ~domains:2 (fun i x -> x + i) arr)
+
+(* ---------- report ---------- *)
+
+let test_report_table_alignment () =
+  let t = Dnastore.Report.table [ [ "a"; "bb" ]; [ "ccc"; "d" ] ] in
+  let lines = String.split_on_char '\n' t in
+  Alcotest.(check bool) "has header + rule + row" true (List.length lines >= 3);
+  Alcotest.(check bool) "columns aligned" true
+    (String.length (List.nth lines 0) = String.length (List.nth lines 0))
+
+let test_report_ascii_profile () =
+  let p = Dnastore.Report.ascii_profile ~height:4 ~buckets:10 (Array.init 50 (fun i -> float_of_int i)) in
+  Alcotest.(check bool) "nonempty" true (String.length p > 0);
+  Alcotest.(check bool) "contains bars" true (String.contains p '#')
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "end to end exact" `Quick test_pipeline_end_to_end_exact;
+          Alcotest.test_case "stage combinations" `Slow test_pipeline_every_stage_combination;
+          Alcotest.test_case "gini layout" `Quick test_pipeline_gini_layout;
+          Alcotest.test_case "noiseless channel" `Quick test_pipeline_noiseless_channel;
+          Alcotest.test_case "timings" `Quick test_pipeline_timings_positive;
+          Alcotest.test_case "parallel domains" `Quick test_pipeline_parallel_domains;
+          Alcotest.test_case "dropout tolerated" `Quick test_pipeline_dropout_within_parity;
+        ] );
+      ( "kv-store",
+        [
+          Alcotest.test_case "put/get multiple" `Slow test_kv_put_get_multiple_files;
+          Alcotest.test_case "missing key" `Quick test_kv_missing_key;
+          Alcotest.test_case "duplicate rejected" `Quick test_kv_duplicate_key_rejected;
+          Alcotest.test_case "pcr selects target" `Quick test_kv_pcr_selects_only_target;
+          Alcotest.test_case "get repeatable" `Quick test_kv_get_repeatable;
+        ] );
+      ( "wetlab-io",
+        [
+          Alcotest.test_case "ingest roundtrip" `Quick test_wetlab_ingest_roundtrip;
+          Alcotest.test_case "multiple pairs" `Quick test_wetlab_ingest_multiple_pairs;
+          Alcotest.test_case "garbage fastq" `Quick test_wetlab_ingest_garbage_fastq;
+          Alcotest.test_case "fastq quality" `Quick test_wetlab_fastq_quality_roundtrip;
+        ] );
+      ( "par",
+        [
+          Alcotest.test_case "matches sequential" `Quick test_par_map_matches_sequential;
+          Alcotest.test_case "mapi" `Quick test_par_mapi;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "table" `Quick test_report_table_alignment;
+          Alcotest.test_case "ascii profile" `Quick test_report_ascii_profile;
+        ] );
+    ]

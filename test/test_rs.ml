@@ -1,0 +1,290 @@
+(* Tests for GF(256) arithmetic and the Reed-Solomon codec. *)
+
+let rng = Dna.Rng.create 777
+
+(* ---------- GF(256) ---------- *)
+
+let test_gf_add_self_inverse () =
+  for a = 0 to 255 do
+    Alcotest.(check int) "a+a=0" 0 (Rs.Gf256.add a a)
+  done
+
+let test_gf_mul_identity () =
+  for a = 0 to 255 do
+    Alcotest.(check int) "a*1=a" a (Rs.Gf256.mul a 1);
+    Alcotest.(check int) "a*0=0" 0 (Rs.Gf256.mul a 0)
+  done
+
+let test_gf_mul_commutative_sampled () =
+  for _ = 1 to 2000 do
+    let a = Dna.Rng.int rng 256 and b = Dna.Rng.int rng 256 in
+    Alcotest.(check int) "commutative" (Rs.Gf256.mul a b) (Rs.Gf256.mul b a)
+  done
+
+let test_gf_mul_associative_sampled () =
+  for _ = 1 to 2000 do
+    let a = Dna.Rng.int rng 256 and b = Dna.Rng.int rng 256 and c = Dna.Rng.int rng 256 in
+    Alcotest.(check int) "associative" (Rs.Gf256.mul (Rs.Gf256.mul a b) c) (Rs.Gf256.mul a (Rs.Gf256.mul b c))
+  done
+
+let test_gf_distributive_sampled () =
+  for _ = 1 to 2000 do
+    let a = Dna.Rng.int rng 256 and b = Dna.Rng.int rng 256 and c = Dna.Rng.int rng 256 in
+    Alcotest.(check int) "distributive" (Rs.Gf256.mul a (Rs.Gf256.add b c))
+      (Rs.Gf256.add (Rs.Gf256.mul a b) (Rs.Gf256.mul a c))
+  done
+
+let test_gf_inverse () =
+  for a = 1 to 255 do
+    Alcotest.(check int) "a * a^-1 = 1" 1 (Rs.Gf256.mul a (Rs.Gf256.inv a))
+  done;
+  Alcotest.check_raises "inv 0" Division_by_zero (fun () -> ignore (Rs.Gf256.inv 0))
+
+let test_gf_div () =
+  for _ = 1 to 2000 do
+    let a = Dna.Rng.int rng 256 and b = 1 + Dna.Rng.int rng 255 in
+    Alcotest.(check int) "(a/b)*b = a" a (Rs.Gf256.mul (Rs.Gf256.div a b) b)
+  done
+
+let test_gf_pow () =
+  Alcotest.(check int) "a^0 = 1" 1 (Rs.Gf256.pow 7 0);
+  Alcotest.(check int) "a^1 = a" 7 (Rs.Gf256.pow 7 1);
+  for _ = 1 to 500 do
+    let a = 1 + Dna.Rng.int rng 255 in
+    let n = Dna.Rng.int rng 20 in
+    let expected = ref 1 in
+    for _ = 1 to n do
+      expected := Rs.Gf256.mul !expected a
+    done;
+    Alcotest.(check int) "pow = repeated mul" !expected (Rs.Gf256.pow a n)
+  done
+
+let test_gf_alpha_order () =
+  (* alpha = 2 is primitive: alpha^255 = 1 and no smaller power is 1. *)
+  Alcotest.(check int) "alpha^255 = 1" 1 (Rs.Gf256.alpha_pow 255);
+  for i = 1 to 254 do
+    Alcotest.(check bool) "no smaller cycle" true (Rs.Gf256.alpha_pow i <> 1)
+  done
+
+let test_poly_eval_horner () =
+  (* p(x) = 3x^2 + 5x + 7 over GF(256) at x=2: 3*4 xor 5*2 xor 7 *)
+  let p = [| 3; 5; 7 |] in
+  let expected = Rs.Gf256.add (Rs.Gf256.add (Rs.Gf256.mul 3 (Rs.Gf256.mul 2 2)) (Rs.Gf256.mul 5 2)) 7 in
+  Alcotest.(check int) "horner" expected (Rs.Gf256.Poly.eval p 2)
+
+let test_poly_mul_degree () =
+  let p = [| 1; 2 |] and q = [| 1; 3 |] in
+  let r = Rs.Gf256.Poly.mul p q in
+  Alcotest.(check int) "degree adds" 3 (Array.length r);
+  (* (x+2)(x+3) = x^2 + (2 xor 3) x + 6 *)
+  Alcotest.(check (array int)) "product" [| 1; 1; 6 |] r
+
+let test_poly_normalize () =
+  Alcotest.(check (array int)) "strips zeros" [| 1; 2 |] (Rs.Gf256.Poly.normalize [| 0; 0; 1; 2 |]);
+  Alcotest.(check (array int)) "keeps at least one" [| 0 |] (Rs.Gf256.Poly.normalize [| 0; 0 |])
+
+(* ---------- Reed-Solomon ---------- *)
+
+let random_msg k = Array.init k (fun _ -> Dna.Rng.int rng 256)
+
+let test_rs_encode_systematic () =
+  let code = Rs.create ~k:12 ~nsym:6 in
+  let msg = random_msg 12 in
+  let cw = Rs.encode_arr code msg in
+  Alcotest.(check int) "codeword length" 18 (Array.length cw);
+  Alcotest.(check (array int)) "systematic prefix" msg (Array.sub cw 0 12);
+  Alcotest.(check bool) "valid codeword" true (Rs.is_codeword code cw)
+
+let test_rs_decode_clean () =
+  let code = Rs.create ~k:10 ~nsym:4 in
+  let msg = random_msg 10 in
+  let cw = Rs.encode_arr code msg in
+  match Rs.decode_arr code cw with
+  | Ok d ->
+      Alcotest.(check (array int)) "message" msg d.Rs.message;
+      Alcotest.(check (list int)) "nothing corrected" [] d.Rs.corrected
+  | Error e -> Alcotest.fail e
+
+let corrupt cw positions =
+  let noisy = Array.copy cw in
+  List.iter (fun p -> noisy.(p) <- noisy.(p) lxor (1 + Dna.Rng.int rng 255)) positions;
+  noisy
+
+let distinct_positions n k =
+  Array.to_list (Dna.Rng.sample_indices rng ~n ~k)
+
+let test_rs_corrects_max_errors () =
+  let code = Rs.create ~k:20 ~nsym:8 in
+  for _ = 1 to 100 do
+    let msg = random_msg 20 in
+    let cw = Rs.encode_arr code msg in
+    let pos = distinct_positions 28 4 in
+    match Rs.decode_arr code (corrupt cw pos) with
+    | Ok d -> Alcotest.(check (array int)) "recovered" msg d.Rs.message
+    | Error e -> Alcotest.fail ("4 errors with nsym 8: " ^ e)
+  done
+
+let test_rs_corrects_erasures_only () =
+  let code = Rs.create ~k:20 ~nsym:8 in
+  for _ = 1 to 100 do
+    let msg = random_msg 20 in
+    let cw = Rs.encode_arr code msg in
+    let pos = distinct_positions 28 8 in
+    match Rs.decode_arr ~erasures:pos code (corrupt cw pos) with
+    | Ok d -> Alcotest.(check (array int)) "recovered" msg d.Rs.message
+    | Error e -> Alcotest.fail ("8 erasures with nsym 8: " ^ e)
+  done
+
+let test_rs_corrects_mixed () =
+  let code = Rs.create ~k:20 ~nsym:8 in
+  for _ = 1 to 100 do
+    let msg = random_msg 20 in
+    let cw = Rs.encode_arr code msg in
+    (* 2 errors + 4 erasures: 2*2 + 4 = 8 = nsym *)
+    let pos = distinct_positions 28 6 in
+    let erasures = List.filteri (fun i _ -> i < 4) pos in
+    match Rs.decode_arr ~erasures code (corrupt cw pos) with
+    | Ok d -> Alcotest.(check (array int)) "recovered" msg d.Rs.message
+    | Error e -> Alcotest.fail ("2 errors + 4 erasures: " ^ e)
+  done
+
+let test_rs_detects_overload () =
+  (* Beyond capacity the decoder must fail or miscorrect loudly, never
+     claim the original message. With 6 random errors against nsym 8 it
+     should essentially always report failure. *)
+  let code = Rs.create ~k:20 ~nsym:8 in
+  let failures = ref 0 in
+  let trials = 50 in
+  for _ = 1 to trials do
+    let msg = random_msg 20 in
+    let cw = Rs.encode_arr code msg in
+    let pos = distinct_positions 28 6 in
+    match Rs.decode_arr code (corrupt cw pos) with
+    | Ok d -> if d.Rs.message <> msg then incr failures
+    | Error _ -> incr failures
+  done;
+  Alcotest.(check bool) "mostly detected" true (!failures >= trials - 2)
+
+let test_rs_erasure_positions_validated () =
+  let code = Rs.create ~k:4 ~nsym:2 in
+  let cw = Rs.encode_arr code (random_msg 4) in
+  (match Rs.decode_arr ~erasures:[ 99 ] code cw with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range erasure accepted");
+  match Rs.decode_arr ~erasures:[ 0; 1; 2 ] code cw with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "too many erasures accepted"
+
+let test_rs_create_validation () =
+  Alcotest.check_raises "n > 255"
+    (Invalid_argument "Rs.create: need k > 0, nsym > 0, k + nsym <= 255") (fun () ->
+      ignore (Rs.create ~k:250 ~nsym:10))
+
+let test_rs_bytes_interface () =
+  let code = Rs.create ~k:8 ~nsym:4 in
+  let msg = Bytes.of_string "codeword" in
+  let cw = Rs.encode code msg in
+  Alcotest.(check int) "length" 12 (Bytes.length cw);
+  let noisy = Bytes.copy cw in
+  Bytes.set noisy 3 'X';
+  Bytes.set noisy 10 '!';
+  match Rs.decode code noisy with
+  | Ok m -> Alcotest.(check bytes) "recovered" msg m
+  | Error e -> Alcotest.fail e
+
+let test_rs_various_sizes () =
+  List.iter
+    (fun (k, nsym) ->
+      let code = Rs.create ~k ~nsym in
+      let msg = random_msg k in
+      let cw = Rs.encode_arr code msg in
+      let pos = distinct_positions (k + nsym) (nsym / 2) in
+      match Rs.decode_arr code (corrupt cw pos) with
+      | Ok d ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "k=%d nsym=%d" k nsym)
+            msg d.Rs.message
+      | Error e -> Alcotest.fail (Printf.sprintf "k=%d nsym=%d: %s" k nsym e))
+    [ (1, 2); (5, 2); (20, 6); (50, 16); (100, 32); (223, 32); (128, 64) ]
+
+(* ---------- QCheck properties ---------- *)
+
+let arb_params =
+  QCheck.make
+    ~print:(fun (k, nsym, _) -> Printf.sprintf "k=%d nsym=%d" k nsym)
+    QCheck.Gen.(
+      let* k = int_range 1 60 in
+      let* nsym = int_range 2 16 in
+      let* seed = int_range 0 1_000_000 in
+      return (k, nsym, seed))
+
+let prop_rs_roundtrip_with_errors =
+  QCheck.Test.make ~name:"rs corrects <= nsym/2 errors" ~count:150 arb_params
+    (fun (k, nsym, seed) ->
+      let r = Dna.Rng.create seed in
+      let code = Rs.create ~k ~nsym in
+      let msg = Array.init k (fun _ -> Dna.Rng.int r 256) in
+      let cw = Rs.encode_arr code msg in
+      let n_err = Dna.Rng.int r ((nsym / 2) + 1) in
+      let pos = Array.to_list (Dna.Rng.sample_indices r ~n:(k + nsym) ~k:n_err) in
+      let noisy = Array.copy cw in
+      List.iter (fun p -> noisy.(p) <- noisy.(p) lxor (1 + Dna.Rng.int r 255)) pos;
+      match Rs.decode_arr code noisy with
+      | Ok d -> d.Rs.message = msg
+      | Error _ -> false)
+
+let prop_rs_roundtrip_with_errata =
+  QCheck.Test.make ~name:"rs corrects 2e+f <= nsym errata" ~count:150 arb_params
+    (fun (k, nsym, seed) ->
+      let r = Dna.Rng.create seed in
+      let code = Rs.create ~k ~nsym in
+      let msg = Array.init k (fun _ -> Dna.Rng.int r 256) in
+      let cw = Rs.encode_arr code msg in
+      let f = Dna.Rng.int r (nsym + 1) in
+      let e = Dna.Rng.int r (((nsym - f) / 2) + 1) in
+      let pos = Array.to_list (Dna.Rng.sample_indices r ~n:(k + nsym) ~k:(e + f)) in
+      let erasures = List.filteri (fun i _ -> i < f) pos in
+      let noisy = Array.copy cw in
+      List.iter (fun p -> noisy.(p) <- noisy.(p) lxor (1 + Dna.Rng.int r 255)) pos;
+      match Rs.decode_arr ~erasures code noisy with
+      | Ok d -> d.Rs.message = msg
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "rs"
+    [
+      ( "gf256",
+        [
+          Alcotest.test_case "add self inverse" `Quick test_gf_add_self_inverse;
+          Alcotest.test_case "mul identity" `Quick test_gf_mul_identity;
+          Alcotest.test_case "mul commutative" `Quick test_gf_mul_commutative_sampled;
+          Alcotest.test_case "mul associative" `Quick test_gf_mul_associative_sampled;
+          Alcotest.test_case "distributive" `Quick test_gf_distributive_sampled;
+          Alcotest.test_case "inverse" `Quick test_gf_inverse;
+          Alcotest.test_case "division" `Quick test_gf_div;
+          Alcotest.test_case "pow" `Quick test_gf_pow;
+          Alcotest.test_case "alpha order 255" `Quick test_gf_alpha_order;
+        ] );
+      ( "poly",
+        [
+          Alcotest.test_case "eval horner" `Quick test_poly_eval_horner;
+          Alcotest.test_case "mul" `Quick test_poly_mul_degree;
+          Alcotest.test_case "normalize" `Quick test_poly_normalize;
+        ] );
+      ( "reed-solomon",
+        [
+          Alcotest.test_case "systematic encode" `Quick test_rs_encode_systematic;
+          Alcotest.test_case "clean decode" `Quick test_rs_decode_clean;
+          Alcotest.test_case "max errors" `Quick test_rs_corrects_max_errors;
+          Alcotest.test_case "erasures only" `Quick test_rs_corrects_erasures_only;
+          Alcotest.test_case "mixed errata" `Quick test_rs_corrects_mixed;
+          Alcotest.test_case "overload detected" `Quick test_rs_detects_overload;
+          Alcotest.test_case "erasure validation" `Quick test_rs_erasure_positions_validated;
+          Alcotest.test_case "create validation" `Quick test_rs_create_validation;
+          Alcotest.test_case "bytes interface" `Quick test_rs_bytes_interface;
+          Alcotest.test_case "various sizes" `Quick test_rs_various_sizes;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_rs_roundtrip_with_errors; prop_rs_roundtrip_with_errata ] );
+    ]

@@ -1,0 +1,287 @@
+(* Tests for the wetlab simulators: channel statistics, sequencing
+   coverage, and the learned channels. *)
+
+let rng () = Dna.Rng.create 31415
+
+let avg_edit_rate ch r ~len ~trials =
+  let total = ref 0 in
+  for _ = 1 to trials do
+    let clean = Dna.Strand.random r len in
+    let noisy = Simulator.Channel.transmit ch r clean in
+    total := !total + Dna.Distance.levenshtein clean noisy
+  done;
+  float_of_int !total /. float_of_int (trials * len)
+
+(* ---------- channel basics ---------- *)
+
+let test_noiseless_identity () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let s = Dna.Strand.random r 50 in
+    Alcotest.(check string) "identity" (Dna.Strand.to_string s)
+      (Dna.Strand.to_string (Simulator.Channel.transmit Simulator.Channel.noiseless r s))
+  done
+
+let test_iid_zero_rate_identity () =
+  let r = rng () in
+  let ch = Simulator.Iid_channel.create { p_ins = 0.0; p_del = 0.0; p_sub = 0.0 } in
+  let s = Dna.Strand.random r 80 in
+  Alcotest.(check string) "no-op" (Dna.Strand.to_string s)
+    (Dna.Strand.to_string (Simulator.Channel.transmit ch r s))
+
+let test_iid_rate_calibrated () =
+  (* Observed edit rate should be near the configured total rate. *)
+  let r = rng () in
+  List.iter
+    (fun rate ->
+      let ch = Simulator.Iid_channel.create_rate ~error_rate:rate in
+      let measured = avg_edit_rate ch r ~len:100 ~trials:300 in
+      Alcotest.(check bool)
+        (Printf.sprintf "rate %.2f measured %.3f" rate measured)
+        true
+        (measured > 0.6 *. rate && measured < 1.2 *. rate))
+    [ 0.03; 0.06; 0.12 ]
+
+let test_iid_validation () =
+  Alcotest.check_raises "negative p"
+    (Invalid_argument "Iid_channel: probabilities must be nonnegative and sum to at most 1")
+    (fun () -> ignore (Simulator.Iid_channel.create { p_ins = -0.1; p_del = 0.0; p_sub = 0.0 }))
+
+let test_iid_deletion_only_shortens () =
+  let r = rng () in
+  let ch = Simulator.Iid_channel.create { p_ins = 0.0; p_del = 0.2; p_sub = 0.0 } in
+  for _ = 1 to 50 do
+    let s = Dna.Strand.random r 60 in
+    let n = Simulator.Channel.transmit ch r s in
+    Alcotest.(check bool) "never longer" true (Dna.Strand.length n <= 60)
+  done
+
+let test_iid_insertion_only_lengthens () =
+  let r = rng () in
+  let ch = Simulator.Iid_channel.create { p_ins = 0.2; p_del = 0.0; p_sub = 0.0 } in
+  for _ = 1 to 50 do
+    let s = Dna.Strand.random r 60 in
+    let n = Simulator.Channel.transmit ch r s in
+    Alcotest.(check bool) "never shorter" true (Dna.Strand.length n >= 60)
+  done
+
+let test_sub_only_preserves_length () =
+  let r = rng () in
+  let ch = Simulator.Iid_channel.create { p_ins = 0.0; p_del = 0.0; p_sub = 0.3 } in
+  for _ = 1 to 50 do
+    let s = Dna.Strand.random r 60 in
+    Alcotest.(check int) "same length" 60 (Dna.Strand.length (Simulator.Channel.transmit ch r s))
+  done
+
+let test_solqc_noise_level () =
+  let r = rng () in
+  let ch = Simulator.Solqc_channel.create_rate ~error_rate:0.06 in
+  let measured = avg_edit_rate ch r ~len:100 ~trials:300 in
+  Alcotest.(check bool) "noisy but bounded" true (measured > 0.01 && measured < 0.12)
+
+let test_wetlab_position_dependence () =
+  (* The wetlab stand-in must show a rising error profile toward the 3'
+     end — the property naive simulators miss. *)
+  let r = rng () in
+  let ch = Simulator.Wetlab_channel.create () in
+  let profile = Simulator.Channel.measure_error_profile ch r ~strand_len:100 ~trials:600 in
+  let seg lo hi =
+    let s = ref 0.0 in
+    for i = lo to hi - 1 do
+      s := !s +. profile.(i)
+    done;
+    !s /. float_of_int (hi - lo)
+  in
+  let middle = seg 30 50 and tail = seg 80 100 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tail %.3f > middle %.3f" tail middle)
+    true (tail > middle)
+
+let test_wetlab_bursts_present () =
+  (* Deletion runs of length >= 2 must occur measurably more often than
+     an i.i.d. channel of the same rate would produce. *)
+  let r = rng () in
+  let burst_count ch =
+    let bursts = ref 0 in
+    for _ = 1 to 400 do
+      let clean = Dna.Strand.random r 100 in
+      let noisy = Simulator.Channel.transmit ch r clean in
+      let al = Dna.Alignment.align clean noisy in
+      let run = ref 0 in
+      List.iter
+        (fun op ->
+          match op with
+          | Dna.Alignment.Delete _ -> incr run
+          | _ ->
+              if !run >= 2 then incr bursts;
+              run := 0)
+        al.Dna.Alignment.script;
+      if !run >= 2 then incr bursts
+    done;
+    !bursts
+  in
+  let wetlab = burst_count (Simulator.Wetlab_channel.create ()) in
+  let iid = burst_count (Simulator.Iid_channel.create_rate ~error_rate:0.10) in
+  Alcotest.(check bool)
+    (Printf.sprintf "wetlab bursts %d > iid bursts %d" wetlab iid)
+    true
+    (wetlab > iid)
+
+(* ---------- sequencer ---------- *)
+
+let test_sequencer_fixed_coverage () =
+  let r = rng () in
+  let strands = Array.init 20 (fun _ -> Dna.Strand.random r 40) in
+  let params = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed 7) in
+  let reads = Simulator.Sequencer.sequence params Simulator.Channel.noiseless r strands in
+  Alcotest.(check int) "total reads" 140 (Array.length reads);
+  let per = Array.make 20 0 in
+  Array.iter (fun rd -> per.(rd.Simulator.Sequencer.origin) <- per.(rd.Simulator.Sequencer.origin) + 1) reads;
+  Array.iter (fun c -> Alcotest.(check int) "exactly 7 each" 7 c) per
+
+let test_sequencer_poisson_coverage () =
+  let r = rng () in
+  let strands = Array.init 200 (fun _ -> Dna.Strand.random r 30) in
+  let params = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Poisson 8.0) in
+  let reads = Simulator.Sequencer.sequence params Simulator.Channel.noiseless r strands in
+  let mean = float_of_int (Array.length reads) /. 200.0 in
+  Alcotest.(check bool) "mean near 8" true (mean > 7.0 && mean < 9.0)
+
+let test_sequencer_dropout () =
+  let r = rng () in
+  let strands = Array.init 300 (fun _ -> Dna.Strand.random r 30) in
+  let params =
+    { (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed 2)) with
+      Simulator.Sequencer.dropout = 0.5 }
+  in
+  let reads = Simulator.Sequencer.sequence params Simulator.Channel.noiseless r strands in
+  let seen = Hashtbl.create 64 in
+  Array.iter (fun rd -> Hashtbl.replace seen rd.Simulator.Sequencer.origin ()) reads;
+  let surviving = Hashtbl.length seen in
+  Alcotest.(check bool)
+    (Printf.sprintf "about half dropped (%d)" surviving)
+    true
+    (surviving > 100 && surviving < 200)
+
+let test_sequencer_reverse_orientation () =
+  let r = rng () in
+  let strands = [| Dna.Strand.of_string "AACCGGTTAACCGGTTAAAA" |] in
+  let params =
+    { (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed 400)) with
+      Simulator.Sequencer.p_reverse = 0.5 }
+  in
+  let reads = Simulator.Sequencer.sequence params Simulator.Channel.noiseless r strands in
+  let fwd = ref 0 and rev = ref 0 in
+  Array.iter
+    (fun rd ->
+      if Dna.Strand.equal rd.Simulator.Sequencer.seq strands.(0) then incr fwd
+      else if Dna.Strand.equal rd.Simulator.Sequencer.seq (Dna.Strand.reverse_complement strands.(0))
+      then incr rev
+      else Alcotest.fail "read is neither orientation")
+    reads;
+  Alcotest.(check int) "all reads accounted" 400 (!fwd + !rev);
+  Alcotest.(check bool) "both orientations occur" true (!fwd > 100 && !rev > 100)
+
+let test_ideal_clusters () =
+  let r = rng () in
+  let strands = Array.init 10 (fun _ -> Dna.Strand.random r 30) in
+  let params = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed 5) in
+  let reads = Simulator.Sequencer.sequence params Simulator.Channel.noiseless r strands in
+  let clusters = Simulator.Sequencer.ideal_clusters ~n_strands:10 reads in
+  Array.iteri
+    (fun i cluster ->
+      Alcotest.(check int) "5 reads per cluster" 5 (List.length cluster);
+      List.iter
+        (fun s -> Alcotest.(check bool) "right origin" true (Dna.Strand.equal s strands.(i)))
+        cluster)
+    clusters
+
+(* ---------- learned channel ---------- *)
+
+let test_learned_channel_matches_rate () =
+  (* Train on pairs from an i.i.d. channel; the learned channel must
+     reproduce a similar overall error rate. *)
+  let r = rng () in
+  let teacher = Simulator.Iid_channel.create_rate ~error_rate:0.08 in
+  let pairs = Simulator.Trainer.generate_pairs teacher r ~n:600 ~len:80 in
+  let learned = Simulator.Learned_channel.create (Simulator.Learned_channel.train pairs) in
+  let target = avg_edit_rate teacher r ~len:80 ~trials:300 in
+  let got = avg_edit_rate learned r ~len:80 ~trials:300 in
+  Alcotest.(check bool)
+    (Printf.sprintf "learned %.3f ~ teacher %.3f" got target)
+    true
+    (abs_float (got -. target) < 0.03)
+
+let test_learned_channel_position_profile () =
+  (* Train on the position-dependent wetlab channel; the learned model
+     must reproduce the rising tail. *)
+  let r = rng () in
+  let teacher = Simulator.Wetlab_channel.create () in
+  let pairs = Simulator.Trainer.generate_pairs teacher r ~n:800 ~len:80 in
+  let learned = Simulator.Learned_channel.create (Simulator.Learned_channel.train pairs) in
+  let profile = Simulator.Channel.measure_error_profile learned r ~strand_len:80 ~trials:500 in
+  let seg lo hi =
+    let s = ref 0.0 in
+    for i = lo to hi - 1 do
+      s := !s +. profile.(i)
+    done;
+    !s /. float_of_int (hi - lo)
+  in
+  Alcotest.(check bool) "tail heavier than middle" true (seg 60 80 > seg 25 45)
+
+let test_learned_channel_empty_rejected () =
+  Alcotest.check_raises "empty dataset"
+    (Invalid_argument "Learned_channel.train: empty dataset") (fun () ->
+      ignore (Simulator.Learned_channel.train []))
+
+let test_trainer_split_fractions () =
+  let r = rng () in
+  let pairs = List.init 100 (fun _ -> (Dna.Strand.random r 10, Dna.Strand.random r 10)) in
+  let ds = Simulator.Trainer.split r pairs in
+  Alcotest.(check int) "train 80" 80 (List.length ds.Simulator.Trainer.train);
+  Alcotest.(check int) "val 10" 10 (List.length ds.Simulator.Trainer.validation);
+  Alcotest.(check int) "test 10" 10 (List.length ds.Simulator.Trainer.test)
+
+let test_rnn_channel_emits_reads () =
+  let r = rng () in
+  let model = Neural.Seq2seq.create ~hidden:8 r in
+  let ch = Simulator.Rnn_channel.create model in
+  for _ = 1 to 10 do
+    let s = Dna.Strand.random r 20 in
+    let out = Simulator.Channel.transmit ch r s in
+    Alcotest.(check bool) "nonempty read" true (Dna.Strand.length out > 0)
+  done
+
+let () =
+  Alcotest.run "simulator"
+    [
+      ( "channels",
+        [
+          Alcotest.test_case "noiseless identity" `Quick test_noiseless_identity;
+          Alcotest.test_case "iid zero rate" `Quick test_iid_zero_rate_identity;
+          Alcotest.test_case "iid rate calibrated" `Quick test_iid_rate_calibrated;
+          Alcotest.test_case "iid validation" `Quick test_iid_validation;
+          Alcotest.test_case "deletion only shortens" `Quick test_iid_deletion_only_shortens;
+          Alcotest.test_case "insertion only lengthens" `Quick test_iid_insertion_only_lengthens;
+          Alcotest.test_case "substitution preserves length" `Quick test_sub_only_preserves_length;
+          Alcotest.test_case "solqc noise level" `Quick test_solqc_noise_level;
+          Alcotest.test_case "wetlab position dependence" `Quick test_wetlab_position_dependence;
+          Alcotest.test_case "wetlab bursts" `Quick test_wetlab_bursts_present;
+        ] );
+      ( "sequencer",
+        [
+          Alcotest.test_case "fixed coverage" `Quick test_sequencer_fixed_coverage;
+          Alcotest.test_case "poisson coverage" `Quick test_sequencer_poisson_coverage;
+          Alcotest.test_case "dropout" `Quick test_sequencer_dropout;
+          Alcotest.test_case "reverse orientation" `Quick test_sequencer_reverse_orientation;
+          Alcotest.test_case "ideal clusters" `Quick test_ideal_clusters;
+        ] );
+      ( "learned",
+        [
+          Alcotest.test_case "matches iid rate" `Quick test_learned_channel_matches_rate;
+          Alcotest.test_case "position profile" `Quick test_learned_channel_position_profile;
+          Alcotest.test_case "empty rejected" `Quick test_learned_channel_empty_rejected;
+          Alcotest.test_case "trainer split" `Quick test_trainer_split_fractions;
+          Alcotest.test_case "rnn channel emits" `Quick test_rnn_channel_emits_reads;
+        ] );
+    ]
