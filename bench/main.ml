@@ -40,4 +40,9 @@ let () =
             (String.concat ", " (List.map fst experiments));
           exit 2)
     requested;
+  (match Dna.Par.counters () with
+  | [] -> ()
+  | counters ->
+      print_string (Dnastore.Report.section "Parallel execution counters");
+      print_string (Dnastore.Report.par_counters counters));
   Printf.printf "\nbench complete in %.1fs\n" (Unix.gettimeofday () -. t0)

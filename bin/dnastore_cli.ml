@@ -193,6 +193,7 @@ let cluster_cmd =
   let reads = Arg.(required & opt (some file) None & info [ "reads"; "r" ] ~docv:"FILE" ~doc:"Reads, one per line.") in
   let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Clusters: reads grouped by blank lines.") in
   let run reads_path output kind seed domains =
+    Dna.Par.set_default_domains domains;
     let rng = Dna.Rng.create seed in
     let reads =
       read_lines reads_path
@@ -228,6 +229,7 @@ let reconstruct_cmd =
   let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FASTA" ~doc:"Consensus strands.") in
   let target = Arg.(required & opt (some int) None & info [ "length"; "l" ] ~docv:"NT" ~doc:"Expected strand length.") in
   let run clusters_path output target algo domains =
+    Dna.Par.set_default_domains domains;
     let groups = ref [] and cur = ref [] in
     List.iter
       (fun line ->
@@ -245,7 +247,7 @@ let reconstruct_cmd =
     let groups = Array.of_list (List.rev !groups) in
     let recon = make_recon algo in
     let consensus =
-      Dna.Par.map_array ~domains
+      Dna.Par.map_array ~label:"cli.reconstruct" ~domains
         (fun reads -> if Array.length reads = 0 then None else Some (recon ~target_len:target reads))
         groups
     in
@@ -293,6 +295,7 @@ let pipeline_cmd =
   let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Input file.") in
   let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Recovered file.") in
   let run input output layout payload data_cols parity channel error_rate coverage algo kind seed domains =
+    Dna.Par.set_default_domains domains;
     let params = params_of ~payload ~data_cols ~parity in
     let rng = Dna.Rng.create seed in
     let stages =
@@ -316,6 +319,9 @@ let pipeline_cmd =
        else "RECOVERY INCOMPLETE (bytes differ)")
       out.n_strands out.n_reads out.n_clusters t.Dnastore.Pipeline.encode_s t.simulate_s
       t.cluster_s t.reconstruct_s t.decode_s (Dnastore.Pipeline.total_s t);
+    (match Dna.Par.counters () with
+    | [] -> ()
+    | counters -> print_string (Dnastore.Report.par_counters counters));
     if not out.Dnastore.Pipeline.exact then exit 1
   in
   let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in

@@ -42,7 +42,7 @@ let default_params ?(kind = Signature.Qgram) ~read_len () =
     theta_low = (match kind with Signature.Qgram -> 30 | Signature.Wgram -> read_len * 12);
     theta_high = (match kind with Signature.Qgram -> 60 | Signature.Wgram -> read_len * 30);
     edit_threshold = max 4 (read_len / 3);
-    domains = 1;
+    domains = Dna.Par.default_domains ();
   }
 
 type stats = {
@@ -74,25 +74,16 @@ let run params rng (reads : Dna.Strand.t array) : result =
     }
   in
   let t_start = now () in
-  (* Signatures depend only on the read, so compute each read's signature
-     lazily once and reuse it across rounds. *)
+  (* Signatures depend only on the read: compute them all up front, in
+     parallel, into an immutable array the bucket workers below share
+     read-only. (A lazy per-index cache here would be a data race: the
+     workers run on separate domains.) *)
   let t_sig0 = now () in
-  let sig_cache = Array.make n None in
-  let signature_of i =
-    match sig_cache.(i) with
-    | Some s -> s
-    | None ->
-        let s = Signature.compute ~q:params.gram_len params.kind reads.(i) in
-        sig_cache.(i) <- Some s;
-        s
-  in
-  (* Precompute in parallel: deterministic and spreads the cost. *)
-  let precomputed =
-    Dna.Par.map_array ~domains:params.domains
+  let sigs =
+    Dna.Par.map_array ~label:"cluster.signatures" ~domains:params.domains
       (fun r -> Signature.compute ~q:params.gram_len params.kind r)
       reads
   in
-  Array.iteri (fun i s -> sig_cache.(i) <- Some s) precomputed;
   stats.signature_time <- now () -. t_sig0;
   let stall = ref 0 in
   let round = ref 0 in
@@ -137,9 +128,9 @@ let run params rng (reads : Dna.Strand.t array) : result =
     (* Compare pairs within each bucket in parallel; collect merge
        decisions and counters, then apply them serially. *)
     let decisions =
-      Dna.Par.map_array ~domains:params.domains
+      Dna.Par.map_array ~label:"cluster.buckets" ~domains:params.domains
         (fun bucket ->
-          let sigs = Array.map (fun (_, idx) -> signature_of idx) bucket in
+          let sigs = Array.map (fun (_, idx) -> sigs.(idx)) bucket in
           let merges = ref [] in
           let sig_cmp = ref 0 and edit_cmp = ref 0 in
           let b = Array.length bucket in

@@ -88,7 +88,7 @@ let pcr_select t pair =
 
 type get_error = Key_not_found | Decode_failed of string
 
-let get ?(stages = Pipeline.default_stages ()) ?(domains = 1) t ~key :
+let get ?(stages = Pipeline.default_stages ()) ?(domains = Dna.Par.default_domains ()) t ~key :
     (Bytes.t * Pipeline.timings, get_error) result =
   match List.find_opt (fun e -> e.key = key) t.directory with
   | None -> Error Key_not_found
@@ -98,7 +98,9 @@ let get ?(stages = Pipeline.default_stages ()) ?(domains = 1) t ~key :
       (* Sequencing: noisy reads of the selected molecules, arriving in
          both orientations like a real sequencer run. *)
       let sequencing = { stages.Pipeline.sequencing with Simulator.Sequencer.p_reverse = 0.5 } in
-      let reads = Simulator.Sequencer.sequence sequencing stages.Pipeline.channel t.rng selected in
+      let reads =
+        Simulator.Sequencer.sequence ~domains sequencing stages.Pipeline.channel t.rng selected
+      in
       let t1 = Unix.gettimeofday () in
       (* Preprocess: orientation-normalize, strip primers. *)
       let cores =
@@ -114,7 +116,7 @@ let get ?(stages = Pipeline.default_stages ()) ?(domains = 1) t ~key :
         (* Largest clusters first so their consensus claims the column. *)
         let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
         Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
-        Dna.Par.map_array ~domains
+        Dna.Par.map_array ~label:"kv.reconstruct" ~domains
           (fun reads ->
             if Array.length reads = 0 then None
             else Some (stages.Pipeline.reconstruct ~target_len reads))

@@ -36,7 +36,8 @@ type outcome = {
 
 (* Default clustering stage: parameters auto-configured from the data
    (Section VI-B), then the iterative merge algorithm. *)
-let cluster_default ?(kind = Clustering.Signature.Qgram) ?(domains = 1) () rng reads =
+let cluster_default ?(kind = Clustering.Signature.Qgram) ?(domains = Dna.Par.default_domains ())
+    () rng reads =
   match Array.length reads with
   | 0 -> []
   | _ ->
@@ -64,14 +65,17 @@ let time f =
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
 
-(* Run the full pipeline on [file]. [domains] parallelizes per-cluster
-   reconstruction. *)
+(* Run the full pipeline on [file]. [domains] parallelizes per-strand
+   read synthesis and per-cluster reconstruction (clustering honors its
+   own [params.domains], set through [cluster_default ~domains]). *)
 let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
-    ?(stages = default_stages ()) ?(domains = 1) rng (file : Bytes.t) : outcome =
+    ?(stages = default_stages ()) ?(domains = Dna.Par.default_domains ()) rng (file : Bytes.t)
+    : outcome =
   let encoded, encode_s = time (fun () -> Codec.File_codec.encode ~layout ~params file) in
   let strands = encoded.Codec.File_codec.strands in
   let reads, simulate_s =
-    time (fun () -> Simulator.Sequencer.sequence stages.sequencing stages.channel rng strands)
+    time (fun () ->
+        Simulator.Sequencer.sequence ~domains stages.sequencing stages.channel rng strands)
   in
   let read_strands = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
   let clusters, cluster_s = time (fun () -> stages.cluster rng read_strands) in
@@ -82,7 +86,7 @@ let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
            column index, the consensus backed by more reads wins. *)
         let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
         Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
-        Dna.Par.map_array ~domains
+        Dna.Par.map_array ~label:"pipeline.reconstruct" ~domains
           (fun reads ->
             if Array.length reads = 0 then None
             else Some (stages.reconstruct ~target_len reads))

@@ -46,5 +46,11 @@ val default_stages : ?error_rate:float -> ?coverage:int -> unit -> stages
 val run :
   ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> ?stages:stages -> ?domains:int ->
   Dna.Rng.t -> Bytes.t -> outcome
-(** Encode, simulate, cluster, reconstruct (largest clusters first, in
-    parallel across [domains]), decode. *)
+(** Encode, simulate, cluster, reconstruct (largest clusters first),
+    decode. [domains] (default {!Dna.Par.default_domains}) parallelizes
+    per-strand read synthesis and per-cluster reconstruction. Under a
+    fixed seed, clustering and reconstruction outputs are identical for
+    every worker count; the simulated read set is identical across all
+    [domains > 1] (see {!Simulator.Sequencer.sequence} for the serial
+    path's draw order). [Dna.Par.counters] exposes per-stage parallel
+    timing, renderable with {!Report.par_counters}. *)

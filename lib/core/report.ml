@@ -60,6 +60,24 @@ let ascii_profile ?(height = 10) ?(buckets = 55) (ys : float array) : string =
     Buffer.contents buf
   end
 
+(* Per-stage counters from the parallel execution layer, one row per
+   label: regions entered, tasks run, accumulated wall time. *)
+let par_counters (counters : Dna.Par.counter list) : string =
+  match counters with
+  | [] -> ""
+  | _ ->
+      table
+        ([ "parallel stage"; "regions"; "tasks"; "wall (s)" ]
+        :: List.map
+             (fun c ->
+               [
+                 c.Dna.Par.label;
+                 string_of_int c.Dna.Par.regions;
+                 string_of_int c.Dna.Par.tasks;
+                 Printf.sprintf "%.3f" c.Dna.Par.wall_s;
+               ])
+             counters)
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

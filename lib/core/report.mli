@@ -7,6 +7,11 @@ val table : string list list -> string
 val ascii_profile : ?height:int -> ?buckets:int -> float array -> string
 (** A bar rendering of a y-series (e.g. a per-index error profile). *)
 
+val par_counters : Dna.Par.counter list -> string
+(** A table of the parallel layer's per-label counters
+    ([Dna.Par.counters ()]): regions entered, tasks run, wall time.
+    Empty string for an empty list. *)
+
 val pct : float -> string
 (** "12.34%". *)
 

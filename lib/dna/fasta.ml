@@ -46,13 +46,16 @@ let parse_string s = parse_lines (String.split_on_char '\n' s)
 
 let read_file path =
   let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  parse_lines (List.rev !lines)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))
 
 let to_string records =
   let buf = Buffer.create 1024 in

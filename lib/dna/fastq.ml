@@ -11,8 +11,14 @@ type error = { line : int; message : string }
 
 let phred_offset = 33
 
+let qual_of_string_opt s =
+  if String.exists (fun c -> c < '!') s then None
+  else Some (Array.init (String.length s) (fun i -> Char.code s.[i] - phred_offset))
+
 let qual_of_string s =
-  Array.init (String.length s) (fun i -> Char.code s.[i] - phred_offset)
+  match qual_of_string_opt s with
+  | Some q -> q
+  | None -> invalid_arg "Fastq.qual_of_string: quality character below '!'"
 
 let qual_to_string q =
   String.init (Array.length q) (fun i -> Char.chr (min 93 (max 0 q.(i)) + phred_offset))
@@ -46,7 +52,15 @@ let parse_lines lines =
         errors := { line = !i + 4; message = "quality length mismatch" } :: !errors
       else begin
         match Strand.of_string_opt (String.uppercase_ascii seq_s) with
-        | Some seq -> records := { id; seq; qual = qual_of_string qual_s } :: !records
+        | Some seq -> (
+            (* A character below '!' would decode to a negative Phred
+               score; reject the record rather than emit one. *)
+            match qual_of_string_opt qual_s with
+            | Some qual -> records := { id; seq; qual } :: !records
+            | None ->
+                errors :=
+                  { line = !i + 4; message = "invalid quality character in read " ^ id }
+                  :: !errors)
         | None ->
             errors := { line = !i + 2; message = "invalid base in read " ^ id } :: !errors
       end;
@@ -59,13 +73,16 @@ let parse_string s = parse_lines (String.split_on_char '\n' s)
 
 let read_file path =
   let ic = open_in path in
-  let lines = ref [] in
-  (try
-     while true do
-       lines := input_line ic :: !lines
-     done
-   with End_of_file -> close_in ic);
-  parse_lines (List.rev !lines)
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      parse_lines (List.rev !lines))
 
 let to_string records =
   let buf = Buffer.create 1024 in

@@ -8,6 +8,13 @@ type error = { line : int; message : string }
 val phred_offset : int
 
 val qual_of_string : string -> int array
+(** Decode a Sanger quality string. Raises [Invalid_argument] on
+    characters below ['!'] (they would decode to negative Phred
+    scores). *)
+
+val qual_of_string_opt : string -> int array option
+(** [None] when any character sits below ['!']. *)
+
 val qual_to_string : int array -> string
 
 val parse_lines : string list -> record list * error list

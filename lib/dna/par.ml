@@ -1,31 +1,185 @@
-(** Domain-based parallel mapping.
+(** Domain-based parallel execution for the clustering, reconstruction
+    and simulation stages.
 
     The paper stresses that clustering and reconstruction must scale
-    across cores (Section IX). This helper fans array chunks out to
-    [domains] worker domains; with [domains = 1] it degrades to a plain
-    map, which tests use for full determinism. *)
+    across cores (Section IX). This module fans balanced array chunks
+    out to worker domains and is the single configuration point for the
+    toolkit's parallelism:
 
-let default_domains () = max 1 (Domain.recommended_domain_count () - 1)
+    - chunk assignment is balanced (chunk sizes differ by at most one)
+      and never produces an empty or negative range, so ragged shapes
+      such as 5 items across 4 domains are safe;
+    - a failing worker never orphans its siblings: every domain is
+      joined before the first failure is re-raised;
+    - [split_rngs] / [map_array_rng] give each task its own
+      deterministic random stream, so stochastic stages produce the
+      same output for every worker count;
+    - every parallel region is counted (regions entered, tasks run,
+      wall time) under a caller-supplied label, surfaced through
+      [counters] and rendered by [Core.Report.par_counters].
 
-let map_array ?(domains = default_domains ()) f (arr : 'a array) : 'b array =
+    With [domains = 1] every entry point degrades to the plain serial
+    loop, which tests use for bit-exact determinism. *)
+
+let recommended_domains () = max 1 (Domain.recommended_domain_count () - 1)
+
+(* The process-wide default worker count, used whenever a [?domains]
+   argument is omitted anywhere in the toolkit. Serial by default so
+   that results are reproducible unless parallelism is asked for. *)
+let default = Atomic.make 1
+
+let set_default_domains n = Atomic.set default (max 1 n)
+let default_domains () = Atomic.get default
+
+(* ---------- counters ---------- *)
+
+type counter = { label : string; regions : int; tasks : int; wall_s : float }
+
+type counter_cell = {
+  mutable c_regions : int;
+  mutable c_tasks : int;
+  mutable c_wall_s : float;
+}
+
+let counters_lock = Mutex.create ()
+let counters_tbl : (string, counter_cell) Hashtbl.t = Hashtbl.create 16
+
+let record ~label ~tasks ~wall_s =
+  Mutex.lock counters_lock;
+  let cell =
+    match Hashtbl.find_opt counters_tbl label with
+    | Some c -> c
+    | None ->
+        let c = { c_regions = 0; c_tasks = 0; c_wall_s = 0.0 } in
+        Hashtbl.add counters_tbl label c;
+        c
+  in
+  cell.c_regions <- cell.c_regions + 1;
+  cell.c_tasks <- cell.c_tasks + tasks;
+  cell.c_wall_s <- cell.c_wall_s +. wall_s;
+  Mutex.unlock counters_lock
+
+let counters () =
+  Mutex.lock counters_lock;
+  let out =
+    Hashtbl.fold
+      (fun label c acc ->
+        { label; regions = c.c_regions; tasks = c.c_tasks; wall_s = c.c_wall_s } :: acc)
+      counters_tbl []
+  in
+  Mutex.unlock counters_lock;
+  List.sort (fun a b -> compare a.label b.label) out
+
+let reset_counters () =
+  Mutex.lock counters_lock;
+  Hashtbl.reset counters_tbl;
+  Mutex.unlock counters_lock
+
+(* ---------- core machinery ---------- *)
+
+(* Balanced contiguous ranges: the first [n mod workers] chunks carry one
+   extra element. Requires workers <= n, so no range is ever empty. *)
+let chunk_ranges ~workers n =
+  let base = n / workers and rem = n mod workers in
+  Array.init workers (fun w ->
+      let lo = (w * base) + min w rem in
+      let len = base + if w < rem then 1 else 0 in
+      (lo, len))
+
+(* Join every domain before re-raising, so a failing chunk never orphans
+   its siblings; the first failure in submission order wins. *)
+let join_all handles =
+  let outcomes = List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles in
+  List.map (function Ok v -> v | Error e -> raise e) outcomes
+
+(* Apply [chunk_f lo len] to balanced ranges, in parallel when more than
+   one worker is warranted. Chunk results come back in range order. *)
+let run_chunks ~domains ~n chunk_f =
+  if n = 0 then []
+  else
+    let workers = max 1 (min domains n) in
+    if workers = 1 then [ chunk_f 0 n ]
+    else
+      chunk_ranges ~workers n
+      |> Array.map (fun (lo, len) -> Domain.spawn (fun () -> chunk_f lo len))
+      |> Array.to_list |> join_all
+
+let timed ~label ~tasks f =
+  let t0 = Unix.gettimeofday () in
+  let finish () = record ~label ~tasks ~wall_s:(Unix.gettimeofday () -. t0) in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
+(* ---------- public entry points ---------- *)
+
+let map_array ?(label = "par.map") ?domains f (arr : 'a array) : 'b array =
+  let domains = match domains with Some d -> d | None -> default_domains () in
   let n = Array.length arr in
-  if n = 0 then [||]
-  else if domains <= 1 || n < 2 then Array.map f arr
-  else begin
-    let workers = min domains n in
-    let chunk = (n + workers - 1) / workers in
-    let spawn w =
-      let lo = w * chunk in
-      let hi = min n (lo + chunk) in
-      Domain.spawn (fun () -> Array.init (hi - lo) (fun i -> f arr.(lo + i)))
-    in
-    let handles = List.init workers spawn in
-    let parts = List.map Domain.join handles in
-    Array.concat parts
-  end
+  timed ~label ~tasks:n (fun () ->
+      Array.concat
+        (run_chunks ~domains ~n (fun lo len -> Array.init len (fun i -> f arr.(lo + i)))))
 
-(* Parallel [iteri]-style fold: apply [f] to every element, collecting the
-   results in submission order. *)
-let mapi_array ?domains f arr =
-  let indexed = Array.mapi (fun i x -> (i, x)) arr in
-  map_array ?domains (fun (i, x) -> f i x) indexed
+let mapi_array ?(label = "par.mapi") ?domains f (arr : 'a array) : 'b array =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = Array.length arr in
+  timed ~label ~tasks:n (fun () ->
+      Array.concat
+        (run_chunks ~domains ~n (fun lo len ->
+             Array.init len (fun i -> f (lo + i) arr.(lo + i)))))
+
+let iter_array ?(label = "par.iter") ?domains f (arr : 'a array) : unit =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = Array.length arr in
+  timed ~label ~tasks:n (fun () ->
+      ignore
+        (run_chunks ~domains ~n (fun lo len ->
+             for i = lo to lo + len - 1 do
+               f arr.(i)
+             done)))
+
+let chunked_map ?(label = "par.chunked") ?domains f (arr : 'a array) : 'b array =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = Array.length arr in
+  timed ~label ~tasks:n (fun () ->
+      Array.of_list (run_chunks ~domains ~n (fun lo len -> f (Array.sub arr lo len))))
+
+let map_reduce ?(label = "par.map_reduce") ?domains ~map ~combine ~init (arr : 'a array) : 'b
+    =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = Array.length arr in
+  timed ~label ~tasks:n (fun () ->
+      let parts =
+        run_chunks ~domains ~n (fun lo len ->
+            let acc = ref (map arr.(lo)) in
+            for i = lo + 1 to lo + len - 1 do
+              acc := combine !acc (map arr.(i))
+            done;
+            !acc)
+      in
+      List.fold_left combine init parts)
+
+(* ---------- deterministic parallel randomness ---------- *)
+
+(* Streams are split off the parent serially, in index order, so the
+   result depends only on the parent's state — never on worker count. *)
+let split_rngs rng k =
+  if k < 0 then invalid_arg "Par.split_rngs: negative count";
+  let out = Array.make k rng in
+  for i = 0 to k - 1 do
+    out.(i) <- Rng.split rng
+  done;
+  out
+
+let map_array_rng ?(label = "par.map_rng") ?domains ~rng f (arr : 'a array) : 'b array =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let n = Array.length arr in
+  let rngs = split_rngs rng n in
+  timed ~label ~tasks:n (fun () ->
+      Array.concat
+        (run_chunks ~domains ~n (fun lo len ->
+             Array.init len (fun i -> f rngs.(lo + i) arr.(lo + i)))))

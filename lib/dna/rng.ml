@@ -54,9 +54,18 @@ let split t =
 
 let bits62 t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
 
+(* Rejection sampling over the 62 uniform bits (Random.int's trick):
+   redraw when the value lands in the incomplete top bucket, so every
+   residue class is equally likely. A plain [mod] would bias low
+   residues for bounds that do not divide 2^62. *)
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
-  bits62 t mod bound
+  let rec draw () =
+    let v = bits62 t in
+    let r = v mod bound in
+    if v - r > 0x3FFFFFFFFFFFFFFF - bound + 1 then draw () else r
+  in
+  draw ()
 
 let float t =
   (* 53 uniform bits mapped to [0, 1). *)

@@ -33,7 +33,10 @@ let div a b =
 let inv a = if a = 0 then raise Division_by_zero else exp_table.(255 - log_table.(a))
 
 let pow a n =
-  if a = 0 then if n = 0 then 1 else 0
+  (* 0^0 = 1 by the polynomial-evaluation convention; a negative power
+     of 0 is an inverse of 0 and must fail like [inv 0] does. *)
+  if a = 0 then
+    if n = 0 then 1 else if n < 0 then raise Division_by_zero else 0
   else begin
     let e = log_table.(a) * n mod 255 in
     let e = if e < 0 then e + 255 else e in

@@ -15,8 +15,8 @@ val inv : int -> int
 (** Multiplicative inverse; raises [Division_by_zero] on 0. *)
 
 val pow : int -> int -> int
-(** [pow a n] for any integer [n] (negative exponents allowed for
-    nonzero [a]). *)
+(** [pow a n] for any integer [n]; [pow 0 0 = 1]. Raises
+    [Division_by_zero] when [a = 0] and [n < 0]. *)
 
 val alpha_pow : int -> int
 (** [alpha_pow i] is the generator 2 raised to [i] (mod 255). *)

@@ -29,29 +29,55 @@ let reads_for params rng =
   | Fixed n -> n
   | Poisson mean -> Dna.Rng.poisson rng mean
 
-(* Produce all reads for [strands], shuffled (a test tube has no order). *)
-let sequence ?(shuffle = true) params channel rng (strands : Dna.Strand.t array) : read array =
-  let out = ref [] in
-  let count = ref 0 in
-  Array.iteri
-    (fun origin strand ->
-      if Dna.Rng.float rng >= params.dropout then begin
-        let n = reads_for params rng in
-        for _ = 1 to n do
-          let seq = Channel.transmit channel rng strand in
-          let seq =
-            if params.p_reverse > 0.0 && Dna.Rng.float rng < params.p_reverse then
-              Dna.Strand.reverse_complement seq
-            else seq
-          in
-          if Dna.Strand.length seq > 0 then begin
-            out := { seq; origin } :: !out;
-            incr count
-          end
-        done
-      end)
-    strands;
-  let arr = Array.of_list !out in
+(* All reads one strand yields through the channel, in synthesis order. *)
+let reads_of_strand params channel rng origin strand =
+  if Dna.Rng.float rng < params.dropout then []
+  else begin
+    let acc = ref [] in
+    let n = reads_for params rng in
+    for _ = 1 to n do
+      let seq = Channel.transmit channel rng strand in
+      let seq =
+        if params.p_reverse > 0.0 && Dna.Rng.float rng < params.p_reverse then
+          Dna.Strand.reverse_complement seq
+        else seq
+      in
+      if Dna.Strand.length seq > 0 then acc := { seq; origin } :: !acc
+    done;
+    List.rev !acc
+  end
+
+(* Produce all reads for [strands], shuffled (a test tube has no order).
+
+   With [domains = 1] (the default) every draw comes off [rng] serially,
+   bit-identical to the toolkit's historical behavior. With
+   [domains > 1] each strand first receives its own stream split off
+   [rng] in strand order, then strands are synthesized in parallel: the
+   read set is then identical for every worker count (though it differs
+   from the serial draw order), and the channel must be safe to call
+   from multiple domains. *)
+let sequence ?(shuffle = true) ?(domains = Dna.Par.default_domains ()) params channel rng
+    (strands : Dna.Strand.t array) : read array =
+  let arr =
+    if domains <= 1 then begin
+      (* Prepend-accumulate, as the serial path always has, so a given
+         seed still yields the exact historical read array. *)
+      let out = ref [] in
+      Array.iteri
+        (fun origin strand ->
+          List.iter (fun r -> out := r :: !out) (reads_of_strand params channel rng origin strand))
+        strands;
+      Array.of_list !out
+    end
+    else begin
+      let per_strand =
+        Dna.Par.map_array_rng ~label:"simulate.synthesis" ~domains ~rng
+          (fun r (origin, strand) -> reads_of_strand params channel r origin strand)
+          (Array.mapi (fun i s -> (i, s)) strands)
+      in
+      Array.of_list (List.concat (Array.to_list per_strand))
+    end
+  in
   if shuffle then Dna.Rng.shuffle_in_place rng arr;
   arr
 

@@ -19,9 +19,18 @@ type params = {
 val default_params : coverage:coverage -> params
 (** No dropout, no reverse reads. *)
 
-val sequence : ?shuffle:bool -> params -> Channel.t -> Dna.Rng.t -> Dna.Strand.t array -> read array
+val sequence :
+  ?shuffle:bool -> ?domains:int -> params -> Channel.t -> Dna.Rng.t -> Dna.Strand.t array ->
+  read array
 (** All reads for the pool, shuffled by default (a test tube has no
-    order). Empty reads are discarded. *)
+    order). Empty reads are discarded.
+
+    [domains] (default {!Dna.Par.default_domains}) parallelizes
+    per-strand read synthesis. With [domains = 1] every draw comes off
+    the given rng serially (bit-identical to the historical behavior);
+    with [domains > 1] each strand gets its own stream split off the rng
+    in strand order, so the read set is identical for every worker count
+    — the channel must then be safe to call from multiple domains. *)
 
 val ideal_clusters : n_strands:int -> read array -> Dna.Strand.t list array
 (** Group reads by origin: the ground-truth clusters, used to evaluate

@@ -185,6 +185,28 @@ let test_clustering_parallel_same_quality () =
   let acc_par = Clustering.Metrics.accuracy ~truth par_result.Clustering.Cluster.clusters in
   Alcotest.(check bool) "both accurate" true (acc_seq >= 0.9 && acc_par >= 0.9)
 
+let test_clustering_parallel_identical_assignment () =
+  (* Stronger than "comparable accuracy": merge decisions are computed
+     in pure workers and applied serially in a fixed order, so under the
+     same seed the assignment must be bit-identical for every worker
+     count. *)
+  let reads, _ = make_reads (Dna.Rng.create 5) in
+  let read_len = Dna.Strand.length reads.(0) in
+  let base = Clustering.Cluster.default_params ~read_len () in
+  let cfg = Clustering.Auto_config.configure base (Dna.Rng.create 1) reads in
+  let base = Clustering.Auto_config.apply cfg base in
+  let run domains =
+    (Clustering.Cluster.run { base with domains } (Dna.Rng.create 99) reads)
+      .Clustering.Cluster.assignment
+  in
+  let serial = run 1 in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "domains=%d identical to serial" domains)
+        serial (run domains))
+    [ 2; 3; 5 ]
+
 let test_read_clusters_materialization () =
   let r = rng () in
   let reads, _ = make_reads ~n_strands:10 ~coverage:4 r in
@@ -328,6 +350,8 @@ let () =
           Alcotest.test_case "singleton input" `Quick test_clustering_singleton_input;
           Alcotest.test_case "stats populated" `Quick test_clustering_stats_populated;
           Alcotest.test_case "parallel same quality" `Quick test_clustering_parallel_same_quality;
+          Alcotest.test_case "parallel identical assignment" `Quick
+            test_clustering_parallel_identical_assignment;
           Alcotest.test_case "read_clusters total" `Quick test_read_clusters_materialization;
         ] );
       ( "auto-config",

@@ -27,6 +27,31 @@ let test_rng_int_bounds () =
     Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
   done
 
+let test_rng_int_rejection_bounds () =
+  (* Rejection sampling must stay in range (and terminate) across small,
+     large and power-of-two-adjacent bounds, including max_int. *)
+  let r = rng () in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 500 do
+        let v = Dna.Rng.int r bound in
+        Alcotest.(check bool)
+          (Printf.sprintf "in [0,%d)" bound)
+          true
+          (v >= 0 && v < bound)
+      done)
+    [ 1; 2; 3; 17; (1 lsl 40) + 1; max_int ]
+
+let test_rng_int_covers_residues () =
+  (* With an unbiased draw every residue of a small bound appears
+     quickly; a stuck or truncated generator would fail this. *)
+  let r = rng () in
+  let seen = Array.make 7 false in
+  for _ = 1 to 2000 do
+    seen.(Dna.Rng.int r 7) <- true
+  done;
+  Alcotest.(check (array bool)) "all residues hit" (Array.make 7 true) seen
+
 let test_rng_float_bounds () =
   let r = rng () in
   for _ = 1 to 1000 do
@@ -385,6 +410,48 @@ let test_fastq_malformed () =
   Alcotest.(check int) "two good" 2 (List.length parsed);
   Alcotest.(check int) "one bad (quality length)" 1 (List.length errors)
 
+let test_fastq_rejects_negative_quality () =
+  (* A quality character below '!' would decode to a negative Phred
+     score; the record must be reported, not silently parsed. *)
+  let text = "@bad\nACGT\n+\nII I\n@good\nACGT\n+\nIIII\n" in
+  let parsed, errors = Dna.Fastq.parse_string text in
+  Alcotest.(check int) "good record kept" 1 (List.length parsed);
+  Alcotest.(check int) "bad record reported" 1 (List.length errors);
+  List.iter
+    (fun r ->
+      Array.iter
+        (fun q -> Alcotest.(check bool) "no negative phred" true (q >= 0))
+        r.Dna.Fastq.qual)
+    parsed;
+  Alcotest.(check bool) "opt variant rejects" true (Dna.Fastq.qual_of_string_opt "II I" = None);
+  Alcotest.check_raises "raising variant"
+    (Invalid_argument "Fastq.qual_of_string: quality character below '!'") (fun () ->
+      ignore (Dna.Fastq.qual_of_string "II I"))
+
+let test_readers_close_on_parse_exit () =
+  (* read_file must close its channel on every exit path; after reading,
+     deleting the file and re-reading must fail with Sys_error (not hit
+     a stale descriptor), and repeated reads must not exhaust fds. *)
+  let path = Filename.temp_file "dnastore_test" ".fastq" in
+  let oc = open_out path in
+  output_string oc "@r1\nACGT\n+\nIIII\n";
+  close_out oc;
+  for _ = 1 to 256 do
+    let records, errors = Dna.Fastq.read_file path in
+    Alcotest.(check int) "record parsed" 1 (List.length records);
+    Alcotest.(check int) "no errors" 0 (List.length errors)
+  done;
+  let fasta_path = Filename.temp_file "dnastore_test" ".fasta" in
+  let oc = open_out fasta_path in
+  output_string oc ">r1\nACGT\n";
+  close_out oc;
+  for _ = 1 to 256 do
+    let records, _ = Dna.Fasta.read_file fasta_path in
+    Alcotest.(check int) "fasta record parsed" 1 (List.length records)
+  done;
+  Sys.remove path;
+  Sys.remove fasta_path
+
 (* ---------- QCheck properties ---------- *)
 
 let arb_strand =
@@ -440,6 +507,8 @@ let () =
           Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
           Alcotest.test_case "split independent" `Quick test_rng_split_independent;
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int rejection bounds" `Quick test_rng_int_rejection_bounds;
+          Alcotest.test_case "int covers residues" `Quick test_rng_int_covers_residues;
           Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
           Alcotest.test_case "poisson mean" `Quick test_rng_poisson_mean;
           Alcotest.test_case "geometric support" `Quick test_rng_geometric_support;
@@ -508,6 +577,8 @@ let () =
         [
           Alcotest.test_case "roundtrip" `Quick test_fastq_roundtrip;
           Alcotest.test_case "malformed" `Quick test_fastq_malformed;
+          Alcotest.test_case "negative quality rejected" `Quick test_fastq_rejects_negative_quality;
+          Alcotest.test_case "readers close channels" `Quick test_readers_close_on_parse_exit;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

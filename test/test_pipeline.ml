@@ -83,6 +83,28 @@ let test_pipeline_parallel_domains () =
   let out = Dnastore.Pipeline.run ~domains:2 r file in
   Alcotest.(check bool) "parallel exact" true out.Dnastore.Pipeline.exact
 
+let test_pipeline_parallel_counters_visible () =
+  (* Every parallel stage must leave a labeled counter behind,
+     renderable through Core.Report. *)
+  Dna.Par.reset_counters ();
+  let r = rng () in
+  let file = random_file r 500 in
+  let out = Dnastore.Pipeline.run ~domains:2 r file in
+  Alcotest.(check bool) "ran" true (out.Dnastore.Pipeline.n_reads > 0);
+  let labels = List.map (fun c -> c.Dna.Par.label) (Dna.Par.counters ()) in
+  List.iter
+    (fun label ->
+      Alcotest.(check bool) (label ^ " counted") true (List.mem label labels))
+    [ "simulate.synthesis"; "cluster.signatures"; "cluster.buckets"; "pipeline.reconstruct" ];
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c.Dna.Par.label ^ " ran tasks") true (c.Dna.Par.tasks > 0);
+      Alcotest.(check bool) (c.Dna.Par.label ^ " wall >= 0") true (c.Dna.Par.wall_s >= 0.0))
+    (Dna.Par.counters ());
+  let rendered = Dnastore.Report.par_counters (Dna.Par.counters ()) in
+  Alcotest.(check bool) "report nonempty" true (String.length rendered > 0);
+  Dna.Par.reset_counters ()
+
 let test_pipeline_dropout_within_parity () =
   let r = rng () in
   let file = random_file r 600 in
@@ -248,6 +270,8 @@ let () =
           Alcotest.test_case "noiseless channel" `Quick test_pipeline_noiseless_channel;
           Alcotest.test_case "timings" `Quick test_pipeline_timings_positive;
           Alcotest.test_case "parallel domains" `Quick test_pipeline_parallel_domains;
+          Alcotest.test_case "parallel counters visible" `Quick
+            test_pipeline_parallel_counters_visible;
           Alcotest.test_case "dropout tolerated" `Quick test_pipeline_dropout_within_parity;
         ] );
       ( "kv-store",

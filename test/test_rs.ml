@@ -57,7 +57,13 @@ let test_gf_pow () =
       expected := Rs.Gf256.mul !expected a
     done;
     Alcotest.(check int) "pow = repeated mul" !expected (Rs.Gf256.pow a n)
-  done
+  done;
+  (* Zero base: positive powers vanish, 0^0 = 1 by convention, and a
+     negative power of 0 is an inverse of 0 and must fail like inv. *)
+  Alcotest.(check int) "0^3 = 0" 0 (Rs.Gf256.pow 0 3);
+  Alcotest.(check int) "0^0 = 1" 1 (Rs.Gf256.pow 0 0);
+  Alcotest.check_raises "0^-1" Division_by_zero (fun () -> ignore (Rs.Gf256.pow 0 (-1)));
+  Alcotest.check_raises "0^-7" Division_by_zero (fun () -> ignore (Rs.Gf256.pow 0 (-7)))
 
 let test_gf_alpha_order () =
   (* alpha = 2 is primitive: alpha^255 = 1 and no smaller power is 1. *)

@@ -182,6 +182,36 @@ let test_sequencer_reverse_orientation () =
   Alcotest.(check int) "all reads accounted" 400 (!fwd + !rev);
   Alcotest.(check bool) "both orientations occur" true (!fwd > 100 && !rev > 100)
 
+let test_sequencer_parallel_domain_independent () =
+  (* With domains > 1 each strand draws from its own pre-split stream,
+     so the read set must be identical for every worker count. *)
+  let strands =
+    let r = Dna.Rng.create 404 in
+    Array.init 20 (fun _ -> Dna.Strand.random r 60)
+  in
+  let params =
+    {
+      (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Poisson 6.0)) with
+      Simulator.Sequencer.dropout = 0.1;
+      p_reverse = 0.3;
+    }
+  in
+  let channel = Simulator.Iid_channel.create_rate ~error_rate:0.05 in
+  let run domains =
+    let r = Dna.Rng.create 321 in
+    Simulator.Sequencer.sequence ~domains params channel r strands
+    |> Array.map (fun rd ->
+           (rd.Simulator.Sequencer.origin, Dna.Strand.to_string rd.Simulator.Sequencer.seq))
+  in
+  let two = run 2 in
+  Alcotest.(check bool) "produced reads" true (Array.length two > 0);
+  List.iter
+    (fun domains ->
+      Alcotest.(check (array (pair int string)))
+        (Printf.sprintf "domains=%d matches domains=2" domains)
+        two (run domains))
+    [ 3; 5; 8 ]
+
 let test_ideal_clusters () =
   let r = rng () in
   let strands = Array.init 10 (fun _ -> Dna.Strand.random r 30) in
@@ -274,6 +304,8 @@ let () =
           Alcotest.test_case "poisson coverage" `Quick test_sequencer_poisson_coverage;
           Alcotest.test_case "dropout" `Quick test_sequencer_dropout;
           Alcotest.test_case "reverse orientation" `Quick test_sequencer_reverse_orientation;
+          Alcotest.test_case "parallel domain independent" `Quick
+            test_sequencer_parallel_domain_independent;
           Alcotest.test_case "ideal clusters" `Quick test_ideal_clusters;
         ] );
       ( "learned",
