@@ -83,8 +83,8 @@ let run () =
                 | Error _ -> false)
             | `Constrained -> (
                 match Codec.Constrained.decode ~n_bytes:payload_bytes consensus with
-                | bytes -> Bytes.equal bytes payload
-                | exception Invalid_argument _ -> false)
+                | Ok bytes -> Bytes.equal bytes payload
+                | Error _ -> false)
           in
           if recovered then incr ok
         done;

@@ -24,8 +24,8 @@ let run () =
   let store = Dnastore.Kv_store.create ~seed:909 in
   (* Extra parity: the retrieval channel is the harsh wetlab model. *)
   let params = { Codec.Params.default with Codec.Params.rs_parity = 8 } in
-  Dnastore.Kv_store.put ~params store ~key:"decoy.txt" (Bytes.of_string (String.make 500 'd'));
-  Dnastore.Kv_store.put ~params store ~key:"image.raw" image;
+  Dnastore.Kv_store.put_exn ~params store ~key:"decoy.txt" (Bytes.of_string (String.make 500 'd'));
+  Dnastore.Kv_store.put_exn ~params store ~key:"image.raw" image;
   Printf.printf "pool: %d molecules across %d files\n" (Dnastore.Kv_store.pool_size store)
     (List.length (Dnastore.Kv_store.keys store));
   let stages =

@@ -42,8 +42,10 @@ let run_arm rng ~molecule_losses ~byte_error_rate arm =
               | None -> None)
           strands
       in
-      let decoded, stats = Codec.Matrix_codec.decode_unit rs_params ~layout:Codec.Layout.Baseline columns in
-      Bytes.equal decoded data && stats.Codec.Matrix_codec.failed_codewords = []
+      (match Codec.Matrix_codec.decode_unit rs_params ~layout:Codec.Layout.Baseline columns with
+      | Ok (decoded, stats) ->
+          Bytes.equal decoded data && stats.Codec.Matrix_codec.failed_codewords = []
+      | Error _ -> false)
   | `Ldpc ->
       (* The same data as one long bit codeword; a lost molecule erases
          a contiguous 30-byte span, reconstruction noise flips bytes. *)

@@ -283,7 +283,7 @@ let decode_cmd =
         Printf.printf "decoded %d bytes -> %s (failed codewords: %d, missing molecules: %d)\n"
           (Bytes.length bytes) output failed stats.Codec.File_codec.missing_strands
     | Error e ->
-        Printf.eprintf "decode failed: %s\n" e;
+        Printf.eprintf "decode failed: %s\n" (Codec.File_codec.error_message e);
         exit 1
   in
   Cmd.v (Cmd.info "decode" ~doc:"Decode reconstructed strands back into the file.")
@@ -319,6 +319,8 @@ let pipeline_cmd =
        else "RECOVERY INCOMPLETE (bytes differ)")
       out.n_strands out.n_reads out.n_clusters t.Dnastore.Pipeline.encode_s t.simulate_s
       t.cluster_s t.reconstruct_s t.decode_s (Dnastore.Pipeline.total_s t);
+    if not out.Dnastore.Pipeline.exact then
+      print_string (Dnastore.Report.recovery out.Dnastore.Pipeline.partial);
     (match Dna.Par.counters () with
     | [] -> ()
     | counters -> print_string (Dnastore.Report.par_counters counters));
@@ -401,6 +403,159 @@ let fountain_decode_cmd =
   Cmd.v (Cmd.info "fountain-decode" ~doc:"Decode fountain droplets back into the file.")
     Term.(const run $ consensus $ meta $ output)
 
+(* faults: run the named fault-scenario matrix and print a recovery
+   report. The graceful-degradation contract under test: the pipeline
+   never raises, reports what fraction of the file survived, and every
+   scenario replays bit-identically from its seed. *)
+
+let faults_cmd =
+  let input =
+    Arg.(value & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE"
+         ~doc:"File to push through the faulty pipeline (default: a deterministic pseudo-random payload).")
+  in
+  let bytes_arg =
+    Arg.(value & opt int 2000 & info [ "bytes" ] ~docv:"N"
+         ~doc:"Size of the generated payload when no $(b,--input) is given.")
+  in
+  let scenario_arg =
+    Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"NAME"
+         ~doc:"Run only this scenario (default: the whole matrix). Use $(b,--list) to see names.")
+  in
+  let seeds_arg =
+    Arg.(value & opt string "1,2" & info [ "seeds" ] ~docv:"CSV"
+         ~doc:"Comma-separated replay seeds; each scenario runs once per seed.")
+  in
+  let list_arg =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenario matrix and exit.")
+  in
+  let run input bytes scenario_name seeds_csv list_only domains =
+    Dna.Par.set_default_domains domains;
+    if list_only then begin
+      print_string
+        (Dnastore.Report.table
+           ([ "scenario"; "faults"; "min recovered" ]
+           :: List.map
+                (fun s ->
+                  [
+                    s.Dnastore.Faults.scenario_name;
+                    (match s.Dnastore.Faults.scenario_faults with
+                    | [] -> "(none)"
+                    | fs -> String.concat " " (List.map Dnastore.Faults.fault_name fs));
+                    Printf.sprintf "%.2f" s.Dnastore.Faults.min_recovered;
+                  ])
+                Dnastore.Faults.scenarios))
+    end
+    else begin
+      let data =
+        match input with
+        | Some path -> read_binary path
+        | None ->
+            let r = Dna.Rng.create 0xF11E in
+            Bytes.init bytes (fun _ -> Char.chr (Dna.Rng.int r 256))
+      in
+      let seeds =
+        String.split_on_char ',' seeds_csv
+        |> List.filter_map (fun s -> int_of_string_opt (String.trim s))
+      in
+      if seeds = [] then failwith "faults: no valid seeds";
+      let scenarios =
+        match scenario_name with
+        | None -> Dnastore.Faults.scenarios
+        | Some name -> (
+            match Dnastore.Faults.find_scenario name with
+            | Some s -> [ s ]
+            | None -> failwith ("faults: unknown scenario " ^ name))
+      in
+      let violations = ref [] in
+      let run_one scenario seed =
+        let go () =
+          let rng = Dna.Rng.create seed in
+          Dnastore.Pipeline.run
+            ~faults:(Dnastore.Faults.plan_of_scenario ~seed scenario)
+            rng data
+        in
+        let out = go () in
+        (* Replay: the same pipeline and fault seeds must reproduce the
+           outcome bit-identically. *)
+        let out' = go () in
+        let same_bytes =
+          match (out.Dnastore.Pipeline.file, out'.Dnastore.Pipeline.file) with
+          | Some a, Some b -> Bytes.equal a b
+          | None, None -> true
+          | _ -> false
+        in
+        let replay_ok =
+          same_bytes
+          && out.Dnastore.Pipeline.partial.Codec.File_codec.recovered_fraction
+             = out'.Dnastore.Pipeline.partial.Codec.File_codec.recovered_fraction
+        in
+        let fraction = out.Dnastore.Pipeline.partial.Codec.File_codec.recovered_fraction in
+        if fraction < scenario.Dnastore.Faults.min_recovered then
+          violations :=
+            Printf.sprintf "%s seed %d: recovered %.4f < floor %.2f"
+              scenario.Dnastore.Faults.scenario_name seed fraction
+              scenario.Dnastore.Faults.min_recovered
+            :: !violations;
+        if not replay_ok then
+          violations :=
+            Printf.sprintf "%s seed %d: replay diverged" scenario.Dnastore.Faults.scenario_name seed
+            :: !violations;
+        (out, fraction, replay_ok)
+      in
+      let rows = ref [] in
+      List.iter
+        (fun scenario ->
+          List.iter
+            (fun seed ->
+              let out, fraction, replay_ok = run_one scenario seed in
+              let r, d, l =
+                Array.fold_left
+                  (fun (r, d, l) s ->
+                    match s with
+                    | Codec.File_codec.Recovered -> (r + 1, d, l)
+                    | Codec.File_codec.Degraded _ -> (r, d + 1, l)
+                    | Codec.File_codec.Lost -> (r, d, l + 1))
+                  (0, 0, 0)
+                  out.Dnastore.Pipeline.partial.Codec.File_codec.unit_status
+              in
+              rows :=
+                [
+                  scenario.Dnastore.Faults.scenario_name;
+                  string_of_int seed;
+                  (if out.Dnastore.Pipeline.exact then "exact"
+                   else if out.Dnastore.Pipeline.file <> None then "partial"
+                   else "failed");
+                  Printf.sprintf "%.4f" fraction;
+                  Printf.sprintf "%d/%d/%d" r d l;
+                  (if replay_ok then "ok" else "DIVERGED");
+                  (match out.Dnastore.Pipeline.stage_failures with
+                  | [] -> "-"
+                  | fs ->
+                      String.concat ";"
+                        (List.map (fun (s, _) -> Dnastore.Faults.stage_name s) fs));
+                ]
+                :: !rows)
+            seeds)
+        scenarios;
+      print_string
+        (Dnastore.Report.table
+           ([ "scenario"; "seed"; "outcome"; "recovered"; "units R/D/L"; "replay"; "degraded stages" ]
+           :: List.rev !rows));
+      match !violations with
+      | [] -> Printf.printf "\nfault matrix clean: %d scenario runs, no contract violations\n"
+                (List.length scenarios * List.length seeds)
+      | vs ->
+          Printf.eprintf "\n%d contract violation(s):\n" (List.length vs);
+          List.iter (fun v -> Printf.eprintf "  %s\n" v) (List.rev vs);
+          exit 1
+    end
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
+  Cmd.v
+    (Cmd.info "faults"
+       ~doc:"Run the fault-injection scenario matrix and print a recovery report.")
+    Term.(const run $ input $ bytes_arg $ scenario_arg $ seeds_arg $ list_arg $ domains)
+
 (* inspect: pool statistics a lab would sanity-check before synthesis *)
 
 let inspect_cmd =
@@ -432,7 +587,7 @@ let main =
   Cmd.group (Cmd.info "dnastore" ~version:"1.0.0" ~doc)
     [
       encode_cmd; simulate_cmd; cluster_cmd; reconstruct_cmd; decode_cmd; pipeline_cmd;
-      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd;
+      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd;
     ]
 
 let () = exit (Cmd.eval main)

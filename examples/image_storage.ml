@@ -66,7 +66,7 @@ let run_trial rng ~mapped img =
       clusters
   in
   match Codec.File_codec.decode ~params ~n_units:encoded.Codec.File_codec.n_units consensus with
-  | Error e -> failwith ("decode failed outright: " ^ e)
+  | Error e -> failwith ("decode failed outright: " ^ Codec.File_codec.error_message e)
   | Ok (decoded_arranged, stats) ->
       let failed =
         Array.fold_left (fun a u -> a + List.length u.Codec.Matrix_codec.failed_codewords) 0

@@ -71,5 +71,5 @@ let () =
       assert (Bytes.equal bytes file);
       print_endline "\nround trip: EXACT"
   | Error e ->
-      Printf.eprintf "decode failed: %s\n" e;
+      Printf.eprintf "decode failed: %s\n" (Codec.File_codec.error_message e);
       exit 1

@@ -20,7 +20,7 @@ let files =
 let () =
   let store = Dnastore.Kv_store.create ~seed:7 in
   List.iter
-    (fun (key, content) -> Dnastore.Kv_store.put store ~key (Bytes.of_string content))
+    (fun (key, content) -> Dnastore.Kv_store.put_exn store ~key (Bytes.of_string content))
     files;
   Printf.printf "pool holds %d molecules for %d files: %s\n\n"
     (Dnastore.Kv_store.pool_size store)

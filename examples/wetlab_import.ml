@@ -15,7 +15,7 @@ let () =
 
   (* Encode and tag with primers, as for real synthesis. *)
   let params = Codec.Params.default in
-  let pair = (Codec.Primer.generate_pairs rng 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn rng 1).(0) in
   let encoded = Codec.File_codec.encode ~params file in
   let tagged = Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands in
   Printf.printf "synthesized %d primer-tagged molecules of %d nt\n" (Array.length tagged)
@@ -68,6 +68,6 @@ let () =
       assert (Bytes.equal bytes file);
       print_endline "wetlab import round trip: EXACT"
   | Error e ->
-      Printf.eprintf "decode failed: %s\n" e;
+      Printf.eprintf "decode failed: %s\n" (Codec.File_codec.error_message e);
       exit 1);
   Sys.remove path

@@ -72,30 +72,49 @@ let encode (data : Bytes.t) : Dna.Strand.t =
   done;
   Dna.Strand.of_codes codes
 
-(* [decode ~n_bytes strand] recovers exactly [n_bytes] bytes. Raises
-   [Invalid_argument] when the strand is too short or violates the
-   no-repeat constraint (a detected, uncorrectable corruption). *)
-let decode ~n_bytes (strand : Dna.Strand.t) : Bytes.t =
+type error =
+  | Too_short of { needed : int; got : int }
+  | Repeated_base of { position : int }
+      (** two consecutive equal bases: a detected, uncorrectable corruption *)
+
+let error_message = function
+  | Too_short { needed; got } ->
+      Printf.sprintf "Constrained.decode: strand too short (needed %d bases, got %d)" needed got
+  | Repeated_base { position } ->
+      Printf.sprintf "Constrained.decode: repeated base at position %d (corrupt strand)" position
+
+exception Corrupt of error
+
+(* [decode ~n_bytes strand] recovers exactly [n_bytes] bytes, or a
+   structured error when the strand is too short or violates the
+   no-repeat constraint. *)
+let decode ~n_bytes (strand : Dna.Strand.t) : (Bytes.t, error) result =
   let needed = encoded_length n_bytes in
-  if Dna.Strand.length strand < needed then invalid_arg "Constrained.decode: strand too short";
-  let n_blocks = needed / trits_per_block in
-  let out = Bytes.make (n_blocks * bytes_per_block) '\000' in
-  let prev = ref 4 in
-  for b = 0 to n_blocks - 1 do
-    let trits =
-      Array.init trits_per_block (fun i ->
-          let base = Dna.Strand.get_code strand ((b * trits_per_block) + i) in
-          let trit = rotation_inv.(!prev).(base) in
-          if trit < 0 then invalid_arg "Constrained.decode: repeated base (corrupt strand)";
-          prev := base;
-          trit)
-    in
-    let b0, b1, b2 = trits_to_block trits in
-    Bytes.set out (3 * b) (Char.chr b0);
-    Bytes.set out ((3 * b) + 1) (Char.chr b1);
-    Bytes.set out ((3 * b) + 2) (Char.chr b2)
-  done;
-  Bytes.sub out 0 n_bytes
+  let got = Dna.Strand.length strand in
+  if got < needed then Error (Too_short { needed; got })
+  else begin
+    let n_blocks = needed / trits_per_block in
+    let out = Bytes.make (n_blocks * bytes_per_block) '\000' in
+    let prev = ref 4 in
+    try
+      for b = 0 to n_blocks - 1 do
+        let trits =
+          Array.init trits_per_block (fun i ->
+              let position = (b * trits_per_block) + i in
+              let base = Dna.Strand.get_code strand position in
+              let trit = rotation_inv.(!prev).(base) in
+              if trit < 0 then raise (Corrupt (Repeated_base { position }));
+              prev := base;
+              trit)
+        in
+        let b0, b1, b2 = trits_to_block trits in
+        Bytes.set out (3 * b) (Char.chr b0);
+        Bytes.set out ((3 * b) + 1) (Char.chr b1);
+        Bytes.set out ((3 * b) + 2) (Char.chr b2)
+      done;
+      Ok (Bytes.sub out 0 n_bytes)
+    with Corrupt e -> Error e
+  end
 
 (* The constraint the code guarantees: no two consecutive equal bases. *)
 let satisfies_constraint (s : Dna.Strand.t) = Dna.Strand.max_homopolymer s <= 1

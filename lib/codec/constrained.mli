@@ -15,9 +15,16 @@ val encoded_length : int -> int
 val encode : Bytes.t -> Dna.Strand.t
 (** Homopolymer-free by construction. *)
 
-val decode : n_bytes:int -> Dna.Strand.t -> Bytes.t
-(** Recover exactly [n_bytes]. Raises [Invalid_argument] when the strand
-    is too short or contains a repeated base (detected corruption). *)
+type error =
+  | Too_short of { needed : int; got : int }
+  | Repeated_base of { position : int }
+      (** two consecutive equal bases: a detected, uncorrectable corruption *)
+
+val error_message : error -> string
+
+val decode : n_bytes:int -> Dna.Strand.t -> (Bytes.t, error) result
+(** Recover exactly [n_bytes], or a structured error when the strand is
+    too short or contains a repeated base (detected corruption). *)
 
 val satisfies_constraint : Dna.Strand.t -> bool
 (** No two consecutive equal bases. *)

@@ -40,16 +40,35 @@ let encode { unit_id; column } : Dna.Strand.t =
   Dna.Bitstream.Writer.add w ~width:8 (checksum ~unit_id ~column);
   Dna.Bitstream.strand_of_bytes (apply_mask (Dna.Bitstream.Writer.to_bytes w))
 
-(* [None] when the checksum rejects the index. *)
-let decode (s : Dna.Strand.t) : t option =
-  if Dna.Strand.length s <> nt_length then None
+type error =
+  | Truncated of { expected : int; got : int }
+      (** strand shorter (or longer) than the 16-base index *)
+  | Bad_checksum of { stored : int; computed : int }
+
+let error_message = function
+  | Truncated { expected; got } ->
+      Printf.sprintf "Index.decode: expected %d bases, got %d" expected got
+  | Bad_checksum { stored; computed } ->
+      Printf.sprintf "Index.decode: checksum mismatch (stored %#x, computed %#x)" stored
+        computed
+
+(* Length is validated before any byte-level slicing, so a truncated
+   read surfaces as [Truncated] instead of an [Invalid_argument] escaping
+   from the [Bytes] primitives underneath [Bitstream]. *)
+let decode (s : Dna.Strand.t) : (t, error) result =
+  let got = Dna.Strand.length s in
+  if got <> nt_length then Error (Truncated { expected = nt_length; got })
   else begin
     let r = Dna.Bitstream.Reader.create (apply_mask (Dna.Bitstream.bytes_of_strand s)) in
     let unit_id = Dna.Bitstream.Reader.read r ~width:16 in
     let column = Dna.Bitstream.Reader.read r ~width:8 in
-    let check = Dna.Bitstream.Reader.read r ~width:8 in
-    if check = checksum ~unit_id ~column then Some { unit_id; column } else None
+    let stored = Dna.Bitstream.Reader.read r ~width:8 in
+    let computed = checksum ~unit_id ~column in
+    if stored = computed then Ok { unit_id; column }
+    else Error (Bad_checksum { stored; computed })
   end
+
+let decode_opt s = Result.to_option (decode s)
 
 let equal a b = a.unit_id = b.unit_id && a.column = b.column
 

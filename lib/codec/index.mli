@@ -16,8 +16,20 @@ val checksum : unit_id:int -> column:int -> int
 val encode : t -> Dna.Strand.t
 (** Raises [Invalid_argument] out of range. *)
 
-val decode : Dna.Strand.t -> t option
-(** [None] when the length is wrong or the checksum rejects. *)
+type error =
+  | Truncated of { expected : int; got : int }
+      (** strand length differs from the 16-base index *)
+  | Bad_checksum of { stored : int; computed : int }
+
+val error_message : error -> string
+
+val decode : Dna.Strand.t -> (t, error) result
+(** Structured rejection: the length is validated before any byte-level
+    slicing, so truncated reads return [Truncated] rather than raising
+    out of the [Bytes] primitives. *)
+
+val decode_opt : Dna.Strand.t -> t option
+(** {!decode} with the error collapsed to [None]. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

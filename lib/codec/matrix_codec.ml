@@ -57,26 +57,41 @@ let encode_unit p ~layout ~unit_id (data : Bytes.t) : Dna.Strand.t array =
 
 (* Split a reconstructed strand into its index and payload bytes. [None]
    when the length is wrong or the index checksum fails; such strands are
-   treated as lost molecules. *)
+   treated as lost molecules. The length guard runs before any slicing,
+   so truncated reads can never raise out of [Strand.sub]. *)
 let parse_strand p (s : Dna.Strand.t) : (Index.t * Bytes.t) option =
   if Dna.Strand.length s <> Params.strand_nt p then None
   else begin
     match Index.decode (Dna.Strand.sub s ~pos:0 ~len:Index.nt_length) with
-    | None -> None
-    | Some index ->
+    | Error _ -> None
+    | Ok index ->
         let payload = Dna.Strand.sub s ~pos:Index.nt_length ~len:p.Params.payload_nt in
         Some (index, Dna.Bitstream.bytes_of_strand payload)
   end
+
+type error =
+  | Wrong_column_count of { expected : int; got : int }
+  | Invalid_params of string
+
+let error_message = function
+  | Wrong_column_count { expected; got } ->
+      Printf.sprintf "Matrix_codec.decode_unit: expected %d columns, got %d" expected got
+  | Invalid_params msg -> "Matrix_codec.decode_unit: " ^ msg
 
 (* Decode one unit from its columns; [columns.(c) = None] marks an
    erased molecule. Returns the data region plus per-unit statistics.
    Rows that fail RS decoding are returned as-is (uncorrected) and
    reported in [failed_codewords]. *)
-let decode_unit p ~layout (columns : Bytes.t option array) : Bytes.t * unit_stats =
-  Params.validate p;
+let decode_unit p ~layout (columns : Bytes.t option array) :
+    (Bytes.t * unit_stats, error) result =
+  match Params.validate p with
+  | exception Invalid_argument msg -> Error (Invalid_params msg)
+  | () ->
   let rows = Params.rows p and cols = Params.columns p in
   let k = p.Params.rs_data in
-  if Array.length columns <> cols then invalid_arg "Matrix_codec.decode_unit: column count";
+  if Array.length columns <> cols then
+    Error (Wrong_column_count { expected = cols; got = Array.length columns })
+  else begin
   let matrix = Array.make_matrix rows cols 0 in
   let erased = ref [] in
   Array.iteri
@@ -110,6 +125,11 @@ let decode_unit p ~layout (columns : Bytes.t option array) : Bytes.t * unit_stat
       Bytes.set data ((c * rows) + r) (Char.chr matrix.(r).(c))
     done
   done;
-  ( data,
-    { failed_codewords = List.rev !failed; corrected_bytes = !corrected; erased_columns = erased }
-  )
+  Ok
+    ( data,
+      {
+        failed_codewords = List.rev !failed;
+        corrected_bytes = !corrected;
+        erased_columns = erased;
+      } )
+  end

@@ -18,8 +18,18 @@ val encode_unit : Params.t -> layout:Layout.t -> unit_id:int -> Bytes.t -> Dna.S
 
 val parse_strand : Params.t -> Dna.Strand.t -> (Index.t * Bytes.t) option
 (** Split a reconstructed strand into index and payload bytes; [None]
-    when the length is wrong or the index checksum fails. *)
+    when the length is wrong or the index checksum fails. Never raises,
+    even on truncated strands. *)
 
-val decode_unit : Params.t -> layout:Layout.t -> Bytes.t option array -> Bytes.t * unit_stats
+type error =
+  | Wrong_column_count of { expected : int; got : int }
+  | Invalid_params of string
+
+val error_message : error -> string
+
+val decode_unit :
+  Params.t -> layout:Layout.t -> Bytes.t option array -> (Bytes.t * unit_stats, error) result
 (** Decode one unit from its columns ([None] marks an erased molecule).
-    Rows that fail RS decoding are returned uncorrected and reported. *)
+    Rows that fail RS decoding are returned uncorrected and reported in
+    [unit_stats]; [Error] only on a malformed call (wrong column count
+    or invalid params), never on corrupt data. *)

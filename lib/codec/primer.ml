@@ -23,34 +23,58 @@ let gc_balanced s =
 
 let acceptable s = gc_balanced s && Dna.Strand.max_homopolymer s <= 3
 
+type error =
+  | Constraints_unsatisfiable of { requested : int; generated : int; attempts : int }
+      (** the rejection sampler hit its attempt cap before producing
+          [requested] primers; [generated] were found *)
+
+let error_message = function
+  | Constraints_unsatisfiable { requested; generated; attempts } ->
+      Printf.sprintf
+        "Primer.generate: constraints unsatisfiable (%d of %d primers after %d attempts)"
+        generated requested attempts
+
 (* Generate [n] primers with pairwise Hamming distance at least
    [min_distance], rejection-sampling random candidates. *)
-let generate ?(min_distance = 8) rng n : Dna.Strand.t array =
+let generate ?(min_distance = 8) ?(max_attempts = 100_000) rng n :
+    (Dna.Strand.t array, error) result =
   let chosen = ref [] in
   let count = ref 0 in
   let attempts = ref 0 in
-  while !count < n do
+  let exhausted = ref false in
+  while (not !exhausted) && !count < n do
     incr attempts;
-    if !attempts > 100_000 then failwith "Primer.generate: cannot satisfy constraints";
-    let cand = Dna.Strand.random rng primer_length in
-    let far_enough other = Dna.Distance.hamming cand other >= min_distance in
-    (* Also keep distance from every reverse complement, since reads can
-       arrive in either orientation. *)
-    if
-      acceptable cand
-      && List.for_all
-           (fun p -> far_enough p && far_enough (Dna.Strand.reverse_complement p))
-           !chosen
-    then begin
-      chosen := cand :: !chosen;
-      incr count
+    if !attempts > max_attempts then exhausted := true
+    else begin
+      let cand = Dna.Strand.random rng primer_length in
+      let far_enough other = Dna.Distance.hamming cand other >= min_distance in
+      (* Also keep distance from every reverse complement, since reads can
+         arrive in either orientation. *)
+      if
+        acceptable cand
+        && List.for_all
+             (fun p -> far_enough p && far_enough (Dna.Strand.reverse_complement p))
+             !chosen
+      then begin
+        chosen := cand :: !chosen;
+        incr count
+      end
     end
   done;
-  Array.of_list (List.rev !chosen)
+  if !exhausted then
+    Error (Constraints_unsatisfiable { requested = n; generated = !count; attempts = max_attempts })
+  else Ok (Array.of_list (List.rev !chosen))
 
-let generate_pairs ?min_distance rng n : pair array =
-  let primers = generate ?min_distance rng (2 * n) in
-  Array.init n (fun i -> { forward = primers.(2 * i); reverse = primers.((2 * i) + 1) })
+let generate_pairs ?min_distance ?max_attempts rng n : (pair array, error) result =
+  match generate ?min_distance ?max_attempts rng (2 * n) with
+  | Error err -> Error err
+  | Ok primers ->
+      Ok (Array.init n (fun i -> { forward = primers.(2 * i); reverse = primers.((2 * i) + 1) }))
+
+let generate_pairs_exn ?min_distance ?max_attempts rng n : pair array =
+  match generate_pairs ?min_distance ?max_attempts rng n with
+  | Ok pairs -> pairs
+  | Error e -> failwith (error_message e)
 
 (* Attach the pair around a core strand (Figure 2a). *)
 let attach pair core = Dna.Strand.concat [ pair.forward; core; pair.reverse ]

@@ -12,11 +12,26 @@ val gc_balanced : Dna.Strand.t -> bool
 val acceptable : Dna.Strand.t -> bool
 (** GC in [0.4, 0.6] and homopolymers of at most 3. *)
 
-val generate : ?min_distance:int -> Dna.Rng.t -> int -> Dna.Strand.t array
-(** [n] acceptable primers pairwise at least [min_distance] (default 8)
-    apart in Hamming distance, including against reverse complements. *)
+type error =
+  | Constraints_unsatisfiable of { requested : int; generated : int; attempts : int }
+      (** the rejection sampler hit its attempt cap (default 100_000)
+          before producing [requested] primers *)
 
-val generate_pairs : ?min_distance:int -> Dna.Rng.t -> int -> pair array
+val error_message : error -> string
+
+val generate :
+  ?min_distance:int -> ?max_attempts:int -> Dna.Rng.t -> int ->
+  (Dna.Strand.t array, error) result
+(** [n] acceptable primers pairwise at least [min_distance] (default 8)
+    apart in Hamming distance, including against reverse complements.
+    [Error] when the rejection sampler exhausts [max_attempts]. *)
+
+val generate_pairs :
+  ?min_distance:int -> ?max_attempts:int -> Dna.Rng.t -> int -> (pair array, error) result
+
+val generate_pairs_exn : ?min_distance:int -> ?max_attempts:int -> Dna.Rng.t -> int -> pair array
+(** {!generate_pairs} for callers without a recovery path; raises
+    [Failure] with {!error_message} on exhaustion. *)
 
 val attach : pair -> Dna.Strand.t -> Dna.Strand.t
 (** [forward ^ core ^ reverse] (Figure 2a). *)

@@ -30,47 +30,76 @@ let mem t key = List.exists (fun e -> e.key = key) t.directory
 let keys t = List.map (fun e -> e.key) t.directory
 let pool_size t = Array.length t.pool
 
-let fresh_pair t =
+type put_error =
+  | Duplicate_key of string
+  | Primer_space_exhausted of { attempts : int }
+      (** no primer pair far enough from every pair already in use *)
+
+let put_error_message = function
+  | Duplicate_key key -> "Kv_store.put: duplicate key " ^ key
+  | Primer_space_exhausted { attempts } ->
+      Printf.sprintf "Kv_store.put: primer space exhausted after %d attempts" attempts
+
+let max_pair_attempts = 1000
+
+let fresh_pair t : (Codec.Primer.pair, put_error) result =
   (* Keep the new pair far from every existing primer (and their reverse
      complements) so PCR selection stays specific. *)
   let rec attempt tries =
-    if tries > 1000 then failwith "Kv_store: primer space exhausted";
-    let candidates = Codec.Primer.generate_pairs t.rng 1 in
-    let cand = candidates.(0) in
-    let far p q = Dna.Distance.hamming p q >= 8 in
-    let all_far p =
-      List.for_all
-        (fun used ->
-          far p used.Codec.Primer.forward && far p used.Codec.Primer.reverse
-          && far p (Dna.Strand.reverse_complement used.Codec.Primer.forward)
-          && far p (Dna.Strand.reverse_complement used.Codec.Primer.reverse))
-        t.primers_used
-    in
-    if all_far cand.Codec.Primer.forward && all_far cand.Codec.Primer.reverse then cand
-    else attempt (tries + 1)
+    if tries >= max_pair_attempts then Error (Primer_space_exhausted { attempts = tries })
+    else begin
+      match Codec.Primer.generate_pairs t.rng 1 with
+      | Error (Codec.Primer.Constraints_unsatisfiable { attempts; _ }) ->
+          Error (Primer_space_exhausted { attempts })
+      | Ok candidates ->
+          let cand = candidates.(0) in
+          let far p q = Dna.Distance.hamming p q >= 8 in
+          let all_far p =
+            List.for_all
+              (fun used ->
+                far p used.Codec.Primer.forward && far p used.Codec.Primer.reverse
+                && far p (Dna.Strand.reverse_complement used.Codec.Primer.forward)
+                && far p (Dna.Strand.reverse_complement used.Codec.Primer.reverse))
+              t.primers_used
+          in
+          if all_far cand.Codec.Primer.forward && all_far cand.Codec.Primer.reverse then Ok cand
+          else attempt (tries + 1)
+    end
   in
-  let pair = attempt 0 in
-  t.primers_used <- pair :: t.primers_used;
-  pair
+  Result.map
+    (fun pair ->
+      t.primers_used <- pair :: t.primers_used;
+      pair)
+    (attempt 0)
 
 let put ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline) t ~key
-    (file : Bytes.t) =
-  if mem t key then invalid_arg ("Kv_store.put: duplicate key " ^ key);
-  let pair = fresh_pair t in
-  let encoded = Codec.File_codec.encode ~layout ~params file in
-  let tagged = Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands in
-  t.pool <- Array.append t.pool tagged;
-  Dna.Rng.shuffle_in_place t.rng t.pool;
-  t.directory <-
-    {
-      key;
-      pair;
-      n_units = encoded.Codec.File_codec.n_units;
-      params;
-      layout;
-      original_size = Bytes.length file;
-    }
-    :: t.directory
+    (file : Bytes.t) : (unit, put_error) result =
+  if mem t key then Error (Duplicate_key key)
+  else begin
+    match fresh_pair t with
+    | Error err -> Error err
+    | Ok pair ->
+        let encoded = Codec.File_codec.encode ~layout ~params file in
+        let tagged = Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands in
+        t.pool <- Array.append t.pool tagged;
+        Dna.Rng.shuffle_in_place t.rng t.pool;
+        t.directory <-
+          {
+            key;
+            pair;
+            n_units = encoded.Codec.File_codec.n_units;
+            params;
+            layout;
+            original_size = Bytes.length file;
+          }
+          :: t.directory;
+        Ok ()
+  end
+
+let put_exn ?params ?layout t ~key file =
+  match put ?params ?layout t ~key file with
+  | Ok () -> ()
+  | Error e -> invalid_arg (put_error_message e)
 
 (* PCR selection: amplify exactly the molecules carrying both primers.
    The pool holds clean synthesized strands, so matching is strict here;
@@ -140,4 +169,4 @@ let get ?(stages = Pipeline.default_stages ()) ?(domains = Dna.Par.default_domai
       in
       (match result with
       | Ok (bytes, _) -> Ok (bytes, timings)
-      | Error e -> Error (Decode_failed e))
+      | Error e -> Error (Decode_failed (Codec.File_codec.error_message e)))

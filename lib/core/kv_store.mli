@@ -24,10 +24,25 @@ val mem : t -> string -> bool
 val keys : t -> string list
 val pool_size : t -> int
 
-val put : ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> t -> key:string -> Bytes.t -> unit
+type put_error =
+  | Duplicate_key of string
+  | Primer_space_exhausted of { attempts : int }
+      (** no primer pair far enough from every pair already in use *)
+
+val put_error_message : put_error -> string
+
+val put :
+  ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> t -> key:string -> Bytes.t ->
+  (unit, put_error) result
 (** Encode the file, tag it with a fresh primer pair and mix its
-    molecules into the pool. Raises [Invalid_argument] on a duplicate
-    key. *)
+    molecules into the pool. [Error] on a duplicate key or when the
+    primer space is exhausted (the pool keeps every pair pairwise far
+    apart, so capacity is finite). *)
+
+val put_exn :
+  ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> t -> key:string -> Bytes.t -> unit
+(** {!put} for callers without a recovery path; raises
+    [Invalid_argument] with {!put_error_message}. *)
 
 val pcr_select : t -> Codec.Primer.pair -> Dna.Strand.t array
 (** PCR amplification: the pool molecules carrying both primers. *)

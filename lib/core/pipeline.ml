@@ -5,7 +5,14 @@
     {!stages}, so replacing any module is building a record — the OCaml
     rendering of the paper's modularity claim. [run] wires a file through
     all five and reports per-stage wall-clock latencies (Table III) plus
-    intermediate statistics. *)
+    intermediate statistics.
+
+    [run] never raises: a crashing stage (whether fault-injected through
+    [?faults] or a genuinely buggy swapped-in implementation) is caught
+    and degraded — clustering falls back to singleton clusters,
+    reconstruction falls back through the NW -> BMA -> majority chain per
+    cluster, and decode failures surface as a structured outcome with a
+    {!Codec.File_codec.partial_recovery} map of what survived. *)
 
 type stages = {
   channel : Simulator.Channel.t;
@@ -27,6 +34,12 @@ let total_s t = t.encode_s +. t.simulate_s +. t.cluster_s +. t.reconstruct_s +. 
 type outcome = {
   file : Bytes.t option;  (** [None] when decoding failed outright *)
   exact : bool;  (** decoded bytes match the input exactly *)
+  partial : Codec.File_codec.partial_recovery;
+      (** what survived: per-unit status, recovered fraction and byte
+          ranges (all-lost when [file = None]) *)
+  stage_failures : (Faults.stage * string) list;
+      (** stages that raised and were degraded, oldest first *)
+  decode_error : string option;  (** why [file] is [None], when it is *)
   timings : timings;
   n_strands : int;
   n_reads : int;
@@ -67,56 +80,126 @@ let time f =
 
 (* Run the full pipeline on [file]. [domains] parallelizes per-strand
    read synthesis and per-cluster reconstruction (clustering honors its
-   own [params.domains], set through [cluster_default ~domains]). *)
+   own [params.domains], set through [cluster_default ~domains]).
+   [faults] injects the plan's seeded faults between stages and its
+   crash/stuck faults at stage entry. *)
 let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
-    ?(stages = default_stages ()) ?(domains = Dna.Par.default_domains ()) rng (file : Bytes.t)
-    : outcome =
-  let encoded, encode_s = time (fun () -> Codec.File_codec.encode ~layout ~params file) in
-  let strands = encoded.Codec.File_codec.strands in
-  let reads, simulate_s =
-    time (fun () ->
-        Simulator.Sequencer.sequence ~domains stages.sequencing stages.channel rng strands)
+    ?(stages = default_stages ()) ?(domains = Dna.Par.default_domains ()) ?faults rng
+    (file : Bytes.t) : outcome =
+  let failures = ref [] in
+  let note stage e = failures := (stage, Printexc.to_string e) :: !failures in
+  let trigger stage = match faults with Some p -> Faults.trigger p stage | None -> () in
+  let inject f x = match faults with Some p -> f p x | None -> x in
+  let zero = { encode_s = 0.0; simulate_s = 0.0; cluster_s = 0.0; reconstruct_s = 0.0; decode_s = 0.0 } in
+  let failed_outcome ?(timings = zero) ?(n_strands = 0) ?(n_reads = 0) ?(n_clusters = 0)
+      ?(n_units = 0) error =
+    {
+      file = None;
+      exact = false;
+      partial = Codec.File_codec.no_recovery ~n_units;
+      stage_failures = List.rev !failures;
+      decode_error = Some error;
+      timings;
+      n_strands;
+      n_reads;
+      n_clusters;
+      decode_stats = None;
+    }
   in
-  let read_strands = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
-  let clusters, cluster_s = time (fun () -> stages.cluster rng read_strands) in
-  let target_len = Codec.Params.strand_nt params in
-  let reconstructed, reconstruct_s =
+  let encoded, encode_s =
     time (fun () ->
-        (* Largest clusters first: when two clusters claim the same
-           column index, the consensus backed by more reads wins. *)
-        let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
-        Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
-        Dna.Par.map_array ~label:"pipeline.reconstruct" ~domains
-          (fun reads ->
-            if Array.length reads = 0 then None
-            else Some (stages.reconstruct ~target_len reads))
-          cluster_arr)
+        try
+          trigger Faults.Encode;
+          Some (Codec.File_codec.encode ~layout ~params file)
+        with e ->
+          note Faults.Encode e;
+          None)
   in
-  let consensus = List.filter_map Fun.id (Array.to_list reconstructed) in
-  let decoded, decode_s =
-    time (fun () ->
-        Codec.File_codec.decode ~layout ~params ~n_units:encoded.Codec.File_codec.n_units
-          consensus)
-  in
-  let timings = { encode_s; simulate_s; cluster_s; reconstruct_s; decode_s } in
-  match decoded with
-  | Ok (bytes, stats) ->
-      {
-        file = Some bytes;
-        exact = Bytes.equal bytes file;
-        timings;
-        n_strands = Array.length strands;
-        n_reads = Array.length reads;
-        n_clusters = List.length clusters;
-        decode_stats = Some stats;
-      }
-  | Error _ ->
-      {
-        file = None;
-        exact = false;
-        timings;
-        n_strands = Array.length strands;
-        n_reads = Array.length reads;
-        n_clusters = List.length clusters;
-        decode_stats = None;
-      }
+  match encoded with
+  | None ->
+      failed_outcome ~timings:{ zero with encode_s } "encode stage failed; nothing to recover"
+  | Some encoded ->
+      let strands = inject Faults.inject_strands encoded.Codec.File_codec.strands in
+      let reads, simulate_s =
+        time (fun () ->
+            try
+              trigger Faults.Simulate;
+              Simulator.Sequencer.sequence ~domains stages.sequencing stages.channel rng strands
+            with e ->
+              note Faults.Simulate e;
+              [||])
+      in
+      let reads = inject Faults.inject_reads reads in
+      let read_strands = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
+      let clusters, cluster_s =
+        time (fun () ->
+            try
+              trigger Faults.Cluster;
+              stages.cluster rng read_strands
+            with e ->
+              note Faults.Cluster e;
+              (* Graceful fallback: every read its own cluster. Costly in
+                 decode quality, but keeps the erasure machinery fed. *)
+              Array.to_list (Array.map (fun s -> [ s ]) read_strands))
+      in
+      let clusters = inject Faults.inject_clusters clusters in
+      let target_len = Codec.Params.strand_nt params in
+      let reconstructed, reconstruct_s =
+        time (fun () ->
+            (* Largest clusters first: when two clusters claim the same
+               column index, the consensus backed by more reads wins. *)
+            let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
+            Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
+            (* Tasks run on worker domains: collect per-cluster errors in
+               the results and note them serially afterwards. *)
+            Dna.Par.map_array ~label:"pipeline.reconstruct" ~domains
+              (fun reads ->
+                if Array.length reads = 0 then (None, None)
+                else begin
+                  match
+                    trigger Faults.Reconstruct;
+                    stages.reconstruct ~target_len reads
+                  with
+                  | s -> (Some s, None)
+                  | exception e ->
+                      ( Reconstruction.Ensemble.reconstruct_fallback ~target_len reads,
+                        Some (Printexc.to_string e) )
+                end)
+              cluster_arr)
+      in
+      (match Array.find_opt (fun (_, err) -> err <> None) reconstructed with
+      | Some (_, Some msg) -> failures := (Faults.Reconstruct, msg) :: !failures
+      | _ -> ());
+      let consensus = List.filter_map fst (Array.to_list reconstructed) in
+      let n_units = encoded.Codec.File_codec.n_units in
+      let decoded, decode_s =
+        time (fun () ->
+            try
+              trigger Faults.Decode;
+              Some (Codec.File_codec.decode ~layout ~params ~n_units consensus)
+            with e ->
+              note Faults.Decode e;
+              None)
+      in
+      let timings = { encode_s; simulate_s; cluster_s; reconstruct_s; decode_s } in
+      let n_strands = Array.length strands
+      and n_reads = Array.length reads
+      and n_clusters = List.length clusters in
+      (match decoded with
+      | Some (Ok (bytes, stats)) ->
+          {
+            file = Some bytes;
+            exact = Bytes.equal bytes file;
+            partial = Codec.File_codec.partial ~params ~file_len:(Bytes.length bytes) stats;
+            stage_failures = List.rev !failures;
+            decode_error = None;
+            timings;
+            n_strands;
+            n_reads;
+            n_clusters;
+            decode_stats = Some stats;
+          }
+      | Some (Error err) ->
+          failed_outcome ~timings ~n_strands ~n_reads ~n_clusters ~n_units
+            (Codec.File_codec.error_message err)
+      | None -> failed_outcome ~timings ~n_strands ~n_reads ~n_clusters ~n_units "decode stage crashed")

@@ -1,6 +1,10 @@
 (** The end-to-end pipeline (Section III, Figure 1): five swappable
     stages wired from a file to its recovery, with per-stage wall-clock
-    latencies (Table III). *)
+    latencies (Table III).
+
+    [run] never raises: crashing stages are caught and degraded, decode
+    failures surface as a structured outcome, and the [partial] record
+    maps what survived. *)
 
 type stages = {
   channel : Simulator.Channel.t;
@@ -22,6 +26,12 @@ val total_s : timings -> float
 type outcome = {
   file : Bytes.t option;  (** [None] when decoding failed outright *)
   exact : bool;  (** decoded bytes match the input exactly *)
+  partial : Codec.File_codec.partial_recovery;
+      (** what survived: per-unit status, recovered fraction and byte
+          ranges (all-lost when [file = None]) *)
+  stage_failures : (Faults.stage * string) list;
+      (** stages that raised and were degraded, oldest first *)
+  decode_error : string option;  (** why [file] is [None], when it is *)
   timings : timings;
   n_strands : int;
   n_reads : int;
@@ -45,9 +55,21 @@ val default_stages : ?error_rate:float -> ?coverage:int -> unit -> stages
 
 val run :
   ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> ?stages:stages -> ?domains:int ->
-  Dna.Rng.t -> Bytes.t -> outcome
+  ?faults:Faults.plan -> Dna.Rng.t -> Bytes.t -> outcome
 (** Encode, simulate, cluster, reconstruct (largest clusters first),
-    decode. [domains] (default {!Dna.Par.default_domains}) parallelizes
+    decode. Never raises.
+
+    [faults] injects the plan's seeded data faults between stages
+    (dropout after encode; undersampling, truncation and corruption
+    after sequencing; cluster loss after clustering) and its crash/stuck
+    faults at stage entry. Degradation on a crashing stage: clustering
+    falls back to singleton clusters, reconstruction falls back through
+    {!Reconstruction.Ensemble.reconstruct_fallback} (NW -> BMA ->
+    majority) per cluster, decode crashes return an all-lost [partial].
+    Given equal seeds (pipeline rng and fault plan), the outcome replays
+    bit-identically.
+
+    [domains] (default {!Dna.Par.default_domains}) parallelizes
     per-strand read synthesis and per-cluster reconstruction. Under a
     fixed seed, clustering and reconstruction outputs are identical for
     every worker count; the simulated read set is identical across all

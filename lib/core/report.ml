@@ -78,6 +78,34 @@ let par_counters (counters : Dna.Par.counter list) : string =
                ])
              counters)
 
+(* One-block rendering of a partial-recovery record: the per-unit
+   status line, the recovered fraction, and the surviving byte ranges.
+   Used by the CLI's [faults] subcommand after a degraded decode. *)
+let recovery (p : Codec.File_codec.partial_recovery) : string =
+  let buf = Buffer.create 256 in
+  let counts = Array.fold_left
+      (fun (r, d, l) s ->
+        match s with
+        | Codec.File_codec.Recovered -> (r + 1, d, l)
+        | Codec.File_codec.Degraded _ -> (r, d + 1, l)
+        | Codec.File_codec.Lost -> (r, d, l + 1))
+      (0, 0, 0) p.Codec.File_codec.unit_status
+  in
+  let r, d, l = counts in
+  Buffer.add_string buf
+    (Printf.sprintf "units: %d recovered, %d degraded, %d lost\n" r d l);
+  Buffer.add_string buf
+    (Printf.sprintf "recovered fraction: %.4f\n" p.Codec.File_codec.recovered_fraction);
+  (match p.Codec.File_codec.recovered_ranges with
+  | [] -> Buffer.add_string buf "recovered ranges: none\n"
+  | ranges ->
+      Buffer.add_string buf "recovered ranges: ";
+      Buffer.add_string buf
+        (String.concat ", "
+           (List.map (fun (a, b) -> Printf.sprintf "[%d,%d)" a b) ranges));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

@@ -12,6 +12,10 @@ val par_counters : Dna.Par.counter list -> string
     ([Dna.Par.counters ()]): regions entered, tasks run, wall time.
     Empty string for an empty list. *)
 
+val recovery : Codec.File_codec.partial_recovery -> string
+(** Per-unit status counts, recovered fraction and surviving byte
+    ranges, one block of text. *)
+
 val pct : float -> string
 (** "12.34%". *)
 

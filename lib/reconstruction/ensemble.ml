@@ -7,6 +7,43 @@
     the middle, NW uniformly — so their errors rarely coincide and the
     vote cancels a useful fraction of them, at triple the cost. *)
 
+(* Plain per-position plurality vote: the cheapest consensus that cannot
+   fail. Reads shorter than [target_len] simply stop voting; positions no
+   read covers default to A. The last line of the fallback chain. *)
+let majority ~target_len (reads : Dna.Strand.t array) : Dna.Strand.t =
+  Dna.Strand.init_codes target_len (fun i ->
+      let votes = [| 0; 0; 0; 0 |] in
+      Array.iter
+        (fun r -> if i < Dna.Strand.length r then votes.(Dna.Strand.get_code r i) <- votes.(Dna.Strand.get_code r i) + 1)
+        reads;
+      let best = ref 0 in
+      for c = 1 to 3 do
+        if votes.(c) > votes.(!best) then best := c
+      done;
+      !best)
+
+(* Graceful-degradation chain (NW -> BMA -> majority): try each
+   reconstructor in decreasing order of quality, absorbing exceptions, so
+   one crashing algorithm degrades a cluster's consensus instead of
+   killing the whole decode. [None] only when even the majority vote
+   fails (e.g. an empty cluster). *)
+let reconstruct_fallback ?primary ~target_len (reads : Dna.Strand.t array) :
+    Dna.Strand.t option =
+  if Array.length reads = 0 then None
+  else begin
+    let attempts =
+      (match primary with Some f -> [ f ] | None -> [])
+      @ [
+          (fun ~target_len reads -> Nw_consensus.reconstruct ~target_len reads);
+          (fun ~target_len reads -> Bma.reconstruct ~target_len reads);
+          majority;
+        ]
+    in
+    List.find_map
+      (fun f -> match f ~target_len reads with s -> Some s | exception _ -> None)
+      attempts
+  end
+
 let reconstruct ?lookahead ?refinements ~target_len (reads : Dna.Strand.t array) : Dna.Strand.t =
   let bma = Bma.reconstruct ?lookahead ~target_len reads in
   let dbma = Bma.reconstruct_double ?lookahead ~target_len reads in

@@ -5,3 +5,14 @@
 
 val reconstruct :
   ?lookahead:int -> ?refinements:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+
+val majority : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+(** Plain per-position plurality vote. Cannot fail: short reads stop
+    voting, uncovered positions default to A. *)
+
+val reconstruct_fallback :
+  ?primary:(target_len:int -> Dna.Strand.t array -> Dna.Strand.t) ->
+  target_len:int -> Dna.Strand.t array -> Dna.Strand.t option
+(** Graceful-degradation chain: [primary] (if any), then NW, BMA and
+    {!majority}, absorbing exceptions at each step. [None] only for an
+    empty cluster or if every step raised. *)

@@ -102,7 +102,9 @@ let test_constrained_roundtrip () =
     let n = Dna.Rng.int r 200 in
     let data = Bytes.init n (fun _ -> Char.chr (Dna.Rng.int r 256)) in
     let s = Codec.Constrained.encode data in
-    Alcotest.(check bytes) "roundtrip" data (Codec.Constrained.decode ~n_bytes:n s)
+    match Codec.Constrained.decode ~n_bytes:n s with
+    | Ok decoded -> Alcotest.(check bytes) "roundtrip" data decoded
+    | Error e -> Alcotest.fail (Codec.Constrained.error_message e)
   done
 
 let test_constrained_no_homopolymers () =
@@ -128,8 +130,9 @@ let test_constrained_detects_repeat () =
   let codes = Dna.Strand.to_codes s in
   codes.(1) <- codes.(0);
   match Codec.Constrained.decode ~n_bytes:6 (Dna.Strand.of_codes codes) with
-  | exception Invalid_argument _ -> ()
-  | _ -> Alcotest.fail "repeated base accepted"
+  | Error (Codec.Constrained.Repeated_base _) -> ()
+  | Error e -> Alcotest.fail (Codec.Constrained.error_message e)
+  | Ok _ -> Alcotest.fail "repeated base accepted"
 
 (* ---------- fountain ---------- *)
 
@@ -317,7 +320,9 @@ let prop_constrained_roundtrip =
       let data = Bytes.of_string content in
       let s = Codec.Constrained.encode data in
       Codec.Constrained.satisfies_constraint s
-      && Bytes.equal data (Codec.Constrained.decode ~n_bytes:(Bytes.length data) s))
+      && (match Codec.Constrained.decode ~n_bytes:(Bytes.length data) s with
+         | Ok decoded -> Bytes.equal data decoded
+         | Error _ -> false))
 
 let prop_ldpc_encode_valid =
   QCheck.Test.make ~name:"ldpc codewords satisfy all checks" ~count:50

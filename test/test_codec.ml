@@ -17,8 +17,8 @@ let test_index_roundtrip () =
     let s = Codec.Index.encode idx in
     Alcotest.(check int) "fixed length" Codec.Index.nt_length (Dna.Strand.length s);
     match Codec.Index.decode s with
-    | Some idx' -> Alcotest.(check bool) "roundtrip" true (Codec.Index.equal idx idx')
-    | None -> Alcotest.fail "clean index rejected"
+    | Ok idx' -> Alcotest.(check bool) "roundtrip" true (Codec.Index.equal idx idx')
+    | Error e -> Alcotest.fail ("clean index rejected: " ^ Codec.Index.error_message e)
   done
 
 let test_index_checksum_rejects_corruption () =
@@ -32,8 +32,8 @@ let test_index_checksum_rejects_corruption () =
     let p = Dna.Rng.int r (Array.length codes) in
     codes.(p) <- (codes.(p) + 1 + Dna.Rng.int r 3) land 3;
     match Codec.Index.decode (Dna.Strand.of_codes codes) with
-    | None -> incr rejected
-    | Some idx' -> if not (Codec.Index.equal idx idx') then incr misplaced
+    | Error _ -> incr rejected
+    | Ok idx' -> if not (Codec.Index.equal idx idx') then incr misplaced
   done;
   (* Checksum must catch the vast majority of single-base corruptions. *)
   Alcotest.(check bool)
@@ -55,7 +55,11 @@ let test_index_range_validation () =
 
 let test_primer_generation_constraints () =
   let r = rng () in
-  let primers = Codec.Primer.generate ~min_distance:8 r 12 in
+  let primers =
+    match Codec.Primer.generate ~min_distance:8 r 12 with
+    | Ok primers -> primers
+    | Error e -> Alcotest.fail (Codec.Primer.error_message e)
+  in
   Array.iter
     (fun p ->
       Alcotest.(check int) "length 20" Codec.Primer.primer_length (Dna.Strand.length p);
@@ -74,7 +78,7 @@ let test_primer_generation_constraints () =
 
 let test_primer_attach_strip_clean () =
   let r = rng () in
-  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn r 1).(0) in
   for _ = 1 to 30 do
     let core = Dna.Strand.random r 100 in
     let tagged = Codec.Primer.attach pair core in
@@ -86,7 +90,7 @@ let test_primer_attach_strip_clean () =
 
 let test_primer_strip_with_noise () =
   let r = rng () in
-  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn r 1).(0) in
   let ch = Simulator.Iid_channel.create_rate ~error_rate:0.06 in
   let ok = ref 0 and trials = 100 in
   for _ = 1 to trials do
@@ -103,7 +107,7 @@ let test_primer_strip_with_noise () =
 
 let test_primer_orientation_detection () =
   let r = rng () in
-  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn r 1).(0) in
   let core = Dna.Strand.random r 80 in
   let tagged = Codec.Primer.attach pair core in
   (match Codec.Primer.orient pair tagged with
@@ -116,7 +120,7 @@ let test_primer_orientation_detection () =
 
 let test_primer_foreign_molecule_rejected () =
   let r = rng () in
-  let pairs = Codec.Primer.generate_pairs r 2 in
+  let pairs = Codec.Primer.generate_pairs_exn r 2 in
   let core = Dna.Strand.random r 80 in
   let tagged = Codec.Primer.attach pairs.(0) core in
   Alcotest.(check bool) "other pair does not match" true
@@ -124,7 +128,7 @@ let test_primer_foreign_molecule_rejected () =
 
 let test_primer_normalize_reverse_noisy () =
   let r = rng () in
-  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn r 1).(0) in
   let ch = Simulator.Iid_channel.create_rate ~error_rate:0.05 in
   let ok = ref 0 and trials = 80 in
   for _ = 1 to trials do
@@ -177,6 +181,11 @@ let test_layout_gini_no_cell_collision () =
 
 let params = Codec.Params.default
 
+let decode_unit_exn params ~layout columns =
+  match Codec.Matrix_codec.decode_unit params ~layout columns with
+  | Ok r -> r
+  | Error e -> Alcotest.fail (Codec.Matrix_codec.error_message e)
+
 let test_matrix_roundtrip_clean () =
   let r = rng () in
   List.iter (fun layout ->
@@ -191,7 +200,7 @@ let test_matrix_roundtrip_clean () =
           | None -> Alcotest.fail "clean strand unparsable")
         strands
     in
-    let decoded, stats = Codec.Matrix_codec.decode_unit params ~layout columns in
+    let decoded, stats = decode_unit_exn params ~layout columns in
     Alcotest.(check bytes) "roundtrip" data decoded;
     Alcotest.(check (list int)) "no failures" [] stats.Codec.Matrix_codec.failed_codewords)
     Codec.Layout.all
@@ -215,7 +224,7 @@ let test_matrix_erasure_tolerance () =
       in
       let n_dropped = Array.length (Array.of_list (List.filter (fun c -> c = None) (Array.to_list columns))) in
       Alcotest.(check bool) "dropped within parity" true (n_dropped <= params.Codec.Params.rs_parity);
-      let decoded, stats = Codec.Matrix_codec.decode_unit params ~layout columns in
+      let decoded, stats = decode_unit_exn params ~layout columns in
       Alcotest.(check bytes) "erasures recovered" data decoded;
       Alcotest.(check (list int)) "no failed codewords" [] stats.Codec.Matrix_codec.failed_codewords)
     Codec.Layout.all
@@ -239,7 +248,7 @@ let test_matrix_error_tolerance () =
             | None -> None)
           strands
       in
-      let decoded, stats = Codec.Matrix_codec.decode_unit params ~layout columns in
+      let decoded, stats = decode_unit_exn params ~layout columns in
       Alcotest.(check bytes) "errors corrected" data decoded;
       Alcotest.(check (list int)) "no failures" [] stats.Codec.Matrix_codec.failed_codewords;
       Alcotest.(check bool) "corrections reported" true (stats.Codec.Matrix_codec.corrected_bytes > 0))
@@ -274,7 +283,7 @@ let test_matrix_indel_shows_as_substitutions () =
           | None -> None)
       strands
   in
-  let decoded, _ = Codec.Matrix_codec.decode_unit params ~layout:Codec.Layout.Baseline columns in
+  let decoded, _ = decode_unit_exn params ~layout:Codec.Layout.Baseline columns in
   Alcotest.(check bytes) "slip corrected" data decoded
 
 (* ---------- file codec ---------- *)
@@ -292,7 +301,7 @@ let test_file_roundtrip_sizes () =
           | Ok (decoded, stats) ->
               Alcotest.(check bytes) (Printf.sprintf "size %d" size) file decoded;
               Alcotest.(check bool) "fully recovered" true (Codec.File_codec.fully_recovered stats)
-          | Error e -> Alcotest.fail e)
+          | Error e -> Alcotest.fail (Codec.File_codec.error_message e))
         Codec.Layout.all)
     [ 0; 1; 13; 100; 600; 601; 2000 ]
 
@@ -305,7 +314,7 @@ let test_file_strands_shuffled_and_duplicated () =
   let with_dups = Array.to_list strands @ Array.to_list (Array.sub strands 0 10) in
   match Codec.File_codec.decode ~n_units:encoded.Codec.File_codec.n_units with_dups with
   | Ok (decoded, _) -> Alcotest.(check bytes) "order independent" file decoded
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Codec.File_codec.error_message e)
 
 let test_file_missing_strands_within_parity () =
   let r = rng () in
@@ -318,7 +327,7 @@ let test_file_missing_strands_within_parity () =
   | Ok (decoded, stats) ->
       Alcotest.(check bytes) "recovered with missing molecules" file decoded;
       Alcotest.(check bool) "missing reported" true (stats.Codec.File_codec.missing_strands > 0)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Codec.File_codec.error_message e)
 
 let test_file_garbage_strands_ignored () =
   let r = rng () in
@@ -328,7 +337,7 @@ let test_file_garbage_strands_ignored () =
   let strands = Array.to_list encoded.Codec.File_codec.strands @ garbage in
   match Codec.File_codec.decode ~n_units:encoded.Codec.File_codec.n_units strands with
   | Ok (decoded, _) -> Alcotest.(check bytes) "garbage tolerated" file decoded
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Codec.File_codec.error_message e)
 
 let test_file_wrong_length_strands_ignored () =
   let r = rng () in
@@ -340,7 +349,7 @@ let test_file_wrong_length_strands_ignored () =
   | Ok (decoded, stats) ->
       Alcotest.(check bytes) "recovered" file decoded;
       Alcotest.(check bool) "junk counted" true (stats.Codec.File_codec.unparsable_strands >= 5)
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Codec.File_codec.error_message e)
 
 let test_file_header_survives_one_bad_column () =
   let r = rng () in
@@ -357,7 +366,7 @@ let test_file_header_survives_one_bad_column () =
       bad_payload;
   match Codec.File_codec.decode ~n_units:encoded.Codec.File_codec.n_units (Array.to_list strands) with
   | Ok (decoded, _) -> Alcotest.(check bytes) "header survived" file decoded
-  | Error e -> Alcotest.fail e
+  | Error e -> Alcotest.fail (Codec.File_codec.error_message e)
 
 let test_file_scrambling_avoids_homopolymers () =
   (* A pathological all-zero file must still produce synthesizable
@@ -440,8 +449,8 @@ let prop_index_roundtrip =
     QCheck.(pair (int_bound Codec.Index.max_unit) (int_bound Codec.Index.max_column))
     (fun (unit_id, column) ->
       match Codec.Index.decode (Codec.Index.encode { Codec.Index.unit_id; column }) with
-      | Some idx -> idx.Codec.Index.unit_id = unit_id && idx.Codec.Index.column = column
-      | None -> false)
+      | Ok idx -> idx.Codec.Index.unit_id = unit_id && idx.Codec.Index.column = column
+      | Error _ -> false)
 
 let prop_dnamapper_roundtrip =
   QCheck.Test.make ~name:"dnamapper arrange/extract" ~count:60

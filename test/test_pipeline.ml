@@ -128,7 +128,7 @@ let test_kv_put_get_multiple_files () =
   let contents =
     [ ("a", "first file contents"); ("b", "second, longer file contents right here"); ("c", "third") ]
   in
-  List.iter (fun (k, c) -> Dnastore.Kv_store.put store ~key:k (Bytes.of_string c)) contents;
+  List.iter (fun (k, c) -> Dnastore.Kv_store.put_exn store ~key:k (Bytes.of_string c)) contents;
   Alcotest.(check int) "three keys" 3 (List.length (Dnastore.Kv_store.keys store));
   List.iter
     (fun (k, c) ->
@@ -139,21 +139,23 @@ let test_kv_put_get_multiple_files () =
 
 let test_kv_missing_key () =
   let store = Dnastore.Kv_store.create ~seed:12 in
-  Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "data");
+  Dnastore.Kv_store.put_exn store ~key:"x" (Bytes.of_string "data");
   match Dnastore.Kv_store.get store ~key:"y" with
   | Error Dnastore.Kv_store.Key_not_found -> ()
   | Ok _ | Error (Decode_failed _) -> Alcotest.fail "expected Key_not_found"
 
 let test_kv_duplicate_key_rejected () =
   let store = Dnastore.Kv_store.create ~seed:13 in
-  Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "data");
-  Alcotest.check_raises "duplicate" (Invalid_argument "Kv_store.put: duplicate key x") (fun () ->
-      Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "other"))
+  Dnastore.Kv_store.put_exn store ~key:"x" (Bytes.of_string "data");
+  match Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "other") with
+  | Error (Dnastore.Kv_store.Duplicate_key "x") -> ()
+  | Error e -> Alcotest.fail (Dnastore.Kv_store.put_error_message e)
+  | Ok () -> Alcotest.fail "duplicate key accepted"
 
 let test_kv_pcr_selects_only_target () =
   let store = Dnastore.Kv_store.create ~seed:14 in
-  Dnastore.Kv_store.put store ~key:"a" (Bytes.of_string (String.make 400 'a'));
-  Dnastore.Kv_store.put store ~key:"b" (Bytes.of_string (String.make 700 'b'));
+  Dnastore.Kv_store.put_exn store ~key:"a" (Bytes.of_string (String.make 400 'a'));
+  Dnastore.Kv_store.put_exn store ~key:"b" (Bytes.of_string (String.make 700 'b'));
   let entry_a =
     List.find (fun e -> e.Dnastore.Kv_store.key = "a") store.Dnastore.Kv_store.directory
   in
@@ -165,7 +167,7 @@ let test_kv_pcr_selects_only_target () =
 let test_kv_get_repeatable () =
   (* Each get is a fresh PCR + sequencing run; both must succeed. *)
   let store = Dnastore.Kv_store.create ~seed:15 in
-  Dnastore.Kv_store.put store ~key:"x" (Bytes.of_string "read me twice");
+  Dnastore.Kv_store.put_exn store ~key:"x" (Bytes.of_string "read me twice");
   let get () =
     match Dnastore.Kv_store.get store ~key:"x" with
     | Ok (bytes, _) -> Bytes.to_string bytes
@@ -178,7 +180,7 @@ let test_kv_get_repeatable () =
 
 let test_wetlab_ingest_roundtrip () =
   let r = rng () in
-  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn r 1).(0) in
   let cores = Array.init 12 (fun _ -> Dna.Strand.random r 100) in
   let tagged = Array.map (Codec.Primer.attach pair) cores in
   (* Mix orientations, export as FASTQ text, ingest. *)
@@ -201,7 +203,7 @@ let test_wetlab_ingest_roundtrip () =
 
 let test_wetlab_ingest_multiple_pairs () =
   let r = rng () in
-  let pairs = Array.to_list (Codec.Primer.generate_pairs r 2) in
+  let pairs = Array.to_list (Codec.Primer.generate_pairs_exn r 2) in
   let mk pair n = Array.init n (fun _ -> Codec.Primer.attach pair (Dna.Strand.random r 80)) in
   let reads = Array.append (mk (List.nth pairs 0) 5) (mk (List.nth pairs 1) 7) in
   let text = Dnastore.Wetlab_io.export_fastq reads in
@@ -213,7 +215,7 @@ let test_wetlab_ingest_multiple_pairs () =
 
 let test_wetlab_ingest_garbage_fastq () =
   let r = rng () in
-  let pair = (Codec.Primer.generate_pairs r 1).(0) in
+  let pair = (Codec.Primer.generate_pairs_exn r 1).(0) in
   let text = "@ok\n" ^ Dna.Strand.to_string (Codec.Primer.attach pair (Dna.Strand.random r 50))
              ^ "\n+\n" ^ String.make 90 'I' ^ "\nnot a fastq line\n" in
   let ingested = Dnastore.Wetlab_io.ingest_string [ pair ] text in
