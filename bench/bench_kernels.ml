@@ -1,0 +1,243 @@
+(* The bench-regression harness: times the edit-distance kernels per
+   backend (micro) and a clustering-scale workload (macro), and writes
+   the results as JSON so future changes have a perf trajectory to
+   regress against.
+
+     dune exec bench/bench_kernels.exe                 # full run, writes
+                                                       # BENCH_micro.json and
+                                                       # BENCH_cluster.json in CWD
+     dune exec bench/bench_kernels.exe -- --out-dir d  # write elsewhere
+     dune exec bench/bench_kernels.exe -- --smoke      # tiny budget: checks the
+                                                       # harness and JSON, not timing
+
+   Each JSON entry records the case name, ns/op (micro and per-call
+   macro) or seconds total (whole clustering runs), and the speedup
+   against the scalar oracle on the same workload. *)
+
+let smoke = ref false
+let out_dir = ref "."
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out-dir" :: dir :: rest ->
+        out_dir := dir;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: bench_kernels [--smoke] [--out-dir DIR] (got %S)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+(* ---------- Timing ---------- *)
+
+(* ns per call of [f], by doubling the batch size until it fills
+   [min_time] of wall clock. The smoke budget only proves the harness
+   runs and the JSON is well-formed. *)
+let ns_per_op f =
+  let min_time = if !smoke then 0.002 else 0.25 in
+  ignore (f ());
+  let rec calibrate n =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to n do
+      ignore (f ())
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt >= min_time || n >= 1_000_000_000 then dt *. 1e9 /. float_of_int n else calibrate (n * 4)
+  in
+  calibrate 1
+
+(* ---------- JSON ---------- *)
+
+type entry = { name : string; ns_per_op : float option; s_total : float option; speedup : float }
+
+let entry ?ns ?s ~speedup name = { name; ns_per_op = ns; s_total = s; speedup }
+
+let json_entry e =
+  let fields =
+    [ Printf.sprintf "\"name\": %S" e.name ]
+    @ (match e.ns_per_op with
+      | Some ns -> [ Printf.sprintf "\"ns_per_op\": %.1f" ns ]
+      | None -> [])
+    @ (match e.s_total with
+      | Some s -> [ Printf.sprintf "\"s_total\": %.4f" s ]
+      | None -> [])
+    @ [ Printf.sprintf "\"speedup_vs_scalar\": %.2f" e.speedup ]
+  in
+  "    {" ^ String.concat ", " fields ^ "}"
+
+let write_json path ~config entries =
+  if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755;
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc "{\n";
+      output_string oc
+        ("  \"config\": {"
+        ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%S: %s" k v) config)
+        ^ "},\n");
+      output_string oc "  \"entries\": [\n";
+      output_string oc (String.concat ",\n" (List.map json_entry entries));
+      output_string oc "\n  ]\n}\n");
+  Printf.printf "wrote %s\n" path
+
+(* ---------- Workloads ---------- *)
+
+let read_len = 120
+let error_rate = 0.06
+
+let sibling rng s =
+  let ch = Simulator.Iid_channel.create_rate ~error_rate in
+  Simulator.Channel.transmit ch rng s
+
+(* Per-case micro workloads; each is timed under both backends and the
+   myers entry carries its speedup over the scalar one. *)
+let micro_cases rng =
+  let a = Dna.Strand.random rng read_len in
+  let b = sibling rng a in
+  let c = Dna.Strand.random rng read_len in
+  let la = Dna.Strand.random rng 300 in
+  let lb = sibling rng la in
+  let bound = 40 in
+  [
+    ("levenshtein/siblings-120nt", fun backend () -> Dna.Distance.levenshtein ~backend a b);
+    ("levenshtein/unrelated-120nt", fun backend () -> Dna.Distance.levenshtein ~backend a c);
+    ("levenshtein/siblings-300nt", fun backend () -> Dna.Distance.levenshtein ~backend la lb);
+    ( "levenshtein_leq/bound-40-siblings-120nt",
+      fun backend () -> match Dna.Distance.levenshtein_leq ~backend ~bound a b with
+        | Some d -> d
+        | None -> -1 );
+    ( "levenshtein_leq/bound-40-unrelated-120nt",
+      fun backend () -> match Dna.Distance.levenshtein_leq ~backend ~bound a c with
+        | Some d -> d
+        | None -> -1 );
+  ]
+
+let run_micro () =
+  let rng = Dna.Rng.create 123 in
+  let entries =
+    List.concat_map
+      (fun (name, f) ->
+        let ns_scalar = ns_per_op (f Dna.Distance.Scalar) in
+        let ns_myers = ns_per_op (f Dna.Distance.Bitparallel) in
+        Printf.printf "%-42s scalar %10.1f ns   myers %8.1f ns   %6.1fx\n" name ns_scalar
+          ns_myers (ns_scalar /. ns_myers);
+        [
+          entry ~ns:ns_scalar ~speedup:1.0 (name ^ "/scalar");
+          entry ~ns:ns_myers ~speedup:(ns_scalar /. ns_myers) (name ^ "/myers");
+        ])
+      (micro_cases rng)
+  in
+  write_json
+    (Filename.concat !out_dir "BENCH_micro.json")
+    ~config:
+      [
+        ("read_len", string_of_int read_len);
+        ("error_rate", string_of_float error_rate);
+        ("smoke", string_of_bool !smoke);
+      ]
+    entries
+
+(* Clustering-scale macro benchmark: [n_refs] reference strands at
+   [coverage] noisy reads each. Two measurements:
+
+   - the merge test in isolation: [rounds] sweeps over every
+     within-cluster sibling pair plus as many unrelated pairs, through
+     [levenshtein_leq ~bound] exactly as the clustering inner loop calls
+     it (cached Eq masks get reused across a strand's comparisons, as
+     they are inside a clustering round);
+   - whole [Cluster.run]s differing only in [distance_backend], to show
+     the end-to-end effect with partitioning, signatures and union-find
+     around the kernel. *)
+let run_cluster () =
+  let n_refs = if !smoke then 6 else 120 in
+  let coverage = if !smoke then 3 else 10 in
+  let rounds = if !smoke then 1 else 5 in
+  let bound = 40 in
+  let rng = Dna.Rng.create 7 in
+  let refs = Array.init n_refs (fun _ -> Dna.Strand.random rng read_len) in
+  let reads = Array.concat (Array.to_list (Array.map (fun r -> Array.init coverage (fun _ -> sibling rng r)) refs)) in
+  let n_reads = Array.length reads in
+  (* Sibling pairs within each cluster, and an equal number of unrelated
+     cross-cluster pairs. *)
+  let pairs = ref [] in
+  Array.iteri
+    (fun ci _ ->
+      for i = 0 to coverage - 1 do
+        for j = i + 1 to coverage - 1 do
+          pairs := (reads.((ci * coverage) + i), reads.((ci * coverage) + j)) :: !pairs;
+          let other = (ci + 1 + Dna.Rng.int rng (n_refs - 1)) mod n_refs in
+          pairs :=
+            (reads.((ci * coverage) + i), reads.((other * coverage) + j)) :: !pairs
+        done
+      done)
+    refs;
+  let pairs = Array.of_list !pairs in
+  let n_calls = rounds * Array.length pairs in
+  let time_leq backend =
+    let t0 = Unix.gettimeofday () in
+    let acc = ref 0 in
+    for _ = 1 to rounds do
+      Array.iter
+        (fun (a, b) ->
+          match Dna.Distance.levenshtein_leq ~backend ~bound a b with
+          | Some d -> acc := !acc + d
+          | None -> ())
+        pairs
+    done;
+    (Unix.gettimeofday () -. t0, !acc)
+  in
+  let s_scalar, chk_scalar = time_leq Dna.Distance.Scalar in
+  let s_myers, chk_myers = time_leq Dna.Distance.Bitparallel in
+  if chk_scalar <> chk_myers then begin
+    Printf.eprintf "backend disagreement in macro leq workload (%d vs %d)\n" chk_scalar chk_myers;
+    exit 1
+  end;
+  let leq_speedup = s_scalar /. s_myers in
+  Printf.printf "macro leq: %d calls  scalar %.3fs  myers %.3fs  %.1fx\n" n_calls s_scalar
+    s_myers leq_speedup;
+  let cluster_run backend =
+    let params =
+      { (Clustering.Cluster.default_params ~read_len ()) with distance_backend = backend }
+    in
+    let r = Dna.Rng.create 99 in
+    let t0 = Unix.gettimeofday () in
+    let result = Clustering.Cluster.run params r (Array.copy reads) in
+    (Unix.gettimeofday () -. t0, List.length result.Clustering.Cluster.clusters)
+  in
+  let s_run_scalar, nc_scalar = cluster_run Dna.Distance.Scalar in
+  let s_run_myers, nc_myers = cluster_run Dna.Distance.Bitparallel in
+  Printf.printf "macro cluster run: scalar %.3fs (%d clusters)  myers %.3fs (%d clusters)  %.1fx\n"
+    s_run_scalar nc_scalar s_run_myers nc_myers
+    (s_run_scalar /. s_run_myers);
+  write_json
+    (Filename.concat !out_dir "BENCH_cluster.json")
+    ~config:
+      [
+        ("read_len", string_of_int read_len);
+        ("error_rate", string_of_float error_rate);
+        ("n_refs", string_of_int n_refs);
+        ("coverage", string_of_int coverage);
+        ("n_reads", string_of_int n_reads);
+        ("rounds", string_of_int rounds);
+        ("bound", string_of_int bound);
+        ("smoke", string_of_bool !smoke);
+      ]
+    [
+      entry ~s:s_scalar
+        ~ns:(s_scalar *. 1e9 /. float_of_int n_calls)
+        ~speedup:1.0 "levenshtein_leq/scalar";
+      entry ~s:s_myers
+        ~ns:(s_myers *. 1e9 /. float_of_int n_calls)
+        ~speedup:leq_speedup "levenshtein_leq/bitparallel";
+      entry ~s:s_run_scalar ~speedup:1.0 "cluster_run/scalar";
+      entry ~s:s_run_myers ~speedup:(s_run_scalar /. s_run_myers) "cluster_run/bitparallel";
+    ]
+
+let () =
+  run_micro ();
+  run_cluster ()

@@ -16,6 +16,12 @@ let strand_b =
 
 let strand_c = Dna.Strand.random rng 120
 
+(* 300 nt pair for the blocked (multi-word) Myers kernel. *)
+let long_a = Dna.Strand.random rng 300
+let long_b =
+  let ch = Simulator.Iid_channel.create_rate ~error_rate:0.06 in
+  Simulator.Channel.transmit ch rng long_a
+
 let cluster_reads =
   let ch = Simulator.Iid_channel.create_rate ~error_rate:0.06 in
   Array.init 10 (fun _ -> Simulator.Channel.transmit ch rng strand_a)
@@ -35,12 +41,25 @@ let w_sig' = Clustering.Signature.compute ~q:4 Clustering.Signature.Wgram strand
 
 let tests =
   [
+    (* The levenshtein/* cases pin the scalar DP oracle and the myers/*
+       cases the bit-parallel kernels (which [Auto] dispatch resolves
+       to), so one run shows the backend speedup side by side. *)
     Test.make ~name:"levenshtein/siblings-120nt" (Staged.stage (fun () ->
-        ignore (Dna.Distance.levenshtein strand_a strand_b)));
+        ignore (Dna.Distance.levenshtein ~backend:Scalar strand_a strand_b)));
     Test.make ~name:"levenshtein/unrelated-120nt" (Staged.stage (fun () ->
-        ignore (Dna.Distance.levenshtein strand_a strand_c)));
+        ignore (Dna.Distance.levenshtein ~backend:Scalar strand_a strand_c)));
+    Test.make ~name:"levenshtein/siblings-300nt" (Staged.stage (fun () ->
+        ignore (Dna.Distance.levenshtein ~backend:Scalar long_a long_b)));
     Test.make ~name:"levenshtein_leq/bound-40" (Staged.stage (fun () ->
-        ignore (Dna.Distance.levenshtein_leq ~bound:40 strand_a strand_c)));
+        ignore (Dna.Distance.levenshtein_leq ~backend:Scalar ~bound:40 strand_a strand_c)));
+    Test.make ~name:"myers/siblings-120nt" (Staged.stage (fun () ->
+        ignore (Dna.Distance.levenshtein ~backend:Bitparallel strand_a strand_b)));
+    Test.make ~name:"myers/unrelated-120nt" (Staged.stage (fun () ->
+        ignore (Dna.Distance.levenshtein ~backend:Bitparallel strand_a strand_c)));
+    Test.make ~name:"myers/siblings-300nt" (Staged.stage (fun () ->
+        ignore (Dna.Distance.levenshtein ~backend:Bitparallel long_a long_b)));
+    Test.make ~name:"myers_leq/bound-40" (Staged.stage (fun () ->
+        ignore (Dna.Distance.levenshtein_leq ~backend:Bitparallel ~bound:40 strand_a strand_c)));
     Test.make ~name:"alignment/traceback-120nt" (Staged.stage (fun () ->
         ignore (Dna.Alignment.align strand_a strand_b)));
     Test.make ~name:"signature/qgram-compute" (Staged.stage (fun () ->

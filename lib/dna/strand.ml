@@ -3,14 +3,29 @@
     Stored as raw bytes holding the characters 'A' 'C' 'G' 'T', which makes
     conversion to and from strings free while keeping integer-coded access
     ([get_code]) cheap for the hot loops in distance computation and
-    alignment. The representation is private to this module; all
-    construction goes through validating or generating functions. *)
+    alignment. Alongside the bases, every strand carries a lazily-built
+    cache of per-base 63-bit match masks — the [Eq] vectors of Myers'
+    bit-parallel edit-distance kernels — built once on first use and then
+    reused across every pairwise comparison the strand participates in.
+    The representation is private to this module; all construction goes
+    through validating or generating functions. *)
 
-type t = Bytes.t
+type t = {
+  bases : Bytes.t;
+  masks : int array Atomic.t;
+      (* Eq-mask cache for the bit-parallel distance kernels; [||] until
+         built. Publication goes through the Atomic so a strand shared
+         across domains never observes a half-built array — the worst a
+         race can cost is building the same masks twice. *)
+}
 
-let length = Bytes.length
+let mask_bits = 63 (* bits per mask word: OCaml's native int width *)
 
-let empty = Bytes.empty
+let wrap bases = { bases; masks = Atomic.make [||] }
+
+let length t = Bytes.length t.bases
+
+let empty = wrap Bytes.empty
 
 let validate s =
   String.iter
@@ -22,14 +37,14 @@ let validate s =
 
 let of_string s =
   validate s;
-  Bytes.of_string s
+  wrap (Bytes.of_string s)
 
 let of_string_opt s =
   match of_string s with t -> Some t | exception Invalid_argument _ -> None
 
-let to_string = Bytes.to_string
+let to_string t = Bytes.to_string t.bases
 
-let get t i = Nucleotide.of_char (Bytes.get t i)
+let get t i = Nucleotide.of_char (Bytes.get t.bases i)
 
 let char_of_code = [| 'A'; 'C'; 'G'; 'T' |]
 
@@ -41,54 +56,74 @@ let code_of_char c =
   | 'T' -> 3
   | _ -> invalid_arg "Strand.code_of_char"
 
-let get_code t i = code_of_char (Bytes.get t i)
+let get_code t i = code_of_char (Bytes.get t.bases i)
 
 (* No bounds check; used by distance kernels. 'A'=65, 'C'=67, 'G'=71, 'T'=84. *)
-let unsafe_get_code t i =
-  match Char.code (Bytes.unsafe_get t i) with 65 -> 0 | 67 -> 1 | 71 -> 2 | _ -> 3
+let unsafe_code_at bases i =
+  match Char.code (Bytes.unsafe_get bases i) with 65 -> 0 | 67 -> 1 | 71 -> 2 | _ -> 3
 
-let init n f = Bytes.init n (fun i -> Nucleotide.to_char (f i))
-let init_codes n f = Bytes.init n (fun i -> char_of_code.(f i))
-let make n b = Bytes.make n (Nucleotide.to_char b)
+let unsafe_get_code t i = unsafe_code_at t.bases i
 
-let of_codes codes = Bytes.init (Array.length codes) (fun i -> char_of_code.(codes.(i)))
+let build_masks bases =
+  let len = Bytes.length bases in
+  let words = (len + mask_bits - 1) / mask_bits in
+  let m = Array.make (4 * words) 0 in
+  for i = 0 to len - 1 do
+    let c = unsafe_code_at bases i in
+    let w = i / mask_bits in
+    m.((c * words) + w) <- m.((c * words) + w) lor (1 lsl (i mod mask_bits))
+  done;
+  m
+
+let eq_masks t =
+  let m = Atomic.get t.masks in
+  if Array.length m > 0 || Bytes.length t.bases = 0 then m
+  else begin
+    let m = build_masks t.bases in
+    Atomic.set t.masks m;
+    m
+  end
+
+let init n f = wrap (Bytes.init n (fun i -> Nucleotide.to_char (f i)))
+let init_codes n f = wrap (Bytes.init n (fun i -> char_of_code.(f i)))
+let make n b = wrap (Bytes.make n (Nucleotide.to_char b))
+
+let of_codes codes = wrap (Bytes.init (Array.length codes) (fun i -> char_of_code.(codes.(i))))
 let to_codes t = Array.init (length t) (fun i -> get_code t i)
 
 let of_nucleotides l =
   let b = Buffer.create (List.length l) in
   List.iter (fun n -> Buffer.add_char b (Nucleotide.to_char n)) l;
-  Bytes.of_string (Buffer.contents b)
+  wrap (Bytes.of_string (Buffer.contents b))
 
-let sub t ~pos ~len = Bytes.sub t pos len
-let concat ts = Bytes.concat Bytes.empty ts
-let append a b = Bytes.cat a b
+let sub t ~pos ~len = wrap (Bytes.sub t.bases pos len)
+let concat ts = wrap (Bytes.concat Bytes.empty (List.map (fun t -> t.bases) ts))
+let append a b = wrap (Bytes.cat a.bases b.bases)
 
 let rev t =
   let n = length t in
-  Bytes.init n (fun i -> Bytes.get t (n - 1 - i))
+  wrap (Bytes.init n (fun i -> Bytes.get t.bases (n - 1 - i)))
 
 let complement t =
-  Bytes.map
-    (fun c -> Nucleotide.(to_char (complement (of_char c))))
-    t
+  wrap (Bytes.map (fun c -> Nucleotide.(to_char (complement (of_char c)))) t.bases)
 
 let reverse_complement t = rev (complement t)
 
-let equal = Bytes.equal
-let compare = Bytes.compare
-let hash t = Hashtbl.hash (Bytes.to_string t)
+let equal a b = Bytes.equal a.bases b.bases
+let compare a b = Bytes.compare a.bases b.bases
+let hash t = Hashtbl.hash (Bytes.to_string t.bases)
 
-let iter f t = Bytes.iter (fun c -> f (Nucleotide.of_char c)) t
+let iter f t = Bytes.iter (fun c -> f (Nucleotide.of_char c)) t.bases
 
 let fold f init t =
   let acc = ref init in
-  Bytes.iter (fun c -> acc := f !acc (Nucleotide.of_char c)) t;
+  Bytes.iter (fun c -> acc := f !acc (Nucleotide.of_char c)) t.bases;
   !acc
 
 let count t b =
   let c = Nucleotide.to_char b in
   let n = ref 0 in
-  Bytes.iter (fun x -> if x = c then incr n) t;
+  Bytes.iter (fun x -> if x = c then incr n) t.bases;
   !n
 
 (* Fraction of G and C bases; balanced GC-content aids synthesis. *)
@@ -105,7 +140,7 @@ let max_homopolymer t =
   else begin
     let best = ref 1 and run = ref 1 in
     for i = 1 to n - 1 do
-      if Bytes.get t i = Bytes.get t (i - 1) then begin
+      if Bytes.get t.bases i = Bytes.get t.bases (i - 1) then begin
         incr run;
         if !run > !best then best := !run
       end
@@ -114,7 +149,7 @@ let max_homopolymer t =
     !best
   end
 
-let random rng n = Bytes.init n (fun _ -> char_of_code.(Rng.int rng 4))
+let random rng n = wrap (Bytes.init n (fun _ -> char_of_code.(Rng.int rng 4)))
 
 (* First occurrence of [pattern] in [t] at or after [from]; naive scan is
    fine at the anchor lengths (<= 8) used by clustering. *)
@@ -127,7 +162,7 @@ let find ?(from = 0) t ~pattern =
       if i > limit then None
       else begin
         let rec matches j =
-          j >= m || (Bytes.get t (i + j) = Bytes.get pattern j && matches (j + 1))
+          j >= m || (Bytes.get t.bases (i + j) = Bytes.get pattern.bases j && matches (j + 1))
         in
         if matches 0 then Some i else at (i + 1)
       end

@@ -24,6 +24,18 @@ val get_code : t -> int -> int
 val unsafe_get_code : t -> int -> int
 (** No bounds check; for inner loops only. *)
 
+val mask_bits : int
+(** Bits per match-mask word: 63, OCaml's native int width. *)
+
+val eq_masks : t -> int array
+(** Per-base match masks for the bit-parallel (Myers) distance kernels:
+    [ceil (length t / mask_bits)] words per base code, laid out
+    base-major ([code * words + w]); bit [i] of word [w] is set when
+    base [w * mask_bits + i] of the strand has that code. Built once on
+    first use and cached on the strand (safe to share across domains),
+    so repeated pairwise comparisons against the same strand pay the
+    packing cost only once. The empty strand has an empty mask array. *)
+
 val char_of_code : char array
 (** ['A'; 'C'; 'G'; 'T'], indexed by base code. *)
 

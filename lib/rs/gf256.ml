@@ -25,6 +25,11 @@ let sub = add
 
 let mul a b = if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
 
+(* Product of operands already checked nonzero: one doubled-exp-table
+   lookup, no branches. Wrong (not zero) on a zero operand — callers
+   must guarantee both are nonzero. *)
+let mul_unsafe a b = exp_table.(log_table.(a) + log_table.(b))
+
 let div a b =
   if b = 0 then raise Division_by_zero
   else if a = 0 then 0
@@ -56,6 +61,7 @@ module Poly = struct
 
   (* Field operations, captured before this module shadows the names. *)
   let gf_mul = mul
+  let gf_mul_unsafe = mul_unsafe
 
   let scale p x = Array.map (fun c -> gf_mul c x) p
 
@@ -71,12 +77,28 @@ module Poly = struct
     let r = Array.make (Array.length p + Array.length q - 1) 0 in
     Array.iteri
       (fun i ci ->
-        Array.iteri (fun j cj -> r.(i + j) <- r.(i + j) lxor gf_mul ci cj) q)
+        (* Skip zero coefficients and hoist [log ci] out of the inner
+           loop; the surviving products have both operands nonzero, one
+           exp-table lookup each. *)
+        if ci <> 0 then begin
+          let li = log_table.(ci) in
+          Array.iteri
+            (fun j cj ->
+              if cj <> 0 then r.(i + j) <- r.(i + j) lxor exp_table.(li + log_table.(cj)))
+            q
+        end)
       p;
     r
 
-  (* Horner evaluation at x. *)
-  let eval (p : t) x = Array.fold_left (fun acc c -> gf_mul acc x lxor c) 0 p
+  (* Horner evaluation at x. Hot in RS syndrome computation (nsym
+     evaluations per codeword): [log x] is hoisted out of the loop and
+     each step is a branch on the accumulator plus one [gf_mul_unsafe]
+     lookup — x is nonzero on that path and the zero accumulator is
+     handled by the branch. *)
+  let eval (p : t) x =
+    if x = 0 then (if Array.length p = 0 then 0 else p.(Array.length p - 1))
+    else
+      Array.fold_left (fun acc c -> (if acc = 0 then 0 else gf_mul_unsafe acc x) lxor c) 0 p
 
   (* Strip leading zero coefficients (keeping at least one). *)
   let normalize (p : t) : t =

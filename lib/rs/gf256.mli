@@ -8,6 +8,13 @@ val sub : int -> int -> int
 (** Same as {!add} in characteristic 2. *)
 
 val mul : int -> int -> int
+
+val mul_unsafe : int -> int -> int
+(** [mul] without the zero checks: a single doubled-exp-table lookup.
+    Only valid when both operands are known nonzero (it returns garbage
+    otherwise); for pre-checked hot loops such as RS syndrome
+    computation via {!Poly.eval}. *)
+
 val div : int -> int -> int
 (** Raises [Division_by_zero] on a zero divisor. *)
 
