@@ -582,12 +582,135 @@ let inspect_cmd =
   Cmd.v (Cmd.info "inspect" ~doc:"Sanity-check a strand pool before synthesis.")
     Term.(const run $ input)
 
+(* store: the persistent sharded object store *)
+
+let store_cmd =
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let key_arg =
+    Arg.(required & opt (some string) None & info [ "key"; "k" ] ~docv:"KEY" ~doc:"Object key.")
+  in
+  let die e =
+    Printf.eprintf "%s\n" (Store.error_message e);
+    exit 1
+  in
+  let or_die = function Ok v -> v | Error e -> die e in
+  let opened dir = or_die (Store.open_store ~dir) in
+  let init_cmd =
+    let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Store rng seed.") in
+    let shard_target =
+      Arg.(
+        value
+        & opt int Store.default_config.shard_target_strands
+        & info [ "shard-target" ] ~docv:"N" ~doc:"Strands per shard before a new one opens.")
+    in
+    let cache =
+      Arg.(
+        value
+        & opt int Store.default_config.cache_objects
+        & info [ "cache" ] ~docv:"N" ~doc:"Decoded-object LRU capacity.")
+    in
+    let error_rate =
+      Arg.(
+        value
+        & opt float Store.default_config.error_rate
+        & info [ "error-rate" ] ~docv:"RATE" ~doc:"Sequencing channel error rate.")
+    in
+    let coverage =
+      Arg.(
+        value
+        & opt int Store.default_config.coverage
+        & info [ "coverage" ] ~docv:"N" ~doc:"Base sequencing depth per access.")
+    in
+    let run dir seed shard_target_strands cache_objects error_rate coverage =
+      let config = { Store.shard_target_strands; cache_objects; error_rate; coverage } in
+      let _store = or_die (Store.init ~config ~dir ~seed ()) in
+      Printf.printf "initialized store in %s (seed %d)\n" dir seed
+    in
+    Cmd.v (Cmd.info "init" ~doc:"Create an empty store directory.")
+      Term.(const run $ dir_arg $ seed $ shard_target $ cache $ error_rate $ coverage)
+  in
+  let put_cmd =
+    let input =
+      Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Payload file.")
+    in
+    let overwrite_flag =
+      Arg.(value & flag & info [ "overwrite" ] ~doc:"Replace the key if it already exists.")
+    in
+    let run dir key input overwrite =
+      let store = opened dir in
+      let data = read_binary input in
+      (match
+         if overwrite && Store.mem store key then Store.overwrite store ~key data
+         else Store.put store ~key data
+       with
+      | Ok () -> ()
+      | Error e -> die e);
+      Printf.printf "stored %s (%d bytes)\n" key (Bytes.length data)
+    in
+    Cmd.v (Cmd.info "put" ~doc:"Encode a file and store it under a fresh primer pair.")
+      Term.(const run $ dir_arg $ key_arg $ input $ overwrite_flag)
+  in
+  let get_cmd =
+    let output =
+      Arg.(
+        required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Output file.")
+    in
+    let domains =
+      Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for decoding.")
+    in
+    let run dir key output domains =
+      let store = opened dir in
+      match Store.get_batch ~domains store [ key ] with
+      | [ (_, Ok bytes) ] ->
+          write_binary output bytes;
+          Printf.printf "recovered %s (%d bytes)\n" key (Bytes.length bytes)
+      | [ (_, Error e) ] -> die e
+      | _ -> assert false
+    in
+    Cmd.v (Cmd.info "get" ~doc:"Sequence, reconstruct and decode one object.")
+      Term.(const run $ dir_arg $ key_arg $ output $ domains)
+  in
+  let rm_cmd =
+    let run dir key =
+      let store = opened dir in
+      (match Store.delete store ~key with Ok () -> () | Error e -> die e);
+      Printf.printf "deleted %s (molecules reclaimed on the next compact)\n" key
+    in
+    Cmd.v (Cmd.info "rm" ~doc:"Delete an object and retire its primer pair.")
+      Term.(const run $ dir_arg $ key_arg)
+  in
+  let compact_cmd =
+    let run dir =
+      let store = opened dir in
+      let s = or_die (Store.compact store) in
+      Printf.printf "rewrote %d objects: %d -> %d strands, %d -> %d shards, %d primer pairs reclaimed\n"
+        s.Store.objects_rewritten s.strands_before s.strands_after s.shards_before s.shards_after
+        s.primer_pairs_reclaimed
+    in
+    Cmd.v
+      (Cmd.info "compact" ~doc:"Re-synthesize live objects into fresh shards and reclaim primers.")
+      Term.(const run $ dir_arg)
+  in
+  let stats_cmd =
+    let run dir =
+      let store = opened dir in
+      print_string (Store.render_stats store)
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Print shard, object, primer and cache statistics.")
+      Term.(const run $ dir_arg)
+  in
+  Cmd.group
+    (Cmd.info "store" ~doc:"Persistent sharded DNA object store with rewritable random access.")
+    [ init_cmd; put_cmd; get_cmd; rm_cmd; compact_cmd; stats_cmd ]
+
 let main =
   let doc = "modular end-to-end DNA data storage codec and simulator" in
   Cmd.group (Cmd.info "dnastore" ~version:"1.0.0" ~doc)
     [
       encode_cmd; simulate_cmd; cluster_cmd; reconstruct_cmd; decode_cmd; pipeline_cmd;
-      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd;
+      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd; store_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -92,6 +92,56 @@ let mismatches_at s ~pos ~pattern =
     !d
   end
 
+(* A registry of reserved primer pairs: the shared bookkeeping behind
+   both the in-memory kv-store and the persistent store. Reserving keeps
+   a pair (and, through [fresh], its neighborhood) out of circulation;
+   releasing returns it — the reclamation step after a deleted object's
+   molecules have physically left the pool. *)
+module Registry = struct
+  type t = { mutable reserved : pair list }
+
+  let pair_equal a b =
+    Dna.Strand.equal a.forward b.forward && Dna.Strand.equal a.reverse b.reverse
+
+  let create () = { reserved = [] }
+  let of_pairs pairs = { reserved = pairs }
+  let pairs r = r.reserved
+  let size r = List.length r.reserved
+  let is_reserved r p = List.exists (pair_equal p) r.reserved
+  let reserve r p = if not (is_reserved r p) then r.reserved <- p :: r.reserved
+  let release r p = r.reserved <- List.filter (fun q -> not (pair_equal p q)) r.reserved
+
+  (* A fresh pair must stay [min_distance] away from both primers of
+     every reserved pair and their reverse complements, so PCR selection
+     on any reserved key never amplifies the new molecules and vice
+     versa. *)
+  let fresh ?(min_distance = 8) ?(max_attempts = 1000) r rng : (pair, error) result =
+    let far p q = Dna.Distance.hamming p q >= min_distance in
+    let clear p =
+      List.for_all
+        (fun used ->
+          far p used.forward && far p used.reverse
+          && far p (Dna.Strand.reverse_complement used.forward)
+          && far p (Dna.Strand.reverse_complement used.reverse))
+        r.reserved
+    in
+    let rec attempt tries =
+      if tries >= max_attempts then
+        Error (Constraints_unsatisfiable { requested = 1; generated = 0; attempts = tries })
+      else
+        match generate_pairs rng 1 with
+        | Error e -> Error e
+        | Ok cands ->
+            let cand = cands.(0) in
+            if clear cand.forward && clear cand.reverse then Ok cand else attempt (tries + 1)
+    in
+    Result.map
+      (fun p ->
+        reserve r p;
+        p)
+      (attempt 0)
+end
+
 (* Semi-global alignment of the whole [pattern] against a prefix window
    of [read]: returns [(end_position, edits)] for the alignment with the
    fewest edits whose read span starts at position 0..slack. *)

@@ -33,6 +33,34 @@ val generate_pairs_exn : ?min_distance:int -> ?max_attempts:int -> Dna.Rng.t -> 
 (** {!generate_pairs} for callers without a recovery path; raises
     [Failure] with {!error_message} on exhaustion. *)
 
+(** A mutable set of reserved (in-use) pairs: the shared bookkeeping
+    behind the in-memory kv-store and the persistent object store.
+    {!Registry.fresh} generates a pair far from everything reserved and
+    reserves it; {!Registry.release} reclaims a pair once a deleted
+    object's molecules have physically left the pool (compaction). *)
+module Registry : sig
+  type t
+
+  val create : unit -> t
+  val of_pairs : pair list -> t
+
+  val pairs : t -> pair list
+  (** Reserved pairs, most recently reserved first. *)
+
+  val size : t -> int
+  val is_reserved : t -> pair -> bool
+  val reserve : t -> pair -> unit
+
+  val release : t -> pair -> unit
+  (** No-op when the pair is not reserved. *)
+
+  val fresh : ?min_distance:int -> ?max_attempts:int -> t -> Dna.Rng.t -> (pair, error) result
+  (** A new acceptable pair at least [min_distance] (default 8) Hamming
+      distance from both primers of every reserved pair and their
+      reverse complements, reserved as a side effect. [Error] after
+      [max_attempts] (default 1000) rejected candidates. *)
+end
+
 val attach : pair -> Dna.Strand.t -> Dna.Strand.t
 (** [forward ^ core ^ reverse] (Figure 2a). *)
 

@@ -3,8 +3,8 @@
     A pair of PCR primers is the key; the payloads of all molecules
     flanked by that pair are the value. [put] encodes a file, assigns it
     a fresh primer pair and drops the tagged molecules into the shared
-    pool — unordered, mixed with every other file. [get] runs the random
-    access path: PCR selection by primer match, sequencing through the
+    pool — mixed with every other file. [get] runs the random access
+    path: PCR selection by primer match, sequencing through the
     configured channel, clustering, reconstruction, primer stripping and
     decoding. *)
 
@@ -21,10 +21,18 @@ type t = {
   rng : Dna.Rng.t;
   mutable pool : Dna.Strand.t array;  (** the test tube: all molecules of all files *)
   mutable directory : entry list;  (** external metadata, not stored in DNA *)
-  mutable primers_used : Codec.Primer.pair list;
+  primers : Codec.Primer.Registry.t;  (** pairs in use, kept pairwise far apart *)
+  index : Primer_index.t;  (** primer pair -> pool indices, maintained on [put] *)
 }
 
-let create ~seed = { rng = Dna.Rng.create seed; pool = [||]; directory = []; primers_used = [] }
+let create ~seed =
+  {
+    rng = Dna.Rng.create seed;
+    pool = [||];
+    directory = [];
+    primers = Codec.Primer.Registry.create ();
+    index = Primer_index.create ();
+  }
 
 let mem t key = List.exists (fun e -> e.key = key) t.directory
 let keys t = List.map (fun e -> e.key) t.directory
@@ -43,34 +51,10 @@ let put_error_message = function
 let max_pair_attempts = 1000
 
 let fresh_pair t : (Codec.Primer.pair, put_error) result =
-  (* Keep the new pair far from every existing primer (and their reverse
-     complements) so PCR selection stays specific. *)
-  let rec attempt tries =
-    if tries >= max_pair_attempts then Error (Primer_space_exhausted { attempts = tries })
-    else begin
-      match Codec.Primer.generate_pairs t.rng 1 with
-      | Error (Codec.Primer.Constraints_unsatisfiable { attempts; _ }) ->
-          Error (Primer_space_exhausted { attempts })
-      | Ok candidates ->
-          let cand = candidates.(0) in
-          let far p q = Dna.Distance.hamming p q >= 8 in
-          let all_far p =
-            List.for_all
-              (fun used ->
-                far p used.Codec.Primer.forward && far p used.Codec.Primer.reverse
-                && far p (Dna.Strand.reverse_complement used.Codec.Primer.forward)
-                && far p (Dna.Strand.reverse_complement used.Codec.Primer.reverse))
-              t.primers_used
-          in
-          if all_far cand.Codec.Primer.forward && all_far cand.Codec.Primer.reverse then Ok cand
-          else attempt (tries + 1)
-    end
-  in
-  Result.map
-    (fun pair ->
-      t.primers_used <- pair :: t.primers_used;
-      pair)
-    (attempt 0)
+  match Codec.Primer.Registry.fresh ~max_attempts:max_pair_attempts t.primers t.rng with
+  | Ok pair -> Ok pair
+  | Error (Codec.Primer.Constraints_unsatisfiable { attempts; _ }) ->
+      Error (Primer_space_exhausted { attempts })
 
 let put ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline) t ~key
     (file : Bytes.t) : (unit, put_error) result =
@@ -78,22 +62,32 @@ let put ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline) t ~ke
   else begin
     match fresh_pair t with
     | Error err -> Error err
-    | Ok pair ->
-        let encoded = Codec.File_codec.encode ~layout ~params file in
-        let tagged = Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands in
-        t.pool <- Array.append t.pool tagged;
-        Dna.Rng.shuffle_in_place t.rng t.pool;
-        t.directory <-
-          {
-            key;
-            pair;
-            n_units = encoded.Codec.File_codec.n_units;
-            params;
-            layout;
-            original_size = Bytes.length file;
-          }
-          :: t.directory;
-        Ok ()
+    | Ok pair -> (
+        (* The pair is reserved before encoding; if encoding rejects the
+           input, hand it back instead of leaking primer space. *)
+        match Codec.File_codec.encode ~layout ~params file with
+        | exception e ->
+            Codec.Primer.Registry.release t.primers pair;
+            raise e
+        | encoded ->
+            let tagged = Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands in
+            let first = Array.length t.pool in
+            t.pool <- Array.append t.pool tagged;
+            (* The pool is no longer shuffled: selection is index-based
+               and the sequencer shuffles reads, so pool order carries no
+               information downstream. *)
+            Primer_index.add_range t.index pair ~first ~len:(Array.length tagged);
+            t.directory <-
+              {
+                key;
+                pair;
+                n_units = encoded.Codec.File_codec.n_units;
+                params;
+                layout;
+                original_size = Bytes.length file;
+              }
+              :: t.directory;
+            Ok ())
   end
 
 let put_exn ?params ?layout t ~key file =
@@ -102,18 +96,11 @@ let put_exn ?params ?layout t ~key file =
   | Error e -> invalid_arg (put_error_message e)
 
 (* PCR selection: amplify exactly the molecules carrying both primers.
-   The pool holds clean synthesized strands, so matching is strict here;
-   tolerant matching happens on noisy reads in [get]. *)
+   Pairs recorded by [put] resolve through the index in O(own
+   molecules); unknown pairs fall back to the tolerant full-pool scan. *)
 let pcr_select t pair =
-  Array.of_list
-    (List.filter
-       (fun s ->
-         Codec.Primer.mismatches_at s ~pos:0 ~pattern:pair.Codec.Primer.forward <= 2
-         && Codec.Primer.mismatches_at s
-              ~pos:(Dna.Strand.length s - Codec.Primer.primer_length)
-              ~pattern:pair.Codec.Primer.reverse
-            <= 2)
-       (Array.to_list t.pool))
+  if Primer_index.mem_pair t.index pair then Primer_index.select t.index t.pool pair
+  else Primer_index.scan_select t.pool pair
 
 type get_error = Key_not_found | Decode_failed of string
 

@@ -15,7 +15,10 @@ type t = {
   rng : Dna.Rng.t;
   mutable pool : Dna.Strand.t array;  (** the test tube *)
   mutable directory : entry list;  (** external metadata, not stored in DNA *)
-  mutable primers_used : Codec.Primer.pair list;
+  primers : Codec.Primer.Registry.t;
+      (** pairs in use; a pair reserved by a [put] that fails mid-encode
+          is released again *)
+  index : Primer_index.t;  (** primer pair -> pool indices, maintained on [put] *)
 }
 
 val create : seed:int -> t
@@ -45,7 +48,10 @@ val put_exn :
     [Invalid_argument] with {!put_error_message}. *)
 
 val pcr_select : t -> Codec.Primer.pair -> Dna.Strand.t array
-(** PCR amplification: the pool molecules carrying both primers. *)
+(** PCR amplification: the pool molecules carrying both primers. Pairs
+    recorded by {!put} resolve through the primer index in O(own
+    molecules); unknown pairs fall back to the tolerant full-pool scan
+    ({!Primer_index.scan_select}). *)
 
 type get_error = Key_not_found | Decode_failed of string
 

@@ -1,0 +1,36 @@
+(** A primer-pair -> strand-indices index over an oligo pool: O(own
+    molecules) PCR selection instead of an O(pool) scan per get. Used by
+    the in-memory {!Kv_store} (maintained on [put]) and by the
+    persistent store's per-shard pools (recovered by [build] on load). *)
+
+type t
+
+val create : unit -> t
+
+val key_of_pair : Codec.Primer.pair -> string
+(** The hashable identity of a pair: both primer strings. *)
+
+val add : t -> Codec.Primer.pair -> int -> unit
+val add_range : t -> Codec.Primer.pair -> first:int -> len:int -> unit
+val mem_pair : t -> Codec.Primer.pair -> bool
+
+val indices : t -> Codec.Primer.pair -> int array
+(** Pool indices recorded for the pair, ascending; [[||]] when unseen. *)
+
+val remove_pair : t -> Codec.Primer.pair -> unit
+
+val matches : ?max_mismatches:int -> Dna.Strand.t -> Codec.Primer.pair -> bool
+(** Strict both-end primer match on a clean molecule (default tolerance
+    2 mismatches per primer; pairs are designed >= 8 apart). *)
+
+val select : t -> Dna.Strand.t array -> Codec.Primer.pair -> Dna.Strand.t array
+(** Indexed gather of the pair's molecules. *)
+
+val scan_select :
+  ?max_mismatches:int -> Dna.Strand.t array -> Codec.Primer.pair -> Dna.Strand.t array
+(** The fallback full-pool scan, equivalent to {!select} whenever the
+    index covers the pair. *)
+
+val build : pairs:Codec.Primer.pair list -> Dna.Strand.t array -> t
+(** Index a pool in one pass given its pair inventory; strands matching
+    no pair are left unindexed. *)

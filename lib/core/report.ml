@@ -106,6 +106,15 @@ let recovery (p : Codec.File_codec.partial_recovery) : string =
       Buffer.add_char buf '\n');
   Buffer.contents buf
 
+(* One line of cache accounting, e.g. for the persistent store's LRU of
+   decoded objects. *)
+let cache_counters ~label ~hits ~misses =
+  let total = hits + misses in
+  if total = 0 then Printf.sprintf "%s cache: no lookups\n" label
+  else
+    Printf.sprintf "%s cache: %d hits / %d misses (%.1f%% hit rate)\n" label hits misses
+      (100.0 *. float_of_int hits /. float_of_int total)
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

@@ -16,6 +16,10 @@ val recovery : Codec.File_codec.partial_recovery -> string
 (** Per-unit status counts, recovered fraction and surviving byte
     ranges, one block of text. *)
 
+val cache_counters : label:string -> hits:int -> misses:int -> string
+(** One line of cache accounting with the hit rate, e.g. the persistent
+    store's LRU of decoded objects. *)
+
 val pct : float -> string
 (** "12.34%". *)
 

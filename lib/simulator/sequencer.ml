@@ -81,6 +81,19 @@ let sequence ?(shuffle = true) ?(domains = Dna.Par.default_domains ()) params ch
   if shuffle then Dna.Rng.shuffle_in_place rng arr;
   arr
 
+(* Per-strand depth for sequencing a primer-selected sub-pool of a
+   shard: one run spends its read budget on the amplified selection, so
+   depth rises as the selection narrows. Square-root scaling keeps the
+   growth gentle and the result is clamped to [base, 4 * base] — a
+   narrow selection reads deeper, never unboundedly so. *)
+let shard_depth ~base ~n_selected ~n_shard =
+  if n_selected <= 0 || base <= 0 then 0
+  else begin
+    let ratio = float_of_int (max n_shard n_selected) /. float_of_int n_selected in
+    let scaled = int_of_float (float_of_int base *. sqrt ratio) in
+    min (4 * base) (max base scaled)
+  end
+
 (* Group reads by origin: the ideal clusters, used to evaluate clustering
    and to isolate the reconstruction module. *)
 let ideal_clusters ~n_strands (reads : read array) : Dna.Strand.t list array =

@@ -32,6 +32,14 @@ val sequence :
     in strand order, so the read set is identical for every worker count
     — the channel must then be safe to call from multiple domains. *)
 
+val shard_depth : base:int -> n_selected:int -> n_shard:int -> int
+(** Per-strand depth for sequencing a primer-selected sub-pool of
+    [n_selected] molecules out of a shard of [n_shard]: the run's read
+    budget concentrates on the amplified selection, so depth scales as
+    [base * sqrt (n_shard / n_selected)], clamped to [\[base, 4*base\]].
+    0 when nothing is selected. Used by the persistent store to pick a
+    sequencing depth per shard access. *)
+
 val ideal_clusters : n_strands:int -> read array -> Dna.Strand.t list array
 (** Group reads by origin: the ground-truth clusters, used to evaluate
     clustering and to isolate the reconstruction module. *)

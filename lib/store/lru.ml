@@ -1,0 +1,57 @@
+(** A small bounded LRU keyed by strings, with hit/miss counters.
+
+    The store caches decoded objects here so repeated gets skip the
+    whole wetlab path (PCR, sequencing, clustering, reconstruction,
+    decode). Capacities are tens of entries, so the recency list is a
+    plain list — simplicity over asymptotics at this size. *)
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a) Hashtbl.t;
+  mutable recency : string list;  (** most recently used first *)
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ~capacity =
+  { capacity = max 0 capacity; tbl = Hashtbl.create 16; recency = []; hits = 0; misses = 0 }
+
+let length t = Hashtbl.length t.tbl
+let hits t = t.hits
+let misses t = t.misses
+
+let touch t key = t.recency <- key :: List.filter (fun k -> k <> key) t.recency
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      touch t key;
+      Some v
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.tbl key
+
+let remove t key =
+  if Hashtbl.mem t.tbl key then begin
+    Hashtbl.remove t.tbl key;
+    t.recency <- List.filter (fun k -> k <> key) t.recency
+  end
+
+let add t key v =
+  if t.capacity > 0 then begin
+    remove t key;
+    Hashtbl.replace t.tbl key v;
+    touch t key;
+    if Hashtbl.length t.tbl > t.capacity then begin
+      match List.rev t.recency with
+      | oldest :: _ -> remove t oldest
+      | [] -> ()
+    end
+  end
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.recency <- []

@@ -1,0 +1,25 @@
+(** A small bounded LRU keyed by strings, with hit/miss counters — the
+    store's cache of decoded objects. A capacity of 0 disables caching
+    (every [find] is a miss, [add] is a no-op). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Counts a hit (refreshing recency) or a miss. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching the counters or recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts the least recently used entry beyond
+    capacity. *)
+
+val remove : 'a t -> string -> unit
+val clear : 'a t -> unit
+(** Drops entries; counters persist. *)
+
+val hits : 'a t -> int
+val misses : 'a t -> int

@@ -1,0 +1,243 @@
+(** The store's on-disk catalog: a versioned JSON document describing
+    every shard file and every live object (its primer pair — the DNA
+    "key" — codec parameters and location), plus the retired primer
+    pairs whose molecules still sit in shards awaiting compaction.
+
+    Updates are crash-safe: [save] writes the full document to a
+    temporary file in the store directory and renames it over
+    [MANIFEST.json], so a reader sees either the old or the new
+    manifest, never a torn one. *)
+
+let format_version = 1
+let manifest_name = "MANIFEST.json"
+let shards_dir = "shards"
+let shard_file shard_id = Filename.concat shards_dir (Printf.sprintf "shard_%05d.fasta" shard_id)
+
+type config = {
+  shard_target_strands : int;  (** open a new shard once the current one reaches this *)
+  cache_objects : int;  (** LRU capacity for decoded objects *)
+  error_rate : float;  (** per-base error rate of the sequencing channel *)
+  coverage : int;  (** base sequencing depth; scaled per shard access *)
+}
+
+let default_config =
+  { shard_target_strands = 512; cache_objects = 16; error_rate = 0.06; coverage = 10 }
+
+type shard_meta = {
+  shard_id : int;
+  file : string;  (** relative to the store directory *)
+  n_strands : int;  (** molecules recorded in the manifest (orphans of an interrupted put may exceed this) *)
+  dead_strands : int;  (** molecules of deleted/overwritten objects, reclaimed by compaction *)
+}
+
+type object_meta = {
+  key : string;
+  version : int;  (** bumped by every overwrite *)
+  shard : int;
+  pair : Codec.Primer.pair;
+  n_units : int;
+  params : Codec.Params.t;
+  layout : Codec.Layout.t;
+  original_size : int;
+}
+
+type t = {
+  version : int;
+  seed : int;
+  generation : int;  (** bumped by every manifest write *)
+  next_shard_id : int;
+  config : config;
+  shards : shard_meta list;
+  objects : object_meta list;  (** insertion order *)
+  retired : Codec.Primer.pair list;
+      (** pairs of deleted/overwritten objects; their molecules are
+          still physically present, so the pairs stay unavailable until
+          compaction clears them *)
+}
+
+let empty ~seed ~config =
+  {
+    version = format_version;
+    seed;
+    generation = 0;
+    next_shard_id = 0;
+    config;
+    shards = [];
+    objects = [];
+    retired = [];
+  }
+
+(* ---------- JSON encoding ---------- *)
+
+module J = Store_json
+
+let json_of_pair (pair : Codec.Primer.pair) =
+  J.Obj
+    [
+      ("forward", J.String (Dna.Strand.to_string pair.Codec.Primer.forward));
+      ("reverse", J.String (Dna.Strand.to_string pair.Codec.Primer.reverse));
+    ]
+
+let json_of_shard (s : shard_meta) =
+  J.Obj
+    [
+      ("id", J.Int s.shard_id);
+      ("file", J.String s.file);
+      ("n_strands", J.Int s.n_strands);
+      ("dead_strands", J.Int s.dead_strands);
+    ]
+
+let json_of_object (o : object_meta) =
+  J.Obj
+    [
+      ("key", J.String o.key);
+      ("version", J.Int o.version);
+      ("shard", J.Int o.shard);
+      ("pair", json_of_pair o.pair);
+      ("n_units", J.Int o.n_units);
+      ("payload_nt", J.Int o.params.Codec.Params.payload_nt);
+      ("rs_data", J.Int o.params.Codec.Params.rs_data);
+      ("rs_parity", J.Int o.params.Codec.Params.rs_parity);
+      ("scramble_seed", J.Int o.params.Codec.Params.scramble_seed);
+      ("layout", J.String (Codec.Layout.name o.layout));
+      ("original_size", J.Int o.original_size);
+    ]
+
+let to_json (t : t) =
+  J.Obj
+    [
+      ("format_version", J.Int t.version);
+      ("seed", J.Int t.seed);
+      ("generation", J.Int t.generation);
+      ("next_shard_id", J.Int t.next_shard_id);
+      ( "config",
+        J.Obj
+          [
+            ("shard_target_strands", J.Int t.config.shard_target_strands);
+            ("cache_objects", J.Int t.config.cache_objects);
+            ("error_rate", J.Float t.config.error_rate);
+            ("coverage", J.Int t.config.coverage);
+          ] );
+      ("shards", J.List (List.map json_of_shard t.shards));
+      ("objects", J.List (List.map json_of_object t.objects));
+      ("retired", J.List (List.map json_of_pair t.retired));
+    ]
+
+(* ---------- JSON decoding ---------- *)
+
+let ( let* ) = Result.bind
+
+let strand_field v k =
+  let* s = J.string_field v k in
+  match Dna.Strand.of_string_opt s with
+  | Some strand -> Ok strand
+  | None -> Error (Printf.sprintf "field %S is not a DNA strand" k)
+
+let pair_of_json v =
+  let* forward = strand_field v "forward" in
+  let* reverse = strand_field v "reverse" in
+  Ok { Codec.Primer.forward; reverse }
+
+let shard_of_json v =
+  let* shard_id = J.int_field v "id" in
+  let* file = J.string_field v "file" in
+  let* n_strands = J.int_field v "n_strands" in
+  let* dead_strands = J.int_field v "dead_strands" in
+  Ok { shard_id; file; n_strands; dead_strands }
+
+let object_of_json v =
+  let* key = J.string_field v "key" in
+  let* version = J.int_field v "version" in
+  let* shard = J.int_field v "shard" in
+  let* pair = Result.bind (J.field v "pair") pair_of_json in
+  let* n_units = J.int_field v "n_units" in
+  let* payload_nt = J.int_field v "payload_nt" in
+  let* rs_data = J.int_field v "rs_data" in
+  let* rs_parity = J.int_field v "rs_parity" in
+  let* scramble_seed = J.int_field v "scramble_seed" in
+  let* layout_name = J.string_field v "layout" in
+  let* original_size = J.int_field v "original_size" in
+  let* layout =
+    match List.find_opt (fun l -> Codec.Layout.name l = layout_name) Codec.Layout.all with
+    | Some l -> Ok l
+    | None -> Error (Printf.sprintf "unknown layout %S" layout_name)
+  in
+  Ok
+    {
+      key;
+      version;
+      shard;
+      pair;
+      n_units;
+      params = { Codec.Params.payload_nt; rs_data; rs_parity; scramble_seed };
+      layout;
+      original_size;
+    }
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let of_json v : (t, string) result =
+  let* version = J.int_field v "format_version" in
+  if version <> format_version then
+    Error
+      (Printf.sprintf "manifest format version %d, this build reads version %d" version
+         format_version)
+  else
+    let* seed = J.int_field v "seed" in
+    let* generation = J.int_field v "generation" in
+    let* next_shard_id = J.int_field v "next_shard_id" in
+    let* cfg = J.field v "config" in
+    let* shard_target_strands = J.int_field cfg "shard_target_strands" in
+    let* cache_objects = J.int_field cfg "cache_objects" in
+    let* error_rate = J.float_field cfg "error_rate" in
+    let* coverage = J.int_field cfg "coverage" in
+    let* shards = Result.bind (J.list_field v "shards") (map_result shard_of_json) in
+    let* objects = Result.bind (J.list_field v "objects") (map_result object_of_json) in
+    let* retired = Result.bind (J.list_field v "retired") (map_result pair_of_json) in
+    Ok
+      {
+        version;
+        seed;
+        generation;
+        next_shard_id;
+        config = { shard_target_strands; cache_objects; error_rate; coverage };
+        shards;
+        objects;
+        retired;
+      }
+
+(* ---------- disk ---------- *)
+
+let write_file_atomic ~dir ~name content =
+  (* Write-temp-then-rename: the visible file is either the old or the
+     new content, never a torn write. *)
+  let tmp = Filename.concat dir (name ^ ".tmp") in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc content;
+      flush oc);
+  Sys.rename tmp (Filename.concat dir name)
+
+let save ~dir (t : t) = write_file_atomic ~dir ~name:manifest_name (J.to_string (to_json t))
+
+let load ~dir : (t, string) result =
+  let path = Filename.concat dir manifest_name in
+  if not (Sys.file_exists path) then Error (Printf.sprintf "no manifest at %s" path)
+  else begin
+    let ic = open_in_bin path in
+    let content =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match J.of_string content with
+    | Error msg -> Error (Printf.sprintf "manifest unreadable: %s" msg)
+    | Ok v -> of_json v
+  end

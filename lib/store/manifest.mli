@@ -1,0 +1,64 @@
+(** The store's on-disk catalog: a versioned JSON document describing
+    shards, live objects (primer pair, codec parameters, location) and
+    retired primer pairs awaiting compaction. [save] is crash-safe
+    (write-temp-then-rename). *)
+
+val format_version : int
+val manifest_name : string
+val shards_dir : string
+
+val shard_file : int -> string
+(** Relative path of a shard's oligo pool, e.g. [shards/shard_00003.fasta]. *)
+
+type config = {
+  shard_target_strands : int;  (** open a new shard once the current one reaches this *)
+  cache_objects : int;  (** LRU capacity for decoded objects *)
+  error_rate : float;  (** per-base error rate of the sequencing channel *)
+  coverage : int;  (** base sequencing depth; scaled per shard access *)
+}
+
+val default_config : config
+
+type shard_meta = {
+  shard_id : int;
+  file : string;  (** relative to the store directory *)
+  n_strands : int;
+  dead_strands : int;  (** molecules of deleted/overwritten objects, reclaimed by compaction *)
+}
+
+type object_meta = {
+  key : string;
+  version : int;  (** bumped by every overwrite *)
+  shard : int;
+  pair : Codec.Primer.pair;
+  n_units : int;
+  params : Codec.Params.t;
+  layout : Codec.Layout.t;
+  original_size : int;
+}
+
+type t = {
+  version : int;
+  seed : int;
+  generation : int;  (** bumped by every manifest write *)
+  next_shard_id : int;
+  config : config;
+  shards : shard_meta list;
+  objects : object_meta list;  (** insertion order *)
+  retired : Codec.Primer.pair list;
+      (** pairs whose molecules are still physically present; reclaimed
+          by compaction *)
+}
+
+val empty : seed:int -> config:config -> t
+
+val to_json : t -> Store_json.t
+val of_json : Store_json.t -> (t, string) result
+(** Rejects unknown format versions and malformed fields. *)
+
+val write_file_atomic : dir:string -> name:string -> string -> unit
+(** Write-temp-then-rename within [dir]; used for the manifest and the
+    shard pools. *)
+
+val save : dir:string -> t -> unit
+val load : dir:string -> (t, string) result

@@ -1,0 +1,628 @@
+(** The persistent, sharded, rewritable DNA object store.
+
+    Layered over the toolkit's codec/simulator/clustering stages, the
+    store keeps a pool of synthesized molecules on disk — a JSON
+    manifest ([MANIFEST.json], written temp-then-rename so a crash never
+    tears it) plus per-shard oligo pools serialized as FASTA — and
+    serves primer-addressed random access in the style of Yazdi et al.'s
+    rewritable DNA storage system:
+
+    - [put] encodes an object, reserves a fresh primer pair (the DNA
+      "key") and appends the tagged molecules to the open shard;
+    - [get] runs the wetlab read path against only the object's shard:
+      indexed PCR selection, sequencing at a depth scaled to the
+      selection ({!Simulator.Sequencer.shard_depth}), primer
+      demultiplexing, clustering, reconstruction, decoding;
+    - [overwrite] appends a new version under a fresh pair and retires
+      the old one; [delete] retires the object's pair outright — in both
+      cases the stale molecules stay in their shard until
+    - [compact] re-synthesizes every live object into fresh shards,
+      drops the dead molecules and releases the retired primer pairs
+      back into circulation.
+
+    Decoded objects are cached in a small LRU so repeated gets skip the
+    wetlab path entirely; batched gets fan the heavy stages out over the
+    domain pool. *)
+
+module Json = Store_json
+module Lru = Lru
+
+type config = Manifest.config = {
+  shard_target_strands : int;
+  cache_objects : int;
+  error_rate : float;
+  coverage : int;
+}
+
+let default_config = Manifest.default_config
+let format_version = Manifest.format_version
+
+type error =
+  | Key_not_found of string
+  | Duplicate_key of string
+  | Primer_space_exhausted of { attempts : int }
+  | Decode_failed of { key : string; reason : string }
+  | Corrupt of string
+
+let error_message = function
+  | Key_not_found key -> Printf.sprintf "Store: key %s not found" key
+  | Duplicate_key key -> Printf.sprintf "Store: duplicate key %s" key
+  | Primer_space_exhausted { attempts } ->
+      Printf.sprintf "Store: primer space exhausted after %d attempts" attempts
+  | Decode_failed { key; reason } -> Printf.sprintf "Store: decoding %s failed: %s" key reason
+  | Corrupt reason -> Printf.sprintf "Store: corrupt store: %s" reason
+
+type pool = {
+  strands : Dna.Strand.t array;
+  index : Dnastore.Primer_index.t;  (** live pairs of the shard -> strand indices *)
+}
+
+type t = {
+  dir : string;
+  rng : Dna.Rng.t;
+  mutable manifest : Manifest.t;
+  registry : Codec.Primer.Registry.t;  (** live + retired pairs *)
+  pools : (int, pool) Hashtbl.t;  (** shard id -> loaded pool *)
+  cache : Bytes.t Lru.t;
+}
+
+let dir t = t.dir
+let keys t = List.map (fun (o : Manifest.object_meta) -> o.key) t.manifest.Manifest.objects
+let config t = t.manifest.Manifest.config
+let generation t = t.manifest.Manifest.generation
+
+let find_object t key =
+  List.find_opt (fun (o : Manifest.object_meta) -> o.key = key) t.manifest.Manifest.objects
+
+let mem t key = find_object t key <> None
+let object_pair t ~key = Option.map (fun (o : Manifest.object_meta) -> o.pair) (find_object t key)
+let pair_reserved t pair = Codec.Primer.Registry.is_reserved t.registry pair
+
+let shard_files t =
+  List.map
+    (fun (s : Manifest.shard_meta) -> Filename.concat t.dir s.file)
+    t.manifest.Manifest.shards
+
+(* ---------- lifecycle ---------- *)
+
+let mkdir_p path =
+  let rec make p =
+    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
+      make (Filename.dirname p);
+      (try Sys.mkdir p 0o755 with Sys_error _ when Sys.file_exists p -> ())
+    end
+  in
+  make path
+
+let rng_of_manifest (m : Manifest.t) =
+  (* Mix the generation in so every reopened store continues on a fresh
+     stream instead of replaying the original one. *)
+  Dna.Rng.create (m.Manifest.seed + (1000003 * m.Manifest.generation))
+
+let of_manifest ~dir (m : Manifest.t) =
+  let live = List.map (fun (o : Manifest.object_meta) -> o.pair) m.Manifest.objects in
+  {
+    dir;
+    rng = rng_of_manifest m;
+    manifest = m;
+    registry = Codec.Primer.Registry.of_pairs (live @ m.Manifest.retired);
+    pools = Hashtbl.create 8;
+    cache = Lru.create ~capacity:m.Manifest.config.cache_objects;
+  }
+
+let init ?(config = default_config) ~dir ~seed () : (t, error) result =
+  if Sys.file_exists (Filename.concat dir Manifest.manifest_name) then
+    Error (Corrupt (Printf.sprintf "%s is already an initialized store" dir))
+  else begin
+    mkdir_p (Filename.concat dir Manifest.shards_dir);
+    let m = Manifest.empty ~seed ~config in
+    Manifest.save ~dir m;
+    Ok (of_manifest ~dir m)
+  end
+
+let open_store ~dir : (t, error) result =
+  match Manifest.load ~dir with
+  | Error msg -> Error (Corrupt msg)
+  | Ok m -> Ok (of_manifest ~dir m)
+
+(* Persist a new manifest state (generation bumped) and adopt it. *)
+let save_manifest t (m : Manifest.t) =
+  let m = { m with Manifest.generation = m.Manifest.generation + 1 } in
+  Manifest.save ~dir:t.dir m;
+  t.manifest <- m
+
+(* ---------- shard pools ---------- *)
+
+let shard_meta t shard_id =
+  List.find_opt (fun (s : Manifest.shard_meta) -> s.shard_id = shard_id) t.manifest.Manifest.shards
+
+let live_pairs_of_shard t shard_id =
+  List.filter_map
+    (fun (o : Manifest.object_meta) -> if o.shard = shard_id then Some o.pair else None)
+    t.manifest.Manifest.objects
+
+let load_pool t shard_id : (pool, error) result =
+  match Hashtbl.find_opt t.pools shard_id with
+  | Some p -> Ok p
+  | None -> (
+      match shard_meta t shard_id with
+      | None -> Error (Corrupt (Printf.sprintf "shard %d is not in the manifest" shard_id))
+      | Some smeta ->
+          let path = Filename.concat t.dir smeta.file in
+          if not (Sys.file_exists path) then
+            Error (Corrupt (Printf.sprintf "shard file %s is missing" smeta.file))
+          else begin
+            let records, _errors = Dna.Fasta.read_file path in
+            let strands = Array.of_list (List.map (fun r -> r.Dna.Fasta.seq) records) in
+            if Array.length strands < smeta.n_strands then
+              Error
+                (Corrupt
+                   (Printf.sprintf "shard %s holds %d strands, manifest records %d" smeta.file
+                      (Array.length strands) smeta.n_strands))
+            else begin
+              (* Strands beyond the manifest count are orphans of an
+                 interrupted put; their pair is unreserved, so they are
+                 unselectable and [build] leaves them unindexed. *)
+              let index =
+                Dnastore.Primer_index.build ~pairs:(live_pairs_of_shard t shard_id) strands
+              in
+              let p = { strands; index } in
+              Hashtbl.replace t.pools shard_id p;
+              Ok p
+            end
+          end)
+
+let write_shard_file t ~file (strands : Dna.Strand.t array) =
+  let records =
+    Array.to_list (Array.mapi (fun i s -> { Dna.Fasta.id = Printf.sprintf "m_%d" i; seq = s }) strands)
+  in
+  Manifest.write_file_atomic ~dir:t.dir ~name:file (Dna.Fasta.to_string records)
+
+(* ---------- put / overwrite ---------- *)
+
+let object_strand_count (o : Manifest.object_meta) = Codec.Params.columns o.params * o.n_units
+
+(* Append a freshly encoded object to the open shard (or a new one) and
+   install the new manifest. [prev] is the overwritten version, if any:
+   its molecules become dead and its pair retires. *)
+let append_object t ~key ~(prev : Manifest.object_meta option) ?(params = Codec.Params.default)
+    ?(layout = Codec.Layout.Baseline) (data : Bytes.t) : (unit, error) result =
+  let m = t.manifest in
+  (* The open shard is the youngest one, until it reaches the target. *)
+  let open_shard =
+    List.fold_left
+      (fun acc (s : Manifest.shard_meta) ->
+        match acc with
+        | Some (a : Manifest.shard_meta) when a.shard_id >= s.shard_id -> acc
+        | _ -> Some s)
+      None m.Manifest.shards
+  in
+  let open_shard =
+    match open_shard with
+    | Some s when s.n_strands < m.Manifest.config.shard_target_strands -> Some s
+    | _ -> None
+  in
+  let existing =
+    match open_shard with
+    | None -> Ok [||]
+    | Some s -> Result.map (fun p -> p.strands) (load_pool t s.shard_id)
+  in
+  match existing with
+  | Error e -> Error e
+  | Ok existing -> (
+      match Codec.Primer.Registry.fresh ~max_attempts:1000 t.registry t.rng with
+      | Error (Codec.Primer.Constraints_unsatisfiable { attempts; _ }) ->
+          Error (Primer_space_exhausted { attempts })
+      | Ok pair -> (
+          match Codec.File_codec.encode ~layout ~params data with
+          | exception e ->
+              (* Do not leak primer space when encoding rejects the input. *)
+              Codec.Primer.Registry.release t.registry pair;
+              raise e
+          | encoded ->
+              let tagged =
+                Array.map (Codec.Primer.attach pair) encoded.Codec.File_codec.strands
+              in
+              let shard_id, file =
+                match open_shard with
+                | Some s -> (s.shard_id, s.file)
+                | None -> (m.Manifest.next_shard_id, Manifest.shard_file m.Manifest.next_shard_id)
+              in
+              let strands = Array.append existing tagged in
+              (* Shard first, manifest second: a crash in between leaves
+                 orphan molecules behind an old manifest, never a
+                 manifest pointing at missing data. *)
+              write_shard_file t ~file strands;
+              let smeta =
+                {
+                  Manifest.shard_id;
+                  file;
+                  n_strands = Array.length strands;
+                  dead_strands =
+                    (match open_shard with Some s -> s.dead_strands | None -> 0);
+                }
+              in
+              let meta =
+                {
+                  Manifest.key;
+                  version = (match prev with Some p -> p.version + 1 | None -> 1);
+                  shard = shard_id;
+                  pair;
+                  n_units = encoded.Codec.File_codec.n_units;
+                  params;
+                  layout;
+                  original_size = Bytes.length data;
+                }
+              in
+              let shards =
+                smeta
+                :: List.filter_map
+                     (fun (s : Manifest.shard_meta) ->
+                       if s.shard_id = shard_id then None
+                       else
+                         match prev with
+                         | Some p when p.shard = s.shard_id ->
+                             Some
+                               {
+                                 s with
+                                 Manifest.dead_strands =
+                                   s.dead_strands + object_strand_count p;
+                               }
+                         | _ -> Some s)
+                     m.Manifest.shards
+              in
+              let shards =
+                (* Overwriting an object that lives in the open shard:
+                   its dead molecules are in [smeta] itself. *)
+                match prev with
+                | Some p when p.shard = shard_id ->
+                    List.map
+                      (fun (s : Manifest.shard_meta) ->
+                        if s.shard_id = shard_id then
+                          { s with Manifest.dead_strands = s.dead_strands + object_strand_count p }
+                        else s)
+                      shards
+                | _ -> shards
+              in
+              let objects =
+                match prev with
+                | None -> m.Manifest.objects @ [ meta ]
+                | Some _ ->
+                    List.map
+                      (fun (o : Manifest.object_meta) -> if o.key = key then meta else o)
+                      m.Manifest.objects
+              in
+              let retired =
+                match prev with
+                | None -> m.Manifest.retired
+                | Some p -> p.pair :: m.Manifest.retired
+              in
+              save_manifest t
+                {
+                  m with
+                  Manifest.shards;
+                  objects;
+                  retired;
+                  next_shard_id = max m.Manifest.next_shard_id (shard_id + 1);
+                };
+              (* Keep the loaded pool in step with the file. *)
+              let index =
+                match Hashtbl.find_opt t.pools shard_id with
+                | Some p when Array.length existing > 0 -> p.index
+                | _ -> Dnastore.Primer_index.build ~pairs:(live_pairs_of_shard t shard_id) strands
+              in
+              if Array.length existing > 0 then
+                Dnastore.Primer_index.add_range index pair ~first:(Array.length existing)
+                  ~len:(Array.length tagged);
+              Hashtbl.replace t.pools shard_id { strands; index };
+              Lru.remove t.cache key;
+              Ok ()))
+
+let put ?params ?layout t ~key data =
+  if mem t key then Error (Duplicate_key key)
+  else append_object t ~key ~prev:None ?params ?layout data
+
+let overwrite t ~key data =
+  match find_object t key with
+  | None -> Error (Key_not_found key)
+  | Some prev ->
+      append_object t ~key ~prev:(Some prev) ~params:prev.params ~layout:prev.layout data
+
+(* ---------- delete ---------- *)
+
+let delete t ~key : (unit, error) result =
+  match find_object t key with
+  | None -> Error (Key_not_found key)
+  | Some o ->
+      let m = t.manifest in
+      let shards =
+        List.map
+          (fun (s : Manifest.shard_meta) ->
+            if s.shard_id = o.shard then
+              { s with Manifest.dead_strands = s.dead_strands + object_strand_count o }
+            else s)
+          m.Manifest.shards
+      in
+      save_manifest t
+        {
+          m with
+          Manifest.shards;
+          objects = List.filter (fun (x : Manifest.object_meta) -> x.key <> key) m.Manifest.objects;
+          retired = o.pair :: m.Manifest.retired;
+        };
+      (* The molecules stay in the shard and the pair stays reserved
+         (retired) until compaction physically removes them. *)
+      (match Hashtbl.find_opt t.pools o.shard with
+      | Some p -> Dnastore.Primer_index.remove_pair p.index o.pair
+      | None -> ());
+      Lru.remove t.cache key;
+      Ok ()
+
+(* ---------- get / batched get ---------- *)
+
+(* The per-shard wetlab run for a batch of objects: one indexed PCR
+   selection over the union of their molecules, one sequencing pass at a
+   depth scaled to the selection, then primer demultiplexing through the
+   wetlab ingestion path. Returns pipeline-ready cores per object. *)
+let shard_run t (pool : pool) (objs : Manifest.object_meta list) :
+    (Manifest.object_meta * Dna.Strand.t array) list =
+  let selected =
+    List.map (fun (o : Manifest.object_meta) -> Dnastore.Primer_index.select pool.index pool.strands o.pair) objs
+  in
+  let union = Array.concat selected in
+  let cfg = t.manifest.Manifest.config in
+  let depth =
+    Simulator.Sequencer.shard_depth ~base:cfg.coverage ~n_selected:(Array.length union)
+      ~n_shard:(Array.length pool.strands)
+  in
+  let sequencing =
+    {
+      (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed depth)) with
+      Simulator.Sequencer.p_reverse = 0.5;
+    }
+  in
+  let channel = Simulator.Iid_channel.create_rate ~error_rate:cfg.error_rate in
+  let reads = Simulator.Sequencer.sequence ~domains:1 sequencing channel t.rng union in
+  let records =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Simulator.Sequencer.read) ->
+           {
+             Dna.Fastq.id = Printf.sprintf "r_%d" i;
+             seq = r.Simulator.Sequencer.seq;
+             qual = [||];
+           })
+         reads)
+  in
+  let ingested =
+    Dnastore.Wetlab_io.ingest_records
+      (List.map (fun (o : Manifest.object_meta) -> o.pair) objs)
+      records ~parse_errors:0
+  in
+  let cores_of pair =
+    let key = Dnastore.Primer_index.key_of_pair pair in
+    match
+      List.find_opt
+        (fun (p, _) -> Dnastore.Primer_index.key_of_pair p = key)
+        ingested.Dnastore.Wetlab_io.by_pair
+    with
+    | Some (_, cores) -> cores
+    | None -> [||]
+  in
+  List.map (fun (o : Manifest.object_meta) -> (o, cores_of o.pair)) objs
+
+(* Cluster, reconstruct and decode one object's cores; pure given its
+   rng, so it can run on any domain. *)
+let decode_task rng (o : Manifest.object_meta) (cores : Dna.Strand.t array) :
+    (Bytes.t, error) result =
+  let clusters = Dnastore.Pipeline.cluster_default ~domains:1 () rng cores in
+  let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
+  Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
+  let target_len = Codec.Params.strand_nt o.params in
+  let consensus =
+    Array.to_list cluster_arr
+    |> List.filter_map (fun reads ->
+           if Array.length reads = 0 then None
+           else Some (Dnastore.Pipeline.reconstruct_nw ~target_len reads))
+  in
+  match Codec.File_codec.decode ~layout:o.layout ~params:o.params ~n_units:o.n_units consensus with
+  | Ok (bytes, _) -> Ok bytes
+  | Error e -> Error (Decode_failed { key = o.key; reason = Codec.File_codec.error_message e })
+
+let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) t (keys : string list) :
+    (string * (Bytes.t, error) result) list =
+  (* Resolve keys: cache hits answer immediately, misses group by shard
+     so each shard is selected and sequenced once. *)
+  let resolved =
+    List.map
+      (fun key ->
+        match find_object t key with
+        | None -> (key, `Err (Key_not_found key))
+        | Some o -> (
+            match if use_cache then Lru.find t.cache key else None with
+            | Some bytes -> (key, `Hit bytes)
+            | None -> (key, `Miss o)))
+      keys
+  in
+  let misses =
+    List.filter_map (function _, `Miss o -> Some (o : Manifest.object_meta) | _ -> None) resolved
+  in
+  let shard_ids =
+    List.sort_uniq compare (List.map (fun (o : Manifest.object_meta) -> o.shard) misses)
+  in
+  (* Sequencing draws stay serial (deterministic order); the heavy
+     per-object stages fan out over the domain pool below. *)
+  let tasks = ref [] and pool_errors = ref [] in
+  List.iter
+    (fun shard_id ->
+      let objs = List.filter (fun (o : Manifest.object_meta) -> o.shard = shard_id) misses in
+      match load_pool t shard_id with
+      | Error e -> List.iter (fun (o : Manifest.object_meta) -> pool_errors := (o.key, e) :: !pool_errors) objs
+      | Ok pool -> tasks := !tasks @ shard_run t pool objs)
+    shard_ids;
+  let tasks = Array.of_list !tasks in
+  let rngs = Dna.Par.split_rngs t.rng (Array.length tasks) in
+  let outcomes =
+    Dna.Par.mapi_array ~label:"store.get_batch" ~domains
+      (fun i (o, cores) -> (o.Manifest.key, decode_task rngs.(i) o cores))
+      tasks
+  in
+  let outcomes = Array.to_list outcomes in
+  if use_cache then
+    List.iter
+      (function key, Ok bytes -> Lru.add t.cache key bytes | _, Error _ -> ())
+      outcomes;
+  List.map
+    (fun (key, r) ->
+      match r with
+      | `Err e -> (key, Error e)
+      | `Hit bytes -> (key, Ok bytes)
+      | `Miss _ -> (
+          match List.assoc_opt key !pool_errors with
+          | Some e -> (key, Error e)
+          | None -> (
+              match List.assoc_opt key outcomes with
+              | Some outcome -> (key, outcome)
+              | None -> (key, Error (Corrupt ("no outcome for key " ^ key))))))
+    resolved
+
+let get ?(use_cache = true) t ~key : (Bytes.t, error) result =
+  match get_batch ~domains:1 ~use_cache t [ key ] with
+  | [ (_, r) ] -> r
+  | _ -> Error (Corrupt "single-key batch returned a different shape")
+
+(* ---------- compaction ---------- *)
+
+type compact_stats = {
+  objects_rewritten : int;
+  strands_before : int;
+  strands_after : int;
+  shards_before : int;
+  shards_after : int;
+  primer_pairs_reclaimed : int;
+}
+
+let compact t : (compact_stats, error) result =
+  let m = t.manifest in
+  let live = m.Manifest.objects in
+  (* All-or-nothing: every live object must decode before anything on
+     disk changes, so a failed compaction never loses data. *)
+  let decoded =
+    List.map (fun (o : Manifest.object_meta) -> (o, get ~use_cache:true t ~key:o.key)) live
+  in
+  match List.find_opt (fun (_, r) -> Result.is_error r) decoded with
+  | Some (_, Error e) -> Error e
+  | Some (_, Ok _) -> assert false
+  | None ->
+      let strands_before =
+        List.fold_left (fun a (s : Manifest.shard_meta) -> a + s.n_strands) 0 m.Manifest.shards
+      in
+      (* Re-synthesize every live object, packing fresh shards in
+         insertion order under the same primer pairs. *)
+      let target = m.Manifest.config.shard_target_strands in
+      let next_id = ref m.Manifest.next_shard_id in
+      let shards = ref [] and current = ref [] and current_n = ref 0 and objects = ref [] in
+      let flush_shard () =
+        if !current <> [] then begin
+          let strands = Array.concat (List.rev !current) in
+          let file = Manifest.shard_file !next_id in
+          write_shard_file t ~file strands;
+          shards :=
+            { Manifest.shard_id = !next_id; file; n_strands = Array.length strands; dead_strands = 0 }
+            :: !shards;
+          incr next_id;
+          current := [];
+          current_n := 0
+        end
+      in
+      List.iter
+        (fun ((o : Manifest.object_meta), r) ->
+          let bytes = match r with Ok b -> b | Error _ -> assert false in
+          let encoded = Codec.File_codec.encode ~layout:o.layout ~params:o.params bytes in
+          let tagged = Array.map (Codec.Primer.attach o.pair) encoded.Codec.File_codec.strands in
+          if !current_n > 0 && !current_n >= target then flush_shard ();
+          objects := { o with Manifest.shard = !next_id } :: !objects;
+          current := tagged :: !current;
+          current_n := !current_n + Array.length tagged)
+        decoded;
+      flush_shard ();
+      let old_files = shard_files t in
+      let reclaimed = m.Manifest.retired in
+      save_manifest t
+        {
+          m with
+          Manifest.shards = List.rev !shards;
+          objects = List.rev !objects;
+          retired = [];
+          next_shard_id = !next_id;
+        };
+      (* Only after the manifest points at the new shards: reclaim the
+         retired primer pairs and drop the old shard files. A crash
+         before the removals merely leaves unreferenced files behind. *)
+      List.iter (fun pair -> Codec.Primer.Registry.release t.registry pair) reclaimed;
+      List.iter (fun path -> try Sys.remove path with Sys_error _ -> ()) old_files;
+      Hashtbl.reset t.pools;
+      let strands_after =
+        List.fold_left
+          (fun a (s : Manifest.shard_meta) -> a + s.n_strands)
+          0 t.manifest.Manifest.shards
+      in
+      Ok
+        {
+          objects_rewritten = List.length live;
+          strands_before;
+          strands_after;
+          shards_before = List.length m.Manifest.shards;
+          shards_after = List.length t.manifest.Manifest.shards;
+          primer_pairs_reclaimed = List.length reclaimed;
+        }
+
+(* ---------- stats ---------- *)
+
+type stats = {
+  n_objects : int;
+  n_shards : int;
+  n_strands : int;
+  dead_strands : int;
+  live_primer_pairs : int;
+  retired_primer_pairs : int;
+  cache_hits : int;
+  cache_misses : int;
+  generation : int;
+}
+
+let stats t =
+  let m = t.manifest in
+  {
+    n_objects = List.length m.Manifest.objects;
+    n_shards = List.length m.Manifest.shards;
+    n_strands =
+      List.fold_left (fun a (s : Manifest.shard_meta) -> a + s.n_strands) 0 m.Manifest.shards;
+    dead_strands =
+      List.fold_left (fun a (s : Manifest.shard_meta) -> a + s.dead_strands) 0 m.Manifest.shards;
+    live_primer_pairs = List.length m.Manifest.objects;
+    retired_primer_pairs = List.length m.Manifest.retired;
+    cache_hits = Lru.hits t.cache;
+    cache_misses = Lru.misses t.cache;
+    generation = m.Manifest.generation;
+  }
+
+let render_stats t =
+  let s = stats t in
+  let m = t.manifest in
+  Dnastore.Report.table
+    ([ "shard"; "file"; "strands"; "dead" ]
+    :: List.map
+         (fun (sh : Manifest.shard_meta) ->
+           [
+             string_of_int sh.shard_id;
+             sh.file;
+             string_of_int sh.n_strands;
+             string_of_int sh.dead_strands;
+           ])
+         m.Manifest.shards)
+  ^ Printf.sprintf "objects: %d  shards: %d  strands: %d (%d dead)  generation: %d\n" s.n_objects
+      s.n_shards s.n_strands s.dead_strands s.generation
+  ^ Printf.sprintf "primer pairs: %d live, %d retired (await compaction)\n" s.live_primer_pairs
+      s.retired_primer_pairs
+  ^ Dnastore.Report.cache_counters ~label:"store" ~hits:s.cache_hits ~misses:s.cache_misses

@@ -1,0 +1,120 @@
+(** A persistent, sharded, rewritable DNA object store.
+
+    On disk a store is a directory: a crash-safe JSON manifest
+    ([MANIFEST.json], always updated write-temp-then-rename) plus
+    per-shard oligo pools serialized as FASTA under [shards/]. Objects
+    are addressed by primer pairs; [overwrite] and [delete] retire pairs
+    without touching molecules, and {!compact} re-synthesizes live
+    objects into fresh shards, reclaiming the retired primer space.
+    Reads run the full wetlab path (PCR selection, sequencing,
+    clustering, reconstruction, decode) against only the object's shard,
+    behind an LRU cache of decoded objects. *)
+
+module Json : module type of Store_json
+(** The hand-rolled JSON layer backing the manifest (exposed for tests
+    and tools). *)
+
+module Lru : module type of Lru
+(** The decoded-object cache (exposed for tests). *)
+
+type config = Manifest.config = {
+  shard_target_strands : int;  (** open a new shard once the current one reaches this *)
+  cache_objects : int;  (** LRU capacity for decoded objects *)
+  error_rate : float;  (** per-base error rate of the sequencing channel *)
+  coverage : int;  (** base sequencing depth; scaled per shard access *)
+}
+
+val default_config : config
+
+val format_version : int
+(** Version stamped into every manifest; [open_store] refuses others. *)
+
+type error =
+  | Key_not_found of string
+  | Duplicate_key of string
+  | Primer_space_exhausted of { attempts : int }
+  | Decode_failed of { key : string; reason : string }
+  | Corrupt of string
+
+val error_message : error -> string
+
+type t
+
+val init : ?config:config -> dir:string -> seed:int -> unit -> (t, error) result
+(** Create a fresh store directory (made if missing); refuses a
+    directory that already holds a manifest. *)
+
+val open_store : dir:string -> (t, error) result
+(** Reopen an existing store. The rng stream is re-derived from the
+    seed and the manifest generation, so a reopened store does not
+    replay the draws of its previous life. *)
+
+val dir : t -> string
+val config : t -> config
+val generation : t -> int
+val keys : t -> string list
+val mem : t -> string -> bool
+
+val put :
+  ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> t -> key:string -> Bytes.t ->
+  (unit, error) result
+(** Encode under a fresh primer pair and append to the open shard
+    (shard file written before the manifest, so a crash never leaves the
+    manifest pointing at missing molecules). If encoding raises, the
+    reserved pair is released before the exception propagates. *)
+
+val overwrite : t -> key:string -> Bytes.t -> (unit, error) result
+(** Append a new version under a fresh pair (same codec parameters);
+    the old version's pair is retired and its molecules become dead
+    until {!compact}. *)
+
+val delete : t -> key:string -> (unit, error) result
+(** Drop the object from the directory and retire its pair; the
+    molecules stay in their shard until {!compact}. *)
+
+val get : ?use_cache:bool -> t -> key:string -> (Bytes.t, error) result
+
+val get_batch :
+  ?domains:int -> ?use_cache:bool -> t -> string list ->
+  (string * (Bytes.t, error) result) list
+(** Serve many keys in one pass, in input order: cache hits answer
+    immediately; misses are grouped so each shard is PCR-selected and
+    sequenced once, then clustering/reconstruction/decoding fan out per
+    object over the domain pool. *)
+
+type compact_stats = {
+  objects_rewritten : int;
+  strands_before : int;
+  strands_after : int;
+  shards_before : int;
+  shards_after : int;
+  primer_pairs_reclaimed : int;
+}
+
+val compact : t -> (compact_stats, error) result
+(** Re-synthesize every live object into fresh densely packed shards,
+    drop dead molecules and release retired primer pairs. All-or-nothing:
+    every live object is decoded before anything on disk changes, and a
+    failure leaves the store untouched. *)
+
+type stats = {
+  n_objects : int;
+  n_shards : int;
+  n_strands : int;
+  dead_strands : int;
+  live_primer_pairs : int;
+  retired_primer_pairs : int;
+  cache_hits : int;
+  cache_misses : int;
+  generation : int;
+}
+
+val stats : t -> stats
+val render_stats : t -> string
+
+(**/**)
+
+(* Introspection for tests and benchmarks. *)
+val shard_files : t -> string list
+val object_pair : t -> key:string -> Codec.Primer.pair option
+val pair_reserved : t -> Codec.Primer.pair -> bool

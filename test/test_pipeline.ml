@@ -164,6 +164,41 @@ let test_kv_pcr_selects_only_target () =
   Alcotest.(check int) "only file a's molecules" (26 * entry_a.Dnastore.Kv_store.n_units)
     (Array.length selected)
 
+let test_kv_put_failure_releases_pair () =
+  (* A put that dies mid-encode must hand its reserved primer pair
+     back, or aborted puts would leak primer space forever. *)
+  let store = Dnastore.Kv_store.create ~seed:16 in
+  Dnastore.Kv_store.put_exn store ~key:"ok" (Bytes.of_string "payload");
+  let reserved_before = Codec.Primer.Registry.size store.Dnastore.Kv_store.primers in
+  let bad_params = { Codec.Params.default with Codec.Params.payload_nt = 121 } in
+  (match Dnastore.Kv_store.put ~params:bad_params store ~key:"bad" (Bytes.of_string "x") with
+  | exception Invalid_argument _ -> ()
+  | Ok () -> Alcotest.fail "encode accepted invalid params"
+  | Error e -> Alcotest.fail (Dnastore.Kv_store.put_error_message e));
+  Alcotest.(check int) "reserved pair released" reserved_before
+    (Codec.Primer.Registry.size store.Dnastore.Kv_store.primers);
+  Alcotest.(check bool) "failed key not recorded" false (Dnastore.Kv_store.mem store "bad");
+  (* The key (and the primer space) stay usable after the failure. *)
+  Dnastore.Kv_store.put_exn store ~key:"bad" (Bytes.of_string "now valid");
+  match Dnastore.Kv_store.get store ~key:"bad" with
+  | Ok (bytes, _) -> Alcotest.(check string) "retry decodes" "now valid" (Bytes.to_string bytes)
+  | Error _ -> Alcotest.fail "retry after failed put did not decode"
+
+let test_kv_indexed_select_matches_scan () =
+  let store = Dnastore.Kv_store.create ~seed:17 in
+  Dnastore.Kv_store.put_exn store ~key:"a" (Bytes.of_string (String.make 300 'a'));
+  Dnastore.Kv_store.put_exn store ~key:"b" (Bytes.of_string (String.make 500 'b'));
+  List.iter
+    (fun (e : Dnastore.Kv_store.entry) ->
+      let indexed = Dnastore.Kv_store.pcr_select store e.Dnastore.Kv_store.pair in
+      let scanned =
+        Dnastore.Primer_index.scan_select store.Dnastore.Kv_store.pool e.Dnastore.Kv_store.pair
+      in
+      Alcotest.(check bool)
+        ("indexed select = full scan for " ^ e.Dnastore.Kv_store.key)
+        true (indexed = scanned))
+    store.Dnastore.Kv_store.directory
+
 let test_kv_get_repeatable () =
   (* Each get is a fresh PCR + sequencing run; both must succeed. *)
   let store = Dnastore.Kv_store.create ~seed:15 in
@@ -282,6 +317,8 @@ let () =
           Alcotest.test_case "missing key" `Quick test_kv_missing_key;
           Alcotest.test_case "duplicate rejected" `Quick test_kv_duplicate_key_rejected;
           Alcotest.test_case "pcr selects target" `Quick test_kv_pcr_selects_only_target;
+          Alcotest.test_case "failed put releases pair" `Quick test_kv_put_failure_releases_pair;
+          Alcotest.test_case "indexed select = scan" `Quick test_kv_indexed_select_matches_scan;
           Alcotest.test_case "get repeatable" `Quick test_kv_get_repeatable;
         ] );
       ( "wetlab-io",

@@ -212,6 +212,18 @@ let test_sequencer_parallel_domain_independent () =
         two (run domains))
     [ 3; 5; 8 ]
 
+let test_shard_depth_scaling () =
+  (* Selecting a small fraction of a shard concentrates the read
+     budget: depth scales with sqrt(shard/selected), clamped to
+     [base, 4*base]. *)
+  let depth = Simulator.Sequencer.shard_depth ~base:10 in
+  Alcotest.(check int) "full shard selected -> base" 10 (depth ~n_selected:512 ~n_shard:512);
+  Alcotest.(check int) "quarter selected -> 2x" 20 (depth ~n_selected:128 ~n_shard:512);
+  Alcotest.(check int) "tiny selection clamps at 4x" 40 (depth ~n_selected:2 ~n_shard:512);
+  Alcotest.(check int) "selection larger than shard -> base" 10 (depth ~n_selected:64 ~n_shard:26);
+  Alcotest.(check int) "empty selection" 0 (depth ~n_selected:0 ~n_shard:512);
+  Alcotest.(check int) "zero base" 0 (Simulator.Sequencer.shard_depth ~base:0 ~n_selected:10 ~n_shard:100)
+
 let test_ideal_clusters () =
   let r = rng () in
   let strands = Array.init 10 (fun _ -> Dna.Strand.random r 30) in
@@ -306,6 +318,7 @@ let () =
           Alcotest.test_case "reverse orientation" `Quick test_sequencer_reverse_orientation;
           Alcotest.test_case "parallel domain independent" `Quick
             test_sequencer_parallel_domain_independent;
+          Alcotest.test_case "shard depth scaling" `Quick test_shard_depth_scaling;
           Alcotest.test_case "ideal clusters" `Quick test_ideal_clusters;
         ] );
       ( "learned",

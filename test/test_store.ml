@@ -1,0 +1,397 @@
+(* The persistent sharded object store: container format, durability
+   across reopen, rewritable random access, compaction, the LRU cache,
+   and the wetlab serialization formats it stores shards in. *)
+
+let random_file r n = Bytes.init n (fun _ -> Char.chr (Dna.Rng.int r 256))
+
+let temp_store_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dnastore_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    dir
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let contains_substring ~needle haystack =
+  let n = String.length needle and h = String.length haystack in
+  let rec scan i = i + n <= h && (String.sub haystack i n = needle || scan (i + 1)) in
+  n = 0 || scan 0
+
+let replace_substring ~needle ~into haystack =
+  let buf = Buffer.create (String.length haystack) in
+  let n = String.length needle in
+  let i = ref 0 in
+  while !i < String.length haystack do
+    if !i + n <= String.length haystack && String.sub haystack !i n = needle then begin
+      Buffer.add_string buf into;
+      i := !i + n
+    end
+    else begin
+      Buffer.add_char buf haystack.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let ok_or_fail label = function
+  | Ok v -> v
+  | Error e -> Alcotest.fail (Printf.sprintf "%s: %s" label (Store.error_message e))
+
+let test_config =
+  (* A mild channel keeps the wetlab read path fast in unit tests. *)
+  { Store.default_config with Store.error_rate = 0.03; cache_objects = 4 }
+
+(* ---------- JSON layer ---------- *)
+
+let test_json_round_trip () =
+  let v =
+    Store.Json.Obj
+      [
+        ("int", Store.Json.Int 42);
+        ("neg", Store.Json.Int (-7));
+        ("float", Store.Json.Float 0.0625);
+        ("bool", Store.Json.Bool true);
+        ("null", Store.Json.Null);
+        ("tricky", Store.Json.String "a\"b\\c\nd\te\x01f");
+        ( "list",
+          Store.Json.List [ Store.Json.Int 1; Store.Json.String "two"; Store.Json.List [] ] );
+        ("empty", Store.Json.Obj []);
+      ]
+  in
+  match Store.Json.of_string (Store.Json.to_string v) with
+  | Error msg -> Alcotest.fail ("round trip: " ^ msg)
+  | Ok v' -> Alcotest.(check bool) "round trips" true (v = v')
+
+let test_json_rejects_malformed () =
+  List.iter
+    (fun s ->
+      match Store.Json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parsed malformed %S" s)
+      | Error _ -> ())
+    [ "{"; "[1,]"; "{\"a\":}"; "1 2"; "\"unterminated"; "{\"a\" 1}"; "nul"; "" ]
+
+(* ---------- durability ---------- *)
+
+let test_store_survives_reopen () =
+  List.iter
+    (fun seed ->
+      let r = Dna.Rng.create (900 + seed) in
+      let a = random_file r 300 and b = random_file r 450 in
+      let dir = temp_store_dir () in
+      let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed ()) in
+      ok_or_fail "put a" (Store.put store ~key:"a" a);
+      ok_or_fail "put b" (Store.put store ~key:"b" b);
+      (* A fresh handle must see only what reached the disk. *)
+      let store = ok_or_fail "reopen" (Store.open_store ~dir) in
+      Alcotest.(check (list string)) "keys" [ "a"; "b" ] (List.sort compare (Store.keys store));
+      let a' = ok_or_fail "get a" (Store.get store ~key:"a") in
+      let b' = ok_or_fail "get b" (Store.get store ~key:"b") in
+      Alcotest.(check bytes) "a byte-identical" a a';
+      Alcotest.(check bytes) "b byte-identical" b b')
+    [ 1; 2 ]
+
+let test_init_refuses_existing () =
+  let dir = temp_store_dir () in
+  let _ = ok_or_fail "init" (Store.init ~dir ~seed:7 ()) in
+  match Store.init ~dir ~seed:8 () with
+  | Error (Store.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "re-init over an existing store succeeded"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Store.error_message e)
+
+let test_no_tmp_leftovers () =
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:3 ()) in
+  ok_or_fail "put" (Store.put store ~key:"k" (random_file (Dna.Rng.create 31) 200));
+  ok_or_fail "delete" (Store.delete store ~key:"k");
+  let _ = ok_or_fail "compact" (Store.compact store) in
+  let leftovers =
+    List.filter
+      (fun f -> Filename.check_suffix f ".tmp")
+      (Array.to_list (Sys.readdir dir) @ Array.to_list (Sys.readdir (Filename.concat dir "shards")))
+  in
+  Alcotest.(check (list string)) "no temp files survive" [] leftovers
+
+(* ---------- rewritable access and compaction ---------- *)
+
+let test_delete_compact_reclaims () =
+  List.iter
+    (fun seed ->
+      let r = Dna.Rng.create (7000 + seed) in
+      let a = random_file r 400 and b = random_file r 250 in
+      let dir = temp_store_dir () in
+      let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed ()) in
+      ok_or_fail "put a" (Store.put store ~key:"a" a);
+      ok_or_fail "put b" (Store.put store ~key:"b" b);
+      let pair_a =
+        match Store.object_pair store ~key:"a" with
+        | Some p -> p
+        | None -> Alcotest.fail "no pair for a"
+      in
+      Alcotest.(check bool) "pair reserved while live" true (Store.pair_reserved store pair_a);
+      let bytes_before =
+        List.fold_left (fun acc f -> acc + file_size f) 0 (Store.shard_files store)
+      in
+      ok_or_fail "delete a" (Store.delete store ~key:"a");
+      (match Store.get store ~key:"a" with
+      | Error (Store.Key_not_found "a") -> ()
+      | Ok _ -> Alcotest.fail "get of deleted key succeeded"
+      | Error e -> Alcotest.fail ("unexpected error: " ^ Store.error_message e));
+      (* Retired, not reclaimed: the molecules are still in the shard. *)
+      Alcotest.(check bool) "pair retired, still reserved" true (Store.pair_reserved store pair_a);
+      Alcotest.(check int) "one retired pair" 1 (Store.stats store).Store.retired_primer_pairs;
+      let cstats = ok_or_fail "compact" (Store.compact store) in
+      Alcotest.(check int) "one pair reclaimed" 1 cstats.Store.primer_pairs_reclaimed;
+      Alcotest.(check bool) "fewer strands after compaction" true
+        (cstats.Store.strands_after < cstats.Store.strands_before);
+      let bytes_after =
+        List.fold_left (fun acc f -> acc + file_size f) 0 (Store.shard_files store)
+      in
+      Alcotest.(check bool) "shard files shrink" true (bytes_after < bytes_before);
+      Alcotest.(check bool) "pair released after compaction" false
+        (Store.pair_reserved store pair_a);
+      (* The freed primer pair must be usable by a later put. *)
+      ok_or_fail "put c" (Store.put store ~key:"c" (random_file r 120));
+      (* Durability of the compacted state. *)
+      let store = ok_or_fail "reopen" (Store.open_store ~dir) in
+      let b' = ok_or_fail "get b after compaction" (Store.get store ~key:"b") in
+      Alcotest.(check bytes) "b intact after compaction" b b';
+      match Store.get store ~key:"a" with
+      | Error (Store.Key_not_found _) -> ()
+      | _ -> Alcotest.fail "deleted key resurfaced after reopen")
+    [ 1; 2 ]
+
+let test_overwrite_appends_version () =
+  let r = Dna.Rng.create 4242 in
+  let v1 = random_file r 300 and v2 = random_file r 350 in
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:11 ()) in
+  ok_or_fail "put" (Store.put store ~key:"doc" v1);
+  (match Store.put store ~key:"doc" v1 with
+  | Error (Store.Duplicate_key "doc") -> ()
+  | _ -> Alcotest.fail "duplicate put not rejected");
+  ok_or_fail "overwrite" (Store.overwrite store ~key:"doc" v2);
+  Alcotest.(check int) "old pair retired" 1 (Store.stats store).Store.retired_primer_pairs;
+  let got = ok_or_fail "get" (Store.get ~use_cache:false store ~key:"doc") in
+  Alcotest.(check bytes) "overwrite wins" v2 got;
+  let _ = ok_or_fail "compact" (Store.compact store) in
+  let store = ok_or_fail "reopen" (Store.open_store ~dir) in
+  let got = ok_or_fail "get after compact+reopen" (Store.get store ~key:"doc") in
+  Alcotest.(check bytes) "new version survives compaction" v2 got;
+  match Store.overwrite store ~key:"missing" v1 with
+  | Error (Store.Key_not_found _) -> ()
+  | _ -> Alcotest.fail "overwrite of a missing key succeeded"
+
+(* ---------- batched access ---------- *)
+
+let test_get_batch_matches_sequential () =
+  let r = Dna.Rng.create 808 in
+  let dir = temp_store_dir () in
+  (* A small shard target spreads the objects over several shards, so
+     the batch exercises the per-shard grouping. *)
+  let config = { test_config with Store.shard_target_strands = 60 } in
+  let store = ok_or_fail "init" (Store.init ~config ~dir ~seed:5 ()) in
+  let keys = List.init 6 (fun i -> Printf.sprintf "obj%d" i) in
+  let payloads = List.map (fun key -> (key, random_file r (150 + (37 * String.length key)))) keys in
+  List.iter (fun (key, data) -> ok_or_fail ("put " ^ key) (Store.put store ~key data)) payloads;
+  Alcotest.(check bool) "objects spread over several shards" true
+    ((Store.stats store).Store.n_shards > 1);
+  let sequential =
+    List.map (fun key -> (key, ok_or_fail ("get " ^ key) (Store.get ~use_cache:false store ~key))) keys
+  in
+  let batched = Store.get_batch ~domains:2 ~use_cache:false store keys in
+  List.iter2
+    (fun (k1, seq_bytes) (k2, batch_result) ->
+      Alcotest.(check string) "batch preserves input order" k1 k2;
+      let batch_bytes = ok_or_fail ("batched get " ^ k2) batch_result in
+      Alcotest.(check bytes) ("batch equals sequential for " ^ k1) seq_bytes batch_bytes;
+      Alcotest.(check bytes) ("recovers original " ^ k1) (List.assoc k1 payloads) batch_bytes)
+    sequential batched;
+  (* Unknown keys fail individually without poisoning the batch. *)
+  match Store.get_batch store [ "obj0"; "ghost" ] with
+  | [ (_, Ok _); (_, Error (Store.Key_not_found "ghost")) ] -> ()
+  | _ -> Alcotest.fail "mixed batch did not isolate the missing key"
+
+(* ---------- LRU cache ---------- *)
+
+let test_cache_hits_on_repeated_get () =
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:21 ()) in
+  let data = random_file (Dna.Rng.create 99) 250 in
+  ok_or_fail "put" (Store.put store ~key:"hot" data);
+  let first = ok_or_fail "first get" (Store.get store ~key:"hot") in
+  let second = ok_or_fail "second get" (Store.get store ~key:"hot") in
+  Alcotest.(check bytes) "cached get is byte-identical" first second;
+  let s = Store.stats store in
+  Alcotest.(check int) "one miss (first get)" 1 s.Store.cache_misses;
+  Alcotest.(check bool) "repeated get hits the cache" true (s.Store.cache_hits >= 1);
+  let rendered = Store.render_stats store in
+  Alcotest.(check bool) "report surfaces the hit counters" true
+    (contains_substring ~needle:"hit" rendered)
+
+let test_lru_eviction_order () =
+  let cache = Store.Lru.create ~capacity:2 in
+  Store.Lru.add cache "a" 1;
+  Store.Lru.add cache "b" 2;
+  Alcotest.(check (option int)) "a cached" (Some 1) (Store.Lru.find cache "a");
+  (* "b" is now least recently used; adding "c" must evict it. *)
+  Store.Lru.add cache "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Store.Lru.find cache "b");
+  Alcotest.(check (option int)) "a survives" (Some 1) (Store.Lru.find cache "a");
+  Alcotest.(check (option int)) "c cached" (Some 3) (Store.Lru.find cache "c");
+  Alcotest.(check int) "hits" 3 (Store.Lru.hits cache);
+  Alcotest.(check int) "misses" 1 (Store.Lru.misses cache);
+  let disabled = Store.Lru.create ~capacity:0 in
+  Store.Lru.add disabled "x" 1;
+  Alcotest.(check (option int)) "capacity 0 disables caching" None (Store.Lru.find disabled "x")
+
+(* ---------- corruption and the format gate ---------- *)
+
+let patch_manifest dir f =
+  let path = Filename.concat dir "MANIFEST.json" in
+  let ic = open_in_bin path in
+  let content = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let oc = open_out_bin path in
+  output_string oc (f content);
+  close_out oc
+
+let test_corrupt_manifest_rejected () =
+  let dir = temp_store_dir () in
+  let _ = ok_or_fail "init" (Store.init ~dir ~seed:13 ()) in
+  patch_manifest dir (fun _ -> "{ not json");
+  match Store.open_store ~dir with
+  | Error (Store.Corrupt _) -> ()
+  | Ok _ -> Alcotest.fail "opened a store with a garbage manifest"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Store.error_message e)
+
+let test_format_version_gate () =
+  let dir = temp_store_dir () in
+  let _ = ok_or_fail "init" (Store.init ~dir ~seed:13 ()) in
+  patch_manifest dir (fun content ->
+      replace_substring
+        ~needle:(Printf.sprintf "\"format_version\": %d" Store.format_version)
+        ~into:"\"format_version\": 99" content);
+  match Store.open_store ~dir with
+  | Error (Store.Corrupt msg) ->
+      Alcotest.(check bool) "error names the version" true
+        (contains_substring ~needle:"version" msg)
+  | Ok _ -> Alcotest.fail "opened a future-format store"
+  | Error e -> Alcotest.fail ("unexpected error: " ^ Store.error_message e)
+
+(* ---------- wetlab serialization at store-pool sizes ---------- *)
+
+let random_strand r n =
+  Dna.Strand.of_string (String.init n (fun _ -> "ACGT".[Dna.Rng.int r 4]))
+
+let check_fasta_round_trip name records =
+  let text = Dna.Fasta.to_string records in
+  let parsed, errors = Dna.Fasta.parse_string text in
+  Alcotest.(check int) (name ^ ": no parse errors") 0 (List.length errors);
+  Alcotest.(check bool) (name ^ ": fasta round trips") true (parsed = records)
+
+let check_fastq_round_trip name records =
+  let text = Dna.Fastq.to_string records in
+  let parsed, errors = Dna.Fastq.parse_string text in
+  Alcotest.(check int) (name ^ ": no parse errors") 0 (List.length errors);
+  Alcotest.(check bool) (name ^ ": fastq round trips") true (parsed = records)
+
+let test_formats_round_trip_store_sizes () =
+  let r = Dna.Rng.create 2024 in
+  let fasta_record i = { Dna.Fasta.id = Printf.sprintf "m_%d" i; seq = random_strand r 150 } in
+  let fastq_record i =
+    let seq = random_strand r 150 in
+    { Dna.Fastq.id = Printf.sprintf "r_%d" i; seq; qual = Dna.Fastq.with_uniform_quality ~q:40 seq }
+  in
+  check_fasta_round_trip "empty pool" [];
+  check_fasta_round_trip "single strand" [ fasta_record 0 ];
+  check_fasta_round_trip "10k strands" (List.init 10_000 fasta_record);
+  check_fastq_round_trip "empty run" [];
+  check_fastq_round_trip "single read" [ fastq_record 0 ];
+  check_fastq_round_trip "10k reads" (List.init 10_000 fastq_record)
+
+let test_formats_accept_crlf () =
+  let r = Dna.Rng.create 77 in
+  let records = List.init 20 (fun i -> { Dna.Fasta.id = Printf.sprintf "m_%d" i; seq = random_strand r 120 }) in
+  let crlf text =
+    String.concat "\r\n" (String.split_on_char '\n' text)
+  in
+  let parsed, errors = Dna.Fasta.parse_string (crlf (Dna.Fasta.to_string records)) in
+  Alcotest.(check int) "fasta: CRLF input parses clean" 0 (List.length errors);
+  Alcotest.(check bool) "fasta: CRLF records identical" true (parsed = records);
+  let reads =
+    List.init 20 (fun i ->
+        let seq = random_strand r 120 in
+        { Dna.Fastq.id = Printf.sprintf "r_%d" i; seq; qual = Dna.Fastq.with_uniform_quality ~q:30 seq })
+  in
+  let parsed, errors = Dna.Fastq.parse_string (crlf (Dna.Fastq.to_string reads)) in
+  Alcotest.(check int) "fastq: CRLF input parses clean" 0 (List.length errors);
+  Alcotest.(check bool) "fastq: CRLF records identical" true (parsed = reads)
+
+let test_wetlab_export_ingest_10k () =
+  let r = Dna.Rng.create 555 in
+  let pairs = Array.to_list (Codec.Primer.generate_pairs_exn r 2) in
+  let p0 = List.nth pairs 0 and p1 = List.nth pairs 1 in
+  let core () = random_strand r 110 in
+  let reads =
+    Array.init 10_000 (fun i ->
+        let pair = if i mod 2 = 0 then p0 else p1 in
+        Codec.Primer.attach pair (core ()))
+  in
+  let text = Dnastore.Wetlab_io.export_fastq reads in
+  let ingested = Dnastore.Wetlab_io.ingest_string pairs text in
+  Alcotest.(check int) "all reads ingested" 10_000
+    ingested.Dnastore.Wetlab_io.stats.Dnastore.Wetlab_io.total_records;
+  Alcotest.(check int) "no stray reads" 0
+    ingested.Dnastore.Wetlab_io.stats.Dnastore.Wetlab_io.no_primer_match;
+  List.iter
+    (fun (_, cores) -> Alcotest.(check int) "balanced demux" 5_000 (Array.length cores))
+    ingested.Dnastore.Wetlab_io.by_pair
+
+let () =
+  Alcotest.run "store"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects_malformed;
+        ] );
+      ( "durability",
+        [
+          Alcotest.test_case "survives reopen (2 seeds)" `Slow test_store_survives_reopen;
+          Alcotest.test_case "init refuses existing" `Quick test_init_refuses_existing;
+          Alcotest.test_case "no temp leftovers" `Slow test_no_tmp_leftovers;
+        ] );
+      ( "rewrite",
+        [
+          Alcotest.test_case "delete + compact reclaims (2 seeds)" `Slow
+            test_delete_compact_reclaims;
+          Alcotest.test_case "overwrite appends a version" `Slow test_overwrite_appends_version;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "batched get equals sequential" `Slow
+            test_get_batch_matches_sequential;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "repeated get hits" `Slow test_cache_hits_on_repeated_get;
+          Alcotest.test_case "LRU eviction order" `Quick test_lru_eviction_order;
+        ] );
+      ( "corruption",
+        [
+          Alcotest.test_case "garbage manifest rejected" `Quick test_corrupt_manifest_rejected;
+          Alcotest.test_case "format version gate" `Quick test_format_version_gate;
+        ] );
+      ( "formats",
+        [
+          Alcotest.test_case "round trips at store sizes" `Quick
+            test_formats_round_trip_store_sizes;
+          Alcotest.test_case "CRLF input" `Quick test_formats_accept_crlf;
+          Alcotest.test_case "wetlab export/ingest 10k reads" `Quick
+            test_wetlab_export_ingest_10k;
+        ] );
+    ]
