@@ -34,8 +34,8 @@ let bucketize n (p : float array) =
 let reconstruct_of = function
   | `Bma -> Reconstruction.Bma.reconstruct ?lookahead:None
   | `Dbma -> Reconstruction.Bma.reconstruct_double ?lookahead:None
-  | `Nw -> Reconstruction.Nw_consensus.reconstruct ?refinements:None
-  | `Ensemble -> Reconstruction.Ensemble.reconstruct ?lookahead:None ?refinements:None
+  | `Nw -> fun ~target_len reads -> Reconstruction.Nw_consensus.reconstruct ~target_len reads
+  | `Ensemble -> fun ~target_len reads -> Reconstruction.Ensemble.reconstruct ~target_len reads
 
 let recon_name = function
   | `Bma -> "BMA"

@@ -129,9 +129,19 @@ let recon_arg =
 let make_recon = function
   | `Bma -> Reconstruction.Bma.reconstruct ?lookahead:None
   | `Dbma -> Reconstruction.Bma.reconstruct_double ?lookahead:None
-  | `Nw -> Reconstruction.Nw_consensus.reconstruct ?refinements:None
-  | `Ensemble -> Reconstruction.Ensemble.reconstruct ?lookahead:None ?refinements:None
+  | `Nw -> (fun ~target_len reads -> Reconstruction.Nw_consensus.reconstruct ~target_len reads)
+  | `Ensemble -> (fun ~target_len reads -> Reconstruction.Ensemble.reconstruct ~target_len reads)
   | `Trellis -> (fun ~target_len reads -> Reconstruction.Trellis.reconstruct ~target_len reads)
+
+(* The alignment-kernel knob is process-wide (it defaults every
+   [Dna.Alignment.align] call), so one flag covers NW consensus, the
+   ensemble's NW member, trellis rate estimation and POA alike. *)
+let recon_backend_arg =
+  Arg.(value
+       & opt (enum [ ("auto", Dna.Alignment.Auto); ("full", Dna.Alignment.Full); ("banded", Dna.Alignment.Banded) ])
+           Dna.Alignment.Auto
+       & info [ "recon-backend" ] ~docv:"KERNEL"
+         ~doc:"Alignment kernel for reconstruction: $(b,auto), $(b,full) (reference matrix), or                $(b,banded) (Ukkonen band, exact via full-matrix fallback). Output is identical                for every choice.")
 
 let sig_kind_arg =
   Arg.(value & opt (enum [ ("qgram", Clustering.Signature.Qgram); ("wgram", Clustering.Signature.Wgram) ])
@@ -228,8 +238,9 @@ let reconstruct_cmd =
   let clusters = Arg.(required & opt (some file) None & info [ "clusters"; "c" ] ~docv:"FILE" ~doc:"Clusters file (blank-line separated).") in
   let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FASTA" ~doc:"Consensus strands.") in
   let target = Arg.(required & opt (some int) None & info [ "length"; "l" ] ~docv:"NT" ~doc:"Expected strand length.") in
-  let run clusters_path output target algo domains =
+  let run clusters_path output target algo recon_backend domains =
     Dna.Par.set_default_domains domains;
+    Dna.Alignment.set_default_backend recon_backend;
     let groups = ref [] and cur = ref [] in
     List.iter
       (fun line ->
@@ -260,7 +271,7 @@ let reconstruct_cmd =
   in
   let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
   Cmd.v (Cmd.info "reconstruct" ~doc:"Reconstruct original strands from clusters.")
-    Term.(const run $ clusters $ output $ target $ recon_arg $ domains)
+    Term.(const run $ clusters $ output $ target $ recon_arg $ recon_backend_arg $ domains)
 
 (* decode *)
 
@@ -294,8 +305,10 @@ let decode_cmd =
 let pipeline_cmd =
   let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Input file.") in
   let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Recovered file.") in
-  let run input output layout payload data_cols parity channel error_rate coverage algo kind seed domains =
+  let run input output layout payload data_cols parity channel error_rate coverage algo kind
+      recon_backend seed domains =
     Dna.Par.set_default_domains domains;
+    Dna.Alignment.set_default_backend recon_backend;
     let params = params_of ~payload ~data_cols ~parity in
     let rng = Dna.Rng.create seed in
     let stages =
@@ -319,6 +332,9 @@ let pipeline_cmd =
        else "RECOVERY INCOMPLETE (bytes differ)")
       out.n_strands out.n_reads out.n_clusters t.Dnastore.Pipeline.encode_s t.simulate_s
       t.cluster_s t.reconstruct_s t.decode_s (Dnastore.Pipeline.total_s t);
+    print_string
+      (Dnastore.Report.recon_percentiles ~p50_s:t.Dnastore.Pipeline.reconstruct_p50_s
+         ~p95_s:t.Dnastore.Pipeline.reconstruct_p95_s);
     if not out.Dnastore.Pipeline.exact then
       print_string (Dnastore.Report.recovery out.Dnastore.Pipeline.partial);
     (match Dna.Par.counters () with
@@ -329,7 +345,8 @@ let pipeline_cmd =
   let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
   Cmd.v (Cmd.info "pipeline" ~doc:"Run the full encode-simulate-cluster-reconstruct-decode pipeline.")
     Term.(const run $ input $ output $ layout_arg $ payload_arg $ data_cols_arg $ parity_arg
-          $ channel_arg $ error_rate_arg $ coverage_arg $ recon_arg $ sig_kind_arg $ seed_arg $ domains)
+          $ channel_arg $ error_rate_arg $ coverage_arg $ recon_arg $ sig_kind_arg
+          $ recon_backend_arg $ seed_arg $ domains)
 
 (* fountain-encode / fountain-decode *)
 
@@ -660,9 +677,9 @@ let store_cmd =
     let domains =
       Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for decoding.")
     in
-    let run dir key output domains =
+    let run dir key output domains recon_backend =
       let store = opened dir in
-      match Store.get_batch ~domains store [ key ] with
+      match Store.get_batch ~domains ~recon_backend store [ key ] with
       | [ (_, Ok bytes) ] ->
           write_binary output bytes;
           Printf.printf "recovered %s (%d bytes)\n" key (Bytes.length bytes)
@@ -670,7 +687,7 @@ let store_cmd =
       | _ -> assert false
     in
     Cmd.v (Cmd.info "get" ~doc:"Sequence, reconstruct and decode one object.")
-      Term.(const run $ dir_arg $ key_arg $ output $ domains)
+      Term.(const run $ dir_arg $ key_arg $ output $ domains $ recon_backend_arg)
   in
   let rm_cmd =
     let run dir key =

@@ -128,16 +128,25 @@ let get ?(stages = Pipeline.default_stages ()) ?(domains = Dna.Par.default_domai
       let clusters = stages.Pipeline.cluster t.rng cores in
       let t2 = Unix.gettimeofday () in
       let target_len = Codec.Params.strand_nt entry.params in
-      let consensus =
-        (* Largest clusters first so their consensus claims the column. *)
+      let reconstructed =
         let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
-        Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
+        Pipeline.sort_clusters cluster_arr;
         Dna.Par.map_array ~label:"kv.reconstruct" ~domains
           (fun reads ->
-            if Array.length reads = 0 then None
-            else Some (stages.Pipeline.reconstruct ~target_len reads))
+            if Array.length reads = 0 then (None, 0.0)
+            else begin
+              let c0 = Unix.gettimeofday () in
+              let s = stages.Pipeline.reconstruct ~target_len reads in
+              (Some s, Unix.gettimeofday () -. c0)
+            end)
           cluster_arr
-        |> Array.to_list |> List.filter_map Fun.id
+      in
+      let consensus = List.filter_map fst (Array.to_list reconstructed) in
+      let cluster_times =
+        Array.of_list
+          (List.filter_map
+             (fun (r, dt) -> if r = None then None else Some dt)
+             (Array.to_list reconstructed))
       in
       let t3 = Unix.gettimeofday () in
       let result =
@@ -151,6 +160,8 @@ let get ?(stages = Pipeline.default_stages ()) ?(domains = Dna.Par.default_domai
           simulate_s = t1 -. t0;
           cluster_s = t2 -. t1;
           reconstruct_s = t3 -. t2;
+          reconstruct_p50_s = Pipeline.percentile cluster_times 0.50;
+          reconstruct_p95_s = Pipeline.percentile cluster_times 0.95;
           decode_s = t4 -. t3;
         }
       in

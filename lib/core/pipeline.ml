@@ -26,6 +26,8 @@ type timings = {
   simulate_s : float;
   cluster_s : float;
   reconstruct_s : float;
+  reconstruct_p50_s : float;
+  reconstruct_p95_s : float;
   decode_s : float;
 }
 
@@ -63,15 +65,49 @@ let cluster_default ?(kind = Clustering.Signature.Qgram) ?(domains = Dna.Par.def
 
 let reconstruct_bma ~target_len reads = Reconstruction.Bma.reconstruct ~target_len reads
 let reconstruct_dbma ~target_len reads = Reconstruction.Bma.reconstruct_double ~target_len reads
-let reconstruct_nw ~target_len reads = Reconstruction.Nw_consensus.reconstruct ~target_len reads
 
-let default_stages ?(error_rate = 0.06) ?(coverage = 10) () =
+let reconstruct_nw ?backend ~target_len reads =
+  Reconstruction.Nw_consensus.reconstruct ?backend ~target_len reads
+
+let default_stages ?(error_rate = 0.06) ?(coverage = 10) ?recon_backend () =
   {
     channel = Simulator.Iid_channel.create_rate ~error_rate;
     sequencing = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage);
     cluster = cluster_default ();
-    reconstruct = reconstruct_nw;
+    reconstruct = (fun ~target_len reads -> reconstruct_nw ?backend:recon_backend ~target_len reads);
   }
+
+(* Largest clusters first: when two clusters claim the same column index,
+   the consensus backed by more reads wins. Equal-size clusters tie-break
+   on their reads (length, then lexicographic), so the order — and
+   therefore the decoded output — is identical however the clustering
+   stage happened to emit them (e.g. across [--domains] settings). *)
+let compare_reads a b =
+  match compare (Dna.Strand.length a) (Dna.Strand.length b) with
+  | 0 -> Dna.Strand.compare a b
+  | c -> c
+
+let sort_clusters (clusters : Dna.Strand.t array array) : unit =
+  Array.sort
+    (fun a b ->
+      match compare (Array.length b) (Array.length a) with
+      | 0 ->
+          let n = Array.length a in
+          let rec go i = if i = n then 0 else (match compare_reads a.(i) b.(i) with 0 -> go (i + 1) | c -> c) in
+          go 0
+      | c -> c)
+    clusters
+
+(* Nearest-rank percentile of per-cluster wall times (0 when empty). *)
+let percentile (xs : float array) q =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let sorted = Array.copy xs in
+    Array.sort compare sorted;
+    let rank = int_of_float (ceil (q *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -90,7 +126,17 @@ let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
   let note stage e = failures := (stage, Printexc.to_string e) :: !failures in
   let trigger stage = match faults with Some p -> Faults.trigger p stage | None -> () in
   let inject f x = match faults with Some p -> f p x | None -> x in
-  let zero = { encode_s = 0.0; simulate_s = 0.0; cluster_s = 0.0; reconstruct_s = 0.0; decode_s = 0.0 } in
+  let zero =
+    {
+      encode_s = 0.0;
+      simulate_s = 0.0;
+      cluster_s = 0.0;
+      reconstruct_s = 0.0;
+      reconstruct_p50_s = 0.0;
+      reconstruct_p95_s = 0.0;
+      decode_s = 0.0;
+    }
+  in
   let failed_outcome ?(timings = zero) ?(n_strands = 0) ?(n_reads = 0) ?(n_clusters = 0)
       ?(n_units = 0) error =
     {
@@ -146,31 +192,40 @@ let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
       let target_len = Codec.Params.strand_nt params in
       let reconstructed, reconstruct_s =
         time (fun () ->
-            (* Largest clusters first: when two clusters claim the same
-               column index, the consensus backed by more reads wins. *)
             let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
-            Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
-            (* Tasks run on worker domains: collect per-cluster errors in
-               the results and note them serially afterwards. *)
+            sort_clusters cluster_arr;
+            (* Tasks run on worker domains: collect per-cluster errors
+               (and wall times, for the tail-latency percentiles) in the
+               results and note them serially afterwards. *)
             Dna.Par.map_array ~label:"pipeline.reconstruct" ~domains
               (fun reads ->
-                if Array.length reads = 0 then (None, None)
+                if Array.length reads = 0 then (None, None, 0.0)
                 else begin
+                  let t0 = Unix.gettimeofday () in
                   match
                     trigger Faults.Reconstruct;
                     stages.reconstruct ~target_len reads
                   with
-                  | s -> (Some s, None)
+                  | s -> (Some s, None, Unix.gettimeofday () -. t0)
                   | exception e ->
                       ( Reconstruction.Ensemble.reconstruct_fallback ~target_len reads,
-                        Some (Printexc.to_string e) )
+                        Some (Printexc.to_string e),
+                        Unix.gettimeofday () -. t0 )
                 end)
               cluster_arr)
       in
-      (match Array.find_opt (fun (_, err) -> err <> None) reconstructed with
-      | Some (_, Some msg) -> failures := (Faults.Reconstruct, msg) :: !failures
+      (match Array.find_opt (fun (_, err, _) -> err <> None) reconstructed with
+      | Some (_, Some msg, _) -> failures := (Faults.Reconstruct, msg) :: !failures
       | _ -> ());
-      let consensus = List.filter_map fst (Array.to_list reconstructed) in
+      let cluster_times =
+        Array.of_list
+          (List.filter_map
+             (fun (r, _, dt) -> if r = None then None else Some dt)
+             (Array.to_list reconstructed))
+      in
+      let reconstruct_p50_s = percentile cluster_times 0.50
+      and reconstruct_p95_s = percentile cluster_times 0.95 in
+      let consensus = List.filter_map (fun (r, _, _) -> r) (Array.to_list reconstructed) in
       let n_units = encoded.Codec.File_codec.n_units in
       let decoded, decode_s =
         time (fun () ->
@@ -181,7 +236,9 @@ let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
               note Faults.Decode e;
               None)
       in
-      let timings = { encode_s; simulate_s; cluster_s; reconstruct_s; decode_s } in
+      let timings =
+        { encode_s; simulate_s; cluster_s; reconstruct_s; reconstruct_p50_s; reconstruct_p95_s; decode_s }
+      in
       let n_strands = Array.length strands
       and n_reads = Array.length reads
       and n_clusters = List.length clusters in

@@ -18,10 +18,18 @@ type timings = {
   simulate_s : float;
   cluster_s : float;
   reconstruct_s : float;
+  reconstruct_p50_s : float;
+      (** median per-cluster reconstruction wall time (0 outside [run]) *)
+  reconstruct_p95_s : float;
+      (** 95th-percentile per-cluster reconstruction wall time: the tail
+          a perf change must move, dominated by the largest clusters *)
   decode_s : float;
 }
 
 val total_s : timings -> float
+(** Sum of the five stage latencies (the percentile fields are
+    summaries of [reconstruct_s]'s per-cluster breakdown, not extra
+    stages). *)
 
 type outcome = {
   file : Bytes.t option;  (** [None] when decoding failed outright *)
@@ -47,11 +55,30 @@ val cluster_default :
 
 val reconstruct_bma : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
 val reconstruct_dbma : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
-val reconstruct_nw : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
 
-val default_stages : ?error_rate:float -> ?coverage:int -> unit -> stages
+val reconstruct_nw :
+  ?backend:Dna.Alignment.backend -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+(** [backend] selects the pairwise alignment kernel (the consensus is
+    identical for every choice; see {!Dna.Alignment.align}). *)
+
+val default_stages :
+  ?error_rate:float -> ?coverage:int -> ?recon_backend:Dna.Alignment.backend -> unit -> stages
 (** i.i.d. channel at 6%, fixed coverage 10, auto-configured q-gram
-    clustering, Needleman-Wunsch reconstruction. *)
+    clustering, Needleman-Wunsch reconstruction running on
+    [recon_backend] (default: the process-wide
+    {!Dna.Alignment.current_default_backend}). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs q] is the nearest-rank [q]-quantile ([0 < q <= 1]) of
+    [xs] (not required to be sorted); 0 when [xs] is empty. Feeds the
+    [reconstruct_p50_s]/[reconstruct_p95_s] fields. *)
+
+val sort_clusters : Dna.Strand.t array array -> unit
+(** In-place: largest clusters first (their consensus claims the column
+    on conflicts), equal sizes tie-broken by their reads (length, then
+    lexicographic) so the order is deterministic however the clustering
+    stage emitted them — e.g. across [--domains] settings. Shared by
+    [run], [Kv_store.get] and the persistent store's decode path. *)
 
 val run :
   ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> ?stages:stages -> ?domains:int ->

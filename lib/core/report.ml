@@ -115,6 +115,15 @@ let cache_counters ~label ~hits ~misses =
     Printf.sprintf "%s cache: %d hits / %d misses (%.1f%% hit rate)\n" label hits misses
       (100.0 *. float_of_int hits /. float_of_int total)
 
+(* One line of per-cluster reconstruction tail latency, from the
+   percentile fields of [Pipeline.timings] (passed as floats so the
+   rendering layer does not depend on the pipeline record). *)
+let recon_percentiles ~p50_s ~p95_s =
+  if p50_s = 0.0 && p95_s = 0.0 then ""
+  else
+    Printf.sprintf "reconstruct per-cluster: p50 %.2f ms, p95 %.2f ms\n" (1000.0 *. p50_s)
+      (1000.0 *. p95_s)
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

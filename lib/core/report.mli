@@ -20,6 +20,11 @@ val cache_counters : label:string -> hits:int -> misses:int -> string
 (** One line of cache accounting with the hit rate, e.g. the persistent
     store's LRU of decoded objects. *)
 
+val recon_percentiles : p50_s:float -> p95_s:float -> string
+(** One line of per-cluster reconstruction tail latency (in ms), from
+    the [reconstruct_p50_s]/[reconstruct_p95_s] fields of
+    [Pipeline.timings]; empty when both are zero (no clusters ran). *)
+
 val pct : float -> string
 (** "12.34%". *)
 

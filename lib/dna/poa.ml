@@ -6,7 +6,22 @@
     unit edit costs (the Needleman-Wunsch recurrence generalized to a DAG)
     and fused: matches reinforce existing nodes, mismatches and insertions
     add nodes. The consensus is the maximum-weight start-to-sink path,
-    which the reconstruction module trims using per-node support. *)
+    which the reconstruction module trims using per-node support.
+
+    Alignment is band-limited in the style of spoa's banded POA: each
+    graph node [v] only scores read positions within [band] of its
+    possible path positions — the window
+    [[sdepth v - band, depth v + band]], where [sdepth]/[depth] are the
+    shortest/longest source-to-[v] path lengths. Any alignment of cost
+    [d] keeps every DP cell [(v, j)] within
+    [dist (j, [sdepth v, depth v]) <= d] of that interval, so whenever
+    the banded best score is [<= band] the score, the traceback, and
+    therefore the fused graph are bit-identical to the unpruned DP's;
+    otherwise [add] falls back to a full recompute. DP state lives in
+    flat per-domain scratch arrays (no [Array.make_matrix] boxed rows
+    per read), and per-node in-degrees are maintained incrementally on
+    the graph instead of being recounted from adjacency lists on every
+    [add]. *)
 
 type node = {
   code : int;  (** base, 0..3 *)
@@ -16,9 +31,16 @@ type node = {
   mutable aligned : int list;  (** other nodes occupying the same column *)
 }
 
-type t = { mutable nodes : node array; mutable size : int }
+type t = {
+  mutable nodes : node array;
+  mutable size : int;
+  mutable indeg : int array;
+      (* indeg.(v) = List.length nodes.(v).preds, maintained by
+         [bump_edge] so topological sorts never walk adjacency lists to
+         count. *)
+}
 
-let create () = { nodes = [||]; size = 0 }
+let create () = { nodes = [||]; size = 0; indeg = [||] }
 
 let node_count g = g.size
 
@@ -30,10 +52,14 @@ let add_node g code =
           if i < g.size then g.nodes.(i)
           else { code = 0; weight = 0; preds = []; succs = []; aligned = [] })
     in
-    g.nodes <- fresh
+    g.nodes <- fresh;
+    let indeg = Array.make cap 0 in
+    Array.blit g.indeg 0 indeg 0 g.size;
+    g.indeg <- indeg
   end;
   let id = g.size in
   g.nodes.(id) <- { code; weight = 0; preds = []; succs = []; aligned = [] };
+  g.indeg.(id) <- 0;
   g.size <- id + 1;
   id
 
@@ -54,28 +80,33 @@ let bump_edge g ~src ~dst =
   in
   match bump_p b.preds with
   | Some preds -> b.preds <- preds
-  | None -> b.preds <- (src, 1) :: b.preds
+  | None ->
+      b.preds <- (src, 1) :: b.preds;
+      g.indeg.(dst) <- g.indeg.(dst) + 1
 
-(* Kahn's algorithm; the graph is a DAG by construction. *)
+(* Kahn's algorithm over the incremental in-degree array; the [order]
+   array doubles as the work queue. The graph is a DAG by construction. *)
 let topo_order g =
-  let indeg = Array.make g.size 0 in
-  for v = 0 to g.size - 1 do
-    indeg.(v) <- List.length g.nodes.(v).preds
-  done;
+  let indeg = Array.sub g.indeg 0 g.size in
   let order = Array.make g.size 0 in
   let filled = ref 0 in
-  let queue = Queue.create () in
   for v = 0 to g.size - 1 do
-    if indeg.(v) = 0 then Queue.add v queue
+    if indeg.(v) = 0 then begin
+      order.(!filled) <- v;
+      incr filled
+    end
   done;
-  while not (Queue.is_empty queue) do
-    let v = Queue.pop queue in
-    order.(!filled) <- v;
-    incr filled;
+  let head = ref 0 in
+  while !head < !filled do
+    let v = order.(!head) in
+    incr head;
     List.iter
       (fun (s, _) ->
         indeg.(s) <- indeg.(s) - 1;
-        if indeg.(s) = 0 then Queue.add s queue)
+        if indeg.(s) = 0 then begin
+          order.(!filled) <- s;
+          incr filled
+        end)
       g.nodes.(v).succs
   done;
   assert (!filled = g.size);
@@ -110,89 +141,170 @@ let link_aligned g v u =
 type trace_step =
   | To_node of int  (** read base placed on this (possibly fresh) node id *)
 
-let add g (s : Strand.t) =
-  if g.size = 0 then add_first g s
-  else begin
-    let m = Strand.length s in
-    let order = topo_order g in
-    let rank = Array.make g.size 0 in
-    Array.iteri (fun r v -> rank.(v) <- r) order;
-    let n = g.size in
-    let inf = max_int / 2 in
-    (* dp.(r + 1).(j): min cost aligning graph-prefix ending at node
-       order.(r) against the first j read bases. Row 0 is the virtual
-       start. *)
-    let dp = Array.make_matrix (n + 1) (m + 1) inf in
-    (* move.(r+1).(j): 0 = diag from pred p, 1 = del (skip node), 2 = ins;
-       from.(r+1).(j): dp row index we came from (for diag/del). *)
-    let move = Array.make_matrix (n + 1) (m + 1) (-1) in
-    let from = Array.make_matrix (n + 1) (m + 1) 0 in
-    for j = 0 to m do
-      dp.(0).(j) <- j;
-      if j > 0 then move.(0).(j) <- 2
-    done;
-    for r = 0 to n - 1 do
-      let v = order.(r) in
-      let node = g.nodes.(v) in
+let inf = max_int / 4
+
+(* Per-domain scratch arena for [add]: row geometry, node depths and the
+   flat DP/move/from cells, reused across every read a worker folds in. *)
+type scratch = {
+  mutable rank : int array;  (* length >= size: rank.(v), sdepth.(v), depth.(v) *)
+  mutable sdepth : int array;
+  mutable depth : int array;
+  mutable lo : int array;  (* length >= size + 1: per-row window and offset *)
+  mutable hi : int array;
+  mutable off : int array;
+  mutable dp : int array;  (* flat cells, row r at off.(r) covering [lo.(r), hi.(r)] *)
+  mutable move : int array;  (* 0 = diag from pred, 1 = del (skip node), 2 = ins *)
+  mutable from : int array;  (* dp row index we came from (for diag/del) *)
+  mutable codes : int array;  (* the read's base codes *)
+}
+
+let scratch_key =
+  Domain.DLS.new_key (fun () ->
+      {
+        rank = [||];
+        sdepth = [||];
+        depth = [||];
+        lo = [||];
+        hi = [||];
+        off = [||];
+        dp = [||];
+        move = [||];
+        from = [||];
+        codes = [||];
+      })
+
+let ensure arr n = if Array.length arr >= n then arr else Array.make (max n (2 * Array.length arr)) 0
+
+(* One banded DP + traceback + fusion pass at half-width [band]. Returns
+   [true] when the result is certifiably exact (best score <= band) and
+   the read was fused; [false] leaves the graph untouched so the caller
+   can retry unbanded. *)
+let add_banded g (s : Strand.t) order ~band =
+  let m = Strand.length s in
+  let n = g.size in
+  let sc = Domain.DLS.get scratch_key in
+  let rank = ensure sc.rank n in
+  sc.rank <- rank;
+  Array.iteri (fun r v -> rank.(v) <- r) order;
+  let codes = ensure sc.codes m in
+  sc.codes <- codes;
+  for j = 0 to m - 1 do
+    codes.(j) <- Strand.unsafe_get_code s j
+  done;
+  (* Shortest/longest source-to-node path lengths (counting the node),
+     in topological order: the read positions a node can occupy. *)
+  let sdepth = ensure sc.sdepth n and depth = ensure sc.depth n in
+  sc.sdepth <- sdepth;
+  sc.depth <- depth;
+  Array.iter
+    (fun v ->
+      match g.nodes.(v).preds with
+      | [] ->
+          sdepth.(v) <- 1;
+          depth.(v) <- 1
+      | preds ->
+          let smin = ref inf and smax = ref 0 in
+          List.iter
+            (fun (p, _) ->
+              if sdepth.(p) < !smin then smin := sdepth.(p);
+              if depth.(p) > !smax then smax := depth.(p))
+            preds;
+          sdepth.(v) <- !smin + 1;
+          depth.(v) <- !smax + 1)
+    order;
+  (* Row windows: row 0 is the virtual start, row r+1 is order.(r). *)
+  let lo = ensure sc.lo (n + 1) and hi = ensure sc.hi (n + 1) and off = ensure sc.off (n + 2) in
+  sc.lo <- lo;
+  sc.hi <- hi;
+  sc.off <- off;
+  lo.(0) <- 0;
+  hi.(0) <- min m band;
+  for r = 0 to n - 1 do
+    let v = order.(r) in
+    lo.(r + 1) <- max 0 (sdepth.(v) - band);
+    hi.(r + 1) <- min m (depth.(v) + band)
+  done;
+  off.(0) <- 0;
+  for row = 0 to n do
+    off.(row + 1) <- off.(row) + (max 0 (hi.(row) - lo.(row)) + 1)
+  done;
+  let total = off.(n + 1) in
+  let dp = ensure sc.dp total and move = ensure sc.move total and from = ensure sc.from total in
+  sc.dp <- dp;
+  sc.move <- move;
+  sc.from <- from;
+  Array.fill dp 0 total inf;
+  (* dp cell (row, j): min cost aligning the graph prefix ending at the
+     row's node against the first j read bases; [inf] outside the row's
+     window. *)
+  let get row j = if j < lo.(row) || j > hi.(row) then inf else dp.(off.(row) + j - lo.(row)) in
+  for j = 0 to hi.(0) do
+    dp.(j) <- j;
+    if j > 0 then move.(j) <- 2
+  done;
+  for r = 0 to n - 1 do
+    let v = order.(r) in
+    let node = g.nodes.(v) in
+    let row = r + 1 in
+    let rlo = lo.(row) and rhi = hi.(row) and rof = off.(row) in
+    let scan_preds f =
       (* Predecessor rows: rank+1 of each pred, or the virtual start row
          when the node has no predecessor. *)
-      let pred_rows =
-        match node.preds with
-        | [] -> [ 0 ]
-        | preds -> List.map (fun (p, _) -> rank.(p) + 1) preds
-      in
-      let row = dp.(r + 1) in
-      List.iter
-        (fun pr ->
-          if dp.(pr).(0) + 1 < row.(0) then begin
-            row.(0) <- dp.(pr).(0) + 1;
-            move.(r + 1).(0) <- 1;
-            from.(r + 1).(0) <- pr
-          end)
-        pred_rows;
-      for j = 1 to m do
-        let c = Strand.unsafe_get_code s (j - 1) in
-        let cost = if c = node.code then 0 else 1 in
-        List.iter
-          (fun pr ->
-            let diag = dp.(pr).(j - 1) + cost in
-            if diag < row.(j) then begin
-              row.(j) <- diag;
-              move.(r + 1).(j) <- 0;
-              from.(r + 1).(j) <- pr
-            end;
-            let del = dp.(pr).(j) + 1 in
-            if del < row.(j) then begin
-              row.(j) <- del;
-              move.(r + 1).(j) <- 1;
-              from.(r + 1).(j) <- pr
-            end)
-          pred_rows;
-        let ins = row.(j - 1) + 1 in
-        if ins < row.(j) then begin
-          row.(j) <- ins;
-          move.(r + 1).(j) <- 2
-        end
-      done
-    done;
-    (* Global alignment ends at any sink node (no successors) with j = m. *)
-    let best_row = ref 0 in
-    let best = ref dp.(0).(m) in
-    for r = 0 to n - 1 do
-      let v = order.(r) in
-      if g.nodes.(v).succs = [] && dp.(r + 1).(m) < !best then begin
-        best := dp.(r + 1).(m);
-        best_row := r + 1
+      match node.preds with [] -> f 0 | preds -> List.iter (fun (p, _) -> f (rank.(p) + 1)) preds
+    in
+    if rlo = 0 then
+      scan_preds (fun pr ->
+          let v = get pr 0 + 1 in
+          if v < dp.(rof) then begin
+            dp.(rof) <- v;
+            move.(rof) <- 1;
+            from.(rof) <- pr
+          end);
+    for j = max 1 rlo to rhi do
+      let c = codes.(j - 1) in
+      let cost = if c = node.code then 0 else 1 in
+      let cell = rof + j - rlo in
+      scan_preds (fun pr ->
+          let diag = get pr (j - 1) + cost in
+          if diag < dp.(cell) then begin
+            dp.(cell) <- diag;
+            move.(cell) <- 0;
+            from.(cell) <- pr
+          end;
+          let del = get pr j + 1 in
+          if del < dp.(cell) then begin
+            dp.(cell) <- del;
+            move.(cell) <- 1;
+            from.(cell) <- pr
+          end);
+      let ins = (if j - 1 >= rlo then dp.(cell - 1) else inf) + 1 in
+      if ins < dp.(cell) then begin
+        dp.(cell) <- ins;
+        move.(cell) <- 2
       end
-    done;
+    done
+  done;
+  (* Global alignment ends at any sink node (no successors) with j = m. *)
+  let best_row = ref 0 in
+  let best = ref (get 0 m) in
+  for r = 0 to n - 1 do
+    let v = order.(r) in
+    if g.nodes.(v).succs = [] && get (r + 1) m < !best then begin
+      best := get (r + 1) m;
+      best_row := r + 1
+    end
+  done;
+  if !best > band then false
+  else begin
     (* Traceback collecting, for each read base, the node it lands on. *)
     let steps = ref [] in
     let r = ref !best_row and j = ref m in
     while not (!r = 0 && !j = 0) do
-      match move.(!r).(!j) with
+      let cell = off.(!r) + !j - lo.(!r) in
+      match move.(cell) with
       | 0 ->
           let v = order.(!r - 1) in
-          let c = Strand.get_code s (!j - 1) in
+          let c = codes.(!j - 1) in
           let target =
             if g.nodes.(v).code = c then v
             else begin
@@ -205,16 +317,13 @@ let add g (s : Strand.t) =
             end
           in
           steps := To_node target :: !steps;
-          let pr = from.(!r).(!j) in
-          r := pr;
+          r := from.(cell);
           decr j
-      | 1 ->
-          let pr = from.(!r).(!j) in
-          r := pr
+      | 1 -> r := from.(cell)
       | 2 ->
           (* Insertion: a fresh node carrying the read base, in its own
              column. *)
-          let u = add_node g (Strand.get_code s (!j - 1)) in
+          let u = add_node g codes.(!j - 1) in
           steps := To_node u :: !steps;
           decr j
       | _ -> assert false
@@ -226,7 +335,19 @@ let add g (s : Strand.t) =
         g.nodes.(v).weight <- g.nodes.(v).weight + 1;
         if !prev >= 0 then bump_edge g ~src:!prev ~dst:v;
         prev := v)
-      !steps
+      !steps;
+    true
+  end
+
+let add ?(band = Alignment.default_band) g (s : Strand.t) =
+  if g.size = 0 then add_first g s
+  else begin
+    let order = topo_order g in
+    let band = max 1 band in
+    if not (add_banded g s order ~band) then
+      (* The optimal alignment may have left the band: redo unpruned. A
+         window of m + size covers every cell, so this pass cannot fail. *)
+      ignore (add_banded g s order ~band:(Strand.length s + g.size))
   end
 
 (* Maximum-weight path, scoring each node by its support minus [penalty].
@@ -330,7 +451,7 @@ let consensus_columns ?(n_reads = 0) g =
   end
 
 (* Convenience: build a graph from reads and return it. *)
-let of_reads reads =
+let of_reads ?band reads =
   let g = create () in
-  List.iter (fun r -> add g r) reads;
+  List.iter (fun r -> add ?band g r) reads;
   g

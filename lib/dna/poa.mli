@@ -2,18 +2,27 @@
     (2002) — the pure-OCaml stand-in for spoa.
 
     Reads are folded one at a time into a DAG whose nodes carry a base
-    and a support count; aligned alternatives form column cliques. *)
+    and a support count; aligned alternatives form column cliques.
+    Alignment is band-limited (spoa-style): each graph node scores only
+    the read positions within [band] of its shortest/longest
+    source-path depths, over flat per-domain scratch arrays, falling
+    back to the unpruned DP whenever the banded score is not
+    certifiably exact — so the fused graph is always bit-identical to
+    the unpruned one. *)
 
 type t
 
 val create : unit -> t
 val node_count : t -> int
 
-val add : t -> Strand.t -> unit
+val add : ?band:int -> t -> Strand.t -> unit
 (** Globally align the read against the graph (unit costs, generalized
     Needleman-Wunsch over the DAG) and fuse it: matches reinforce
     existing nodes, mismatches join their column's alignment clique,
-    insertions add fresh nodes. The first read seeds the backbone. *)
+    insertions add fresh nodes. The first read seeds the backbone.
+    [band] (clamped to at least 1; default {!Alignment.default_band})
+    prunes scoring to a window around each node's topological position;
+    the graph produced is identical for every band. *)
 
 val add_first : t -> Strand.t -> unit
 (** Insert a read as a simple chain (what [add] does on an empty graph). *)
@@ -32,4 +41,4 @@ val consensus_columns : ?n_reads:int -> t -> int array * int array
     is kept when at least half of [n_reads] placed a base there (all
     columns are kept when [n_reads] is 0). Stable as coverage grows. *)
 
-val of_reads : Strand.t list -> t
+val of_reads : ?band:int -> Strand.t list -> t

@@ -44,10 +44,11 @@ let reconstruct_fallback ?primary ~target_len (reads : Dna.Strand.t array) :
       attempts
   end
 
-let reconstruct ?lookahead ?refinements ~target_len (reads : Dna.Strand.t array) : Dna.Strand.t =
+let reconstruct ?backend ?lookahead ?refinements ~target_len (reads : Dna.Strand.t array) :
+    Dna.Strand.t =
   let bma = Bma.reconstruct ?lookahead ~target_len reads in
   let dbma = Bma.reconstruct_double ?lookahead ~target_len reads in
-  let nw = Nw_consensus.reconstruct ?refinements ~target_len reads in
+  let nw = Nw_consensus.reconstruct ?backend ?refinements ~target_len reads in
   Dna.Strand.init_codes target_len (fun i ->
       let a = Dna.Strand.get_code bma i
       and b = Dna.Strand.get_code dbma i

@@ -4,7 +4,13 @@
     of each, at triple the cost. *)
 
 val reconstruct :
-  ?lookahead:int -> ?refinements:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+  ?backend:Dna.Alignment.backend ->
+  ?lookahead:int ->
+  ?refinements:int ->
+  target_len:int ->
+  Dna.Strand.t array ->
+  Dna.Strand.t
+(** [backend] selects the alignment kernel of the NW-consensus member. *)
 
 val majority : target_len:int -> Dna.Strand.t array -> Dna.Strand.t
 (** Plain per-position plurality vote. Cannot fail: short reads stop

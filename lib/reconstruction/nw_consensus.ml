@@ -18,112 +18,161 @@
 
 type outcome = { consensus : Dna.Strand.t; trimmed : int; padded : int }
 
-type column = { code : int; support : int }
+(* A round's candidate columns in reference order, as parallel flat
+   arrays (only the first [n] slots are meaningful). Alignment is ~95%
+   of a cluster's reconstruction time; everything around it stays in
+   flat int arrays so the bookkeeping never becomes the bottleneck. *)
+type profile = { codes : int array; support : int array; n : int }
 
 (* One profile round: align [reads] to [reference] and produce ordered
-   candidate columns with support. [keep_majority_only] applies the
-   plain majority rule (used for intermediate refinement rounds). *)
-let profile_columns (reference : Dna.Strand.t) (reads : Dna.Strand.t array) : column list * int =
+   candidate columns with support. *)
+let profile_columns ?backend ?band (reference : Dna.Strand.t) (reads : Dna.Strand.t array) :
+    profile =
   let m = Dna.Strand.length reference in
-  let counts = Array.make_matrix m 5 0 in
-  let ins = Array.make_matrix (m + 1) 4 0 in
+  (* Flat count tables: match column i holds votes at [i*5 .. i*5+4]
+     (four bases plus the gap vote), insertion slot i at [i*4 .. i*4+3].
+     Filled straight from the packed scripts — this loop runs once per
+     read per refinement round and never allocates. *)
+  let counts = Array.make (m * 5) 0 in
+  let ins = Array.make ((m + 1) * 4) 0 in
   Array.iter
     (fun read ->
-      let al = Dna.Alignment.align reference read in
+      let p = Dna.Alignment.align_packed ?backend ?band reference read in
+      let ops = p.Dna.Alignment.ops in
       let pos = ref 0 in
-      List.iter
-        (fun op ->
-          match op with
-          | Dna.Alignment.Match b | Dna.Alignment.Substitute (_, b) ->
-              counts.(!pos).(Dna.Nucleotide.to_code b) <-
-                counts.(!pos).(Dna.Nucleotide.to_code b) + 1;
-              incr pos
-          | Dna.Alignment.Delete _ ->
-              counts.(!pos).(4) <- counts.(!pos).(4) + 1;
-              incr pos
-          | Dna.Alignment.Insert b ->
-              ins.(!pos).(Dna.Nucleotide.to_code b) <- ins.(!pos).(Dna.Nucleotide.to_code b) + 1)
-        al.Dna.Alignment.script)
+      for k = p.Dna.Alignment.off to p.Dna.Alignment.lim - 1 do
+        let e = Array.unsafe_get ops k in
+        let kind = e lsr 4 in
+        if kind <= 1 then begin
+          (* match or substitute: vote the read's base *)
+          let c = (!pos * 5) + (e land 3) in
+          Array.unsafe_set counts c (Array.unsafe_get counts c + 1);
+          incr pos
+        end
+        else if kind = 2 then begin
+          let c = (!pos * 5) + 4 in
+          Array.unsafe_set counts c (Array.unsafe_get counts c + 1);
+          incr pos
+        end
+        else begin
+          let c = (!pos * 4) + (e land 3) in
+          Array.unsafe_set ins c (Array.unsafe_get ins c + 1)
+        end
+      done)
     reads;
-  let columns = ref [] in
-  let n_majority = ref 0 in
+  (* At most one insertion column before every match column plus one
+     trailing slot: 2m + 1 candidates. *)
+  let codes = Array.make ((2 * m) + 1) 0 in
+  let support = Array.make ((2 * m) + 1) 0 in
+  let n = ref 0 in
   let insertion_candidate i =
     let best = ref 0 in
     for b = 1 to 3 do
-      if ins.(i).(b) > ins.(i).(!best) then best := b
+      if ins.((i * 4) + b) > ins.((i * 4) + !best) then best := b
     done;
-    if ins.(i).(!best) > 0 then
-      columns := { code = !best; support = ins.(i).(!best) } :: !columns
+    if ins.((i * 4) + !best) > 0 then begin
+      codes.(!n) <- !best;
+      support.(!n) <- ins.((i * 4) + !best);
+      incr n
+    end
   in
   for i = 0 to m - 1 do
     insertion_candidate i;
     let best = ref 0 in
     for b = 1 to 3 do
-      if counts.(i).(b) > counts.(i).(!best) then best := b
+      if counts.((i * 5) + b) > counts.((i * 5) + !best) then best := b
     done;
-    let gap = counts.(i).(4) in
-    let support = counts.(i).(!best) in
+    let gap = counts.((i * 5) + 4) in
+    let sup = counts.((i * 5) + !best) in
     (* Record the column with its base support; a gap majority is the
        signal to drop it, encoded as low support relative to others. *)
-    if support >= gap then incr n_majority;
-    columns := { code = !best; support = (if support >= gap then support else support - gap) }
-               :: !columns
+    codes.(!n) <- !best;
+    support.(!n) <- (if sup >= gap then sup else sup - gap);
+    incr n
   done;
   insertion_candidate m;
-  (List.rev !columns, !n_majority)
+  { codes; support; n = !n }
 
-(* Majority-rule consensus used between refinement rounds: keep match
-   columns that beat their gap votes and insertions backed by most
-   reads. *)
-let majority_consensus (reference : Dna.Strand.t) (reads : Dna.Strand.t array) : Dna.Strand.t =
-  let n_reads = Array.length reads in
-  let columns, _ = profile_columns reference reads in
-  let kept =
-    List.filter_map
-      (fun c -> if 2 * c.support > n_reads then Some c.code else None)
-      columns
-  in
-  if kept = [] then reference else Dna.Strand.of_codes (Array.of_list kept)
+(* Majority-rule vote used between refinement rounds: keep match columns
+   that beat their gap votes and insertions backed by most reads. A pure
+   function of an already-computed profile, so refinement rounds whose
+   reference has stabilized can reuse the profile instead of realigning
+   the whole cluster. *)
+let vote_columns (reference : Dna.Strand.t) ~n_reads (p : profile) : Dna.Strand.t =
+  let kept = ref 0 in
+  for k = 0 to p.n - 1 do
+    if 2 * p.support.(k) > n_reads then incr kept
+  done;
+  if !kept = 0 then reference
+  else begin
+    let out = Array.make !kept 0 in
+    let j = ref 0 in
+    for k = 0 to p.n - 1 do
+      if 2 * p.support.(k) > n_reads then begin
+        out.(!j) <- p.codes.(k);
+        incr j
+      end
+    done;
+    Dna.Strand.of_codes out
+  end
 
 (* Final round: keep exactly [target_len] columns, strongest support
    first (ties resolved toward earlier columns). *)
-let select_columns columns target_len =
-  let arr = Array.of_list columns in
-  let n = Array.length arr in
-  if n <= target_len then (Array.map (fun c -> c.code) arr, target_len - n)
+let select_columns (p : profile) target_len =
+  if p.n <= target_len then (Array.sub p.codes 0 p.n, target_len - p.n)
   else begin
-    let order = Array.init n (fun i -> i) in
+    let order = Array.init p.n (fun i -> i) in
     (* Sort by (support desc, index asc); keep the first target_len. *)
     Array.sort
       (fun a b ->
-        match compare arr.(b).support arr.(a).support with 0 -> compare a b | c -> c)
+        match compare p.support.(b) p.support.(a) with 0 -> compare a b | c -> c)
       order;
-    let keep = Array.make n false in
+    let keep = Array.make p.n false in
     for k = 0 to target_len - 1 do
       keep.(order.(k)) <- true
     done;
-    let out = ref [] in
-    for i = n - 1 downto 0 do
-      if keep.(i) then out := arr.(i).code :: !out
+    let out = Array.make target_len 0 in
+    let j = ref 0 in
+    for i = 0 to p.n - 1 do
+      if keep.(i) then begin
+        out.(!j) <- p.codes.(i);
+        incr j
+      end
     done;
-    (Array.of_list !out, 0)
+    (out, 0)
   end
 
-let reconstruct_full ?(refinements = 2) ~target_len (reads : Dna.Strand.t array) : outcome =
+let reconstruct_full ?backend ?band ?(refinements = 2) ~target_len
+    (reads : Dna.Strand.t array) : outcome =
   let reads =
-    Array.of_list (List.filter (fun r -> Dna.Strand.length r > 0) (Array.to_list reads))
+    if Array.for_all (fun r -> Dna.Strand.length r > 0) reads then reads
+    else
+      Array.of_list (List.filter (fun r -> Dna.Strand.length r > 0) (Array.to_list reads))
   in
-  if Array.length reads = 0 then invalid_arg "Nw_consensus.reconstruct: empty cluster";
+  let n_reads = Array.length reads in
+  if n_reads = 0 then invalid_arg "Nw_consensus.reconstruct: empty cluster";
   (* Longest read as the initial backbone. *)
   let reference = ref reads.(0) in
   Array.iter
     (fun r -> if Dna.Strand.length r > Dna.Strand.length !reference then reference := r)
     reads;
-  for _ = 1 to refinements do
-    reference := majority_consensus !reference reads
-  done;
-  let columns, _ = profile_columns !reference reads in
-  let n_candidates = List.length columns in
+  (* Each round profiles the cluster once and votes; when the vote
+     reproduces the reference the profile is already the final one
+     (realigning against an unchanged reference yields the same columns),
+     so later rounds — and the final selection pass — reuse it instead of
+     realigning every read again. Output is identical to always
+     re-profiling; only the redundant alignments are skipped. *)
+  let columns = ref (profile_columns ?backend ?band !reference reads) in
+  (try
+     for _ = 1 to refinements do
+       let voted = vote_columns !reference ~n_reads !columns in
+       if Dna.Strand.equal voted !reference then raise Exit;
+       reference := voted;
+       columns := profile_columns ?backend ?band !reference reads
+     done
+   with Exit -> ());
+  let columns = !columns in
+  let n_candidates = columns.n in
   let codes, padded = select_columns columns target_len in
   let n = Array.length codes in
   if padded = 0 then
@@ -134,5 +183,5 @@ let reconstruct_full ?(refinements = 2) ~target_len (reads : Dna.Strand.t array)
     { consensus = Dna.Strand.of_codes out; trimmed = 0; padded }
   end
 
-let reconstruct ?refinements ~target_len reads =
-  (reconstruct_full ?refinements ~target_len reads).consensus
+let reconstruct ?backend ?band ?refinements ~target_len reads =
+  (reconstruct_full ?backend ?band ?refinements ~target_len reads).consensus

@@ -12,8 +12,23 @@ type outcome = {
   padded : int;  (** positions padded because too few candidates existed *)
 }
 
-val reconstruct_full : ?refinements:int -> target_len:int -> Dna.Strand.t array -> outcome
-(** Default 2 refinement rounds. Raises [Invalid_argument] on an empty
-    cluster. *)
+val reconstruct_full :
+  ?backend:Dna.Alignment.backend ->
+  ?band:int ->
+  ?refinements:int ->
+  target_len:int ->
+  Dna.Strand.t array ->
+  outcome
+(** Default 2 refinement rounds. [backend]/[band] select the pairwise
+    alignment kernel (see {!Dna.Alignment.align}); the consensus is
+    identical for every choice. Refinement rounds whose vote reproduces
+    the reference reuse the round's column profile instead of realigning
+    the cluster. Raises [Invalid_argument] on an empty cluster. *)
 
-val reconstruct : ?refinements:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
+val reconstruct :
+  ?backend:Dna.Alignment.backend ->
+  ?band:int ->
+  ?refinements:int ->
+  target_len:int ->
+  Dna.Strand.t array ->
+  Dna.Strand.t

@@ -413,24 +413,24 @@ let shard_run t (pool : pool) (objs : Manifest.object_meta list) :
 
 (* Cluster, reconstruct and decode one object's cores; pure given its
    rng, so it can run on any domain. *)
-let decode_task rng (o : Manifest.object_meta) (cores : Dna.Strand.t array) :
+let decode_task ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Strand.t array) :
     (Bytes.t, error) result =
   let clusters = Dnastore.Pipeline.cluster_default ~domains:1 () rng cores in
   let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
-  Array.sort (fun a b -> compare (Array.length b) (Array.length a)) cluster_arr;
+  Dnastore.Pipeline.sort_clusters cluster_arr;
   let target_len = Codec.Params.strand_nt o.params in
   let consensus =
     Array.to_list cluster_arr
     |> List.filter_map (fun reads ->
            if Array.length reads = 0 then None
-           else Some (Dnastore.Pipeline.reconstruct_nw ~target_len reads))
+           else Some (Dnastore.Pipeline.reconstruct_nw ?backend:recon_backend ~target_len reads))
   in
   match Codec.File_codec.decode ~layout:o.layout ~params:o.params ~n_units:o.n_units consensus with
   | Ok (bytes, _) -> Ok bytes
   | Error e -> Error (Decode_failed { key = o.key; reason = Codec.File_codec.error_message e })
 
-let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) t (keys : string list) :
-    (string * (Bytes.t, error) result) list =
+let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon_backend t
+    (keys : string list) : (string * (Bytes.t, error) result) list =
   (* Resolve keys: cache hits answer immediately, misses group by shard
      so each shard is selected and sequenced once. *)
   let resolved =
@@ -464,7 +464,7 @@ let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) t (key
   let rngs = Dna.Par.split_rngs t.rng (Array.length tasks) in
   let outcomes =
     Dna.Par.mapi_array ~label:"store.get_batch" ~domains
-      (fun i (o, cores) -> (o.Manifest.key, decode_task rngs.(i) o cores))
+      (fun i (o, cores) -> (o.Manifest.key, decode_task ?recon_backend rngs.(i) o cores))
       tasks
   in
   let outcomes = Array.to_list outcomes in

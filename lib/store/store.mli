@@ -75,12 +75,14 @@ val delete : t -> key:string -> (unit, error) result
 val get : ?use_cache:bool -> t -> key:string -> (Bytes.t, error) result
 
 val get_batch :
-  ?domains:int -> ?use_cache:bool -> t -> string list ->
+  ?domains:int -> ?use_cache:bool -> ?recon_backend:Dna.Alignment.backend -> t -> string list ->
   (string * (Bytes.t, error) result) list
 (** Serve many keys in one pass, in input order: cache hits answer
     immediately; misses are grouped so each shard is PCR-selected and
     sequenced once, then clustering/reconstruction/decoding fan out per
-    object over the domain pool. *)
+    object over the domain pool. [recon_backend] selects the consensus
+    alignment kernel (see {!Dna.Alignment.align}); decoded bytes are
+    identical for every choice. *)
 
 type compact_stats = {
   objects_rewritten : int;

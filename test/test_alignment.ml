@@ -1,0 +1,182 @@
+(* The banded alignment kernel is a perf knob, never a semantics knob:
+   on every input, every backend and every band must return the same
+   score (equal to the edit distance) and the same script, bit for bit.
+   These tests sweep random pairs — siblings at several error rates plus
+   unrelated strands — across lengths 0..300 and bands from degenerate
+   (1) through the score-first default to read-length, including the
+   explicit-band fallback path. *)
+
+let seeds = [ 1; 7; 42 ]
+
+let sibling rng ~error_rate s =
+  let ch = Simulator.Iid_channel.create_rate ~error_rate in
+  Simulator.Channel.transmit ch rng s
+
+(* One strand pair per case: mostly siblings, some unrelated. *)
+let random_pair rng =
+  let la = Dna.Rng.int rng 301 in
+  let a = Dna.Strand.random rng la in
+  let b =
+    if Dna.Rng.int rng 4 = 0 then Dna.Strand.random rng (Dna.Rng.int rng 301)
+    else
+      let rates = [| 0.02; 0.06; 0.15; 0.4 |] in
+      sibling rng ~error_rate:rates.(Dna.Rng.int rng 4) a
+  in
+  (a, b)
+
+let check_exact (a, b) =
+  let f = Dna.Alignment.align ~backend:Dna.Alignment.Full a b in
+  let d = Dna.Distance.levenshtein a b in
+  Alcotest.(check int) "full score is the edit distance" d f.Dna.Alignment.score;
+  (* the script must replay to the second strand *)
+  Alcotest.(check bool) "full script replays" true
+    (Dna.Strand.equal b (Dna.Alignment.apply_script f.Dna.Alignment.script));
+  let same name (g : Dna.Alignment.t) =
+    Alcotest.(check int) (name ^ " score") f.Dna.Alignment.score g.Dna.Alignment.score;
+    Alcotest.(check bool) (name ^ " script identical") true
+      (g.Dna.Alignment.script = f.Dna.Alignment.script)
+  in
+  same "banded(auto)" (Dna.Alignment.align ~backend:Dna.Alignment.Banded a b);
+  same "auto" (Dna.Alignment.align ~backend:Dna.Alignment.Auto a b);
+  List.iter
+    (fun w ->
+      same
+        (Printf.sprintf "banded(band=%d)" w)
+        (Dna.Alignment.align ~backend:Dna.Alignment.Banded ~band:w a b))
+    [ 1; 8; 16; max 1 (Dna.Strand.length b) ]
+
+let test_banded_matches_oracle () =
+  List.iter
+    (fun seed ->
+      let rng = Dna.Rng.create seed in
+      for _ = 1 to 150 do
+        check_exact (random_pair rng)
+      done)
+    seeds
+
+(* Tiny explicit bands force the fallback: the result is still exact and
+   the process-wide counter records that the band was too narrow. *)
+let test_explicit_band_fallback_counted () =
+  Dna.Alignment.reset_banded_fallbacks ();
+  let rng = Dna.Rng.create 99 in
+  let a = Dna.Strand.random rng 120 in
+  let b = sibling rng ~error_rate:0.15 a in
+  let f = Dna.Alignment.align ~backend:Dna.Alignment.Full a b in
+  Alcotest.(check bool) "pair is distant enough to overflow band 1" true
+    (f.Dna.Alignment.score > 1);
+  let g = Dna.Alignment.align ~backend:Dna.Alignment.Banded ~band:1 a b in
+  Alcotest.(check int) "fallback result exact" f.Dna.Alignment.score g.Dna.Alignment.score;
+  Alcotest.(check bool) "fallback counted" true (Dna.Alignment.banded_fallbacks () > 0);
+  (* the score-first default band never falls back *)
+  Dna.Alignment.reset_banded_fallbacks ();
+  ignore (Dna.Alignment.align ~backend:Dna.Alignment.Banded a b);
+  Alcotest.(check int) "score-first path never retries" 0 (Dna.Alignment.banded_fallbacks ())
+
+(* The packed script is the same alignment as the decoded one. *)
+let test_packed_roundtrip () =
+  let rng = Dna.Rng.create 3 in
+  for _ = 1 to 50 do
+    let a, b = random_pair rng in
+    let p = Dna.Alignment.align_packed a b in
+    let t = Dna.Alignment.align ~backend:Dna.Alignment.Full a b in
+    Alcotest.(check int) "packed score" t.Dna.Alignment.score p.Dna.Alignment.packed_score;
+    Alcotest.(check bool) "packed script decodes identically" true
+      (Dna.Alignment.script_of_packed p = t.Dna.Alignment.script)
+  done
+
+(* POA graphs must be identical however narrow the (exact, fallback-
+   guarded) band is. *)
+let test_poa_band_invariant () =
+  List.iter
+    (fun seed ->
+      let rng = Dna.Rng.create seed in
+      List.iter
+        (fun coverage ->
+          let clean = Dna.Strand.random rng 120 in
+          let reads =
+            List.init coverage (fun _ -> sibling rng ~error_rate:0.06 clean)
+          in
+          let consensus_at band = Dna.Poa.consensus (Dna.Poa.of_reads ?band reads) in
+          let unpruned = consensus_at (Some 10_000) in
+          List.iter
+            (fun band ->
+              Alcotest.(check bool)
+                (Printf.sprintf "cov %d band %d consensus unchanged" coverage band)
+                true
+                (Dna.Strand.equal unpruned (consensus_at (Some band))))
+            [ 1; 8; Dna.Alignment.default_band ];
+          Alcotest.(check bool)
+            (Printf.sprintf "cov %d default band consensus unchanged" coverage)
+            true
+            (Dna.Strand.equal unpruned (consensus_at None)))
+        [ 3; 10; 20 ])
+    seeds
+
+(* NW consensus is backend-invariant on whole clusters. *)
+let test_consensus_backend_invariant () =
+  let rng = Dna.Rng.create 17 in
+  List.iter
+    (fun coverage ->
+      for _ = 1 to 6 do
+        let clean = Dna.Strand.random rng 120 in
+        let reads = Array.init coverage (fun _ -> sibling rng ~error_rate:0.06 clean) in
+        let full =
+          Reconstruction.Nw_consensus.reconstruct ~backend:Dna.Alignment.Full ~target_len:120
+            reads
+        in
+        let banded =
+          Reconstruction.Nw_consensus.reconstruct ~backend:Dna.Alignment.Banded ~target_len:120
+            reads
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "cov %d consensus byte-identical" coverage)
+          true (Dna.Strand.equal full banded)
+      done)
+    [ 5; 10; 20 ]
+
+(* The cluster order fed to reconstruction is a pure function of the
+   cluster set: however the clustering stage happened to emit the
+   clusters (e.g. across [--domains] settings), sorting yields the same
+   sequence — including among same-size clusters, which tie-break on
+   their reads (length, then lexicographic). *)
+let test_cluster_sort_deterministic () =
+  let rng = Dna.Rng.create 23 in
+  let clusters =
+    Array.init 12 (fun _ ->
+        let clean = Dna.Strand.random rng 60 in
+        (* fixed size 4: every cluster exercises the tie-break *)
+        Array.init 4 (fun _ -> sibling rng ~error_rate:0.1 clean))
+  in
+  let shuffle arr =
+    for i = Array.length arr - 1 downto 1 do
+      let j = Dna.Rng.int rng (i + 1) in
+      let t = arr.(i) in
+      arr.(i) <- arr.(j);
+      arr.(j) <- t
+    done
+  in
+  let reference = Array.copy clusters in
+  Dnastore.Pipeline.sort_clusters reference;
+  for _ = 1 to 5 do
+    let shuffled = Array.copy clusters in
+    shuffle shuffled;
+    Dnastore.Pipeline.sort_clusters shuffled;
+    Alcotest.(check bool) "sorted cluster order identical" true (shuffled = reference)
+  done
+
+let () =
+  Alcotest.run "alignment"
+    [
+      ( "exactness",
+        [
+          Alcotest.test_case "banded == full == levenshtein" `Quick test_banded_matches_oracle;
+          Alcotest.test_case "explicit band fallback" `Quick test_explicit_band_fallback_counted;
+          Alcotest.test_case "packed roundtrip" `Quick test_packed_roundtrip;
+        ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "poa band invariant" `Quick test_poa_band_invariant;
+          Alcotest.test_case "nw backend invariant" `Quick test_consensus_backend_invariant;
+          Alcotest.test_case "cluster sort deterministic" `Quick test_cluster_sort_deterministic;
+        ] );
+    ]

@@ -44,7 +44,7 @@ let test_pipeline_every_stage_combination () =
         [
           ("bma", Dnastore.Pipeline.reconstruct_bma);
           ("dbma", Dnastore.Pipeline.reconstruct_dbma);
-          ("nw", Dnastore.Pipeline.reconstruct_nw);
+          ("nw", fun ~target_len reads -> Dnastore.Pipeline.reconstruct_nw ~target_len reads);
         ])
     [ Clustering.Signature.Qgram; Clustering.Signature.Wgram ]
 

@@ -118,7 +118,7 @@ let test_iid6_coverage10_mostly_perfect () =
 let test_nw_improves_with_coverage () =
   let r = rng () in
   let ch = Simulator.Wetlab_channel.create () in
-  let recon = Reconstruction.Nw_consensus.reconstruct ?refinements:None in
+  let recon ~target_len reads = Reconstruction.Nw_consensus.reconstruct ~target_len reads in
   let lo = perfect_rate recon r ~channel:ch ~coverage:5 ~len:90 ~trials:30 in
   let hi = perfect_rate recon r ~channel:ch ~coverage:25 ~len:90 ~trials:30 in
   Alcotest.(check bool)
@@ -181,7 +181,7 @@ let test_nw_flatter_than_dbma () =
     Array.fold_left max 0.0 (Reconstruction.Recon_metrics.per_index_error pairs)
   in
   let p_dbma = peak (collect (Reconstruction.Bma.reconstruct_double ?lookahead:None)) in
-  let p_nw = peak (collect (Reconstruction.Nw_consensus.reconstruct ?refinements:None)) in
+  let p_nw = peak (collect ((fun ~target_len reads -> Reconstruction.Nw_consensus.reconstruct ~target_len reads))) in
   Alcotest.(check bool)
     (Printf.sprintf "nw peak %.3f < dbma peak %.3f" p_nw p_dbma)
     true (p_nw < p_dbma)
@@ -221,7 +221,7 @@ let test_trellis_refines_nw_at_sparse_coverage () =
   let avg pairs =
     Reconstruction.Recon_metrics.average_error (Reconstruction.Recon_metrics.per_index_error pairs)
   in
-  let e_nw = avg (collect (Reconstruction.Nw_consensus.reconstruct ?refinements:None)) in
+  let e_nw = avg (collect ((fun ~target_len reads -> Reconstruction.Nw_consensus.reconstruct ~target_len reads))) in
   let e_tr = avg (collect (fun ~target_len reads -> Reconstruction.Trellis.reconstruct ~target_len reads)) in
   Alcotest.(check bool)
     (Printf.sprintf "trellis %.3f < nw %.3f at coverage 4" e_tr e_nw)
@@ -257,8 +257,8 @@ let test_ensemble_at_least_as_good_as_nw () =
   let avg pairs =
     Reconstruction.Recon_metrics.average_error (Reconstruction.Recon_metrics.per_index_error pairs)
   in
-  let e_nw = avg (collect (Reconstruction.Nw_consensus.reconstruct ?refinements:None)) in
-  let e_ens = avg (collect (Reconstruction.Ensemble.reconstruct ?lookahead:None ?refinements:None)) in
+  let e_nw = avg (collect ((fun ~target_len reads -> Reconstruction.Nw_consensus.reconstruct ~target_len reads))) in
+  let e_ens = avg (collect ((fun ~target_len reads -> Reconstruction.Ensemble.reconstruct ~target_len reads))) in
   Alcotest.(check bool)
     (Printf.sprintf "ensemble %.3f <= nw %.3f + slack" e_ens e_nw)
     true
