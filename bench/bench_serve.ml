@@ -1,0 +1,109 @@
+(* YCSB-style serving benchmark: N closed-loop clients drive zipfian
+   put/get/overwrite mixes through Serve's windowed scheduler, and the
+   summary (throughput, p50/p95/p99 latency, coalescing and rejection
+   counts) lands in BENCH_serve.json.
+
+     dune exec bench/bench_serve.exe                 # full run, writes
+                                                     # BENCH_serve.json in CWD
+     dune exec bench/bench_serve.exe -- --out-dir d  # write elsewhere
+     dune exec bench/bench_serve.exe -- --seed 7     # reseed the workload
+     dune exec bench/bench_serve.exe -- --smoke      # tiny workload: checks the
+                                                     # harness and JSON, not timing *)
+
+let smoke = ref false
+let out_dir = ref "."
+let seed = ref 42
+
+let () =
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--out-dir" :: dir :: rest ->
+        out_dir := dir;
+        parse rest
+    | "--seed" :: s :: rest ->
+        seed := int_of_string s;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "usage: bench_serve [--smoke] [--out-dir DIR] [--seed N] (got %S)\n" arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv))
+
+let ok_or_die label = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "bench_serve: %s: %s\n" label (Store.error_message e);
+      exit 1
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Sys.rmdir path
+  end
+  else Sys.remove path
+
+let () =
+  let n_keys = if !smoke then 4 else 8 in
+  let object_bytes = if !smoke then 70 else 110 in
+  let n_ops = if !smoke then 20 else 120 in
+  let n_clients = 4 in
+  let zipf_s = 0.99 in
+  let mixes =
+    [
+      { Serve.Workload.label = "read95"; Serve.Workload.read_pct = 0.95 };
+      { Serve.Workload.label = "read50"; Serve.Workload.read_pct = 0.50 };
+    ]
+  in
+  (* Each mix runs against a fresh store so its numbers are comparable
+     run to run, not colored by the previous mix's overwrites. *)
+  let run_mix i mix =
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "dnastore_serve_bench_%d_%d" (Unix.getpid ()) i)
+    in
+    if Sys.file_exists dir then rm_rf dir;
+    let store = ok_or_die "init" (Store.init ~dir ~seed:!seed ()) in
+    let r = Dna.Rng.create (!seed * 1001) in
+    let keys = List.init n_keys (fun k -> Printf.sprintf "obj%d" k) in
+    List.iter
+      (fun key ->
+        let data = Bytes.init object_bytes (fun _ -> Char.chr (Dna.Rng.int r 256)) in
+        ok_or_die ("put " ^ key) (Store.put store ~key data))
+      keys;
+    let summary, _ =
+      Serve.Workload.run ~mix ~n_clients ~n_ops ~zipf_s ~seed:(!seed + i) ~keys store
+    in
+    print_string (Serve.Workload.render summary);
+    rm_rf dir;
+    summary
+  in
+  let summaries = List.mapi run_mix mixes in
+  let j =
+    Store.Json.Obj
+      [
+        ( "config",
+          Store.Json.Obj
+            [
+              ("smoke", Store.Json.Bool !smoke);
+              ("seed", Store.Json.Int !seed);
+              ("hardware_domains", Store.Json.Int (Domain.recommended_domain_count ()));
+              ("n_keys", Store.Json.Int n_keys);
+              ("object_bytes", Store.Json.Int object_bytes);
+              ("n_ops", Store.Json.Int n_ops);
+              ("n_clients", Store.Json.Int n_clients);
+              ("zipf_s", Store.Json.Float zipf_s);
+              ("window", Store.Json.Int Serve.default_config.Serve.window);
+              ("max_queue", Store.Json.Int Serve.default_config.Serve.max_queue);
+            ] );
+        ("mixes", Store.Json.List (List.map Serve.Workload.summary_json summaries));
+      ]
+  in
+  if not (Sys.file_exists !out_dir) then Sys.mkdir !out_dir 0o755;
+  let path = Filename.concat !out_dir "BENCH_serve.json" in
+  let oc = open_out path in
+  output_string oc (Store.Json.to_string j);
+  close_out oc;
+  Printf.printf "wrote %s\n" path

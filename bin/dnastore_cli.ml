@@ -722,12 +722,89 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Persistent sharded DNA object store with rewritable random access.")
     [ init_cmd; put_cmd; get_cmd; rm_cmd; compact_cmd; stats_cmd ]
 
+(* serve: drive a multi-client workload through the serving layer *)
+
+let serve_cmd =
+  let dir_arg =
+    Arg.(required & opt (some string) None & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Store directory.")
+  in
+  let populate =
+    Arg.(
+      value & opt int 0
+      & info [ "populate" ] ~docv:"N"
+          ~doc:"Initialize the directory as a fresh store and put N objects before serving.")
+  in
+  let ops = Arg.(value & opt int 60 & info [ "ops" ] ~docv:"N" ~doc:"Operations to drive.") in
+  let clients =
+    Arg.(value & opt int 4 & info [ "clients" ] ~docv:"N" ~doc:"Concurrent closed-loop clients.")
+  in
+  let read_pct =
+    Arg.(
+      value & opt float 0.95
+      & info [ "read-pct" ] ~docv:"FRAC" ~doc:"Fraction of operations that are gets.")
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.window
+      & info [ "window" ] ~docv:"N" ~doc:"Scheduling window: max requests served per round.")
+  in
+  let max_queue =
+    Arg.(
+      value
+      & opt int Serve.default_config.Serve.max_queue
+      & info [ "max-queue" ] ~docv:"N" ~doc:"Admission bound before requests are rejected.")
+  in
+  let zipf =
+    Arg.(value & opt float 0.99 & info [ "zipf" ] ~docv:"S" ~doc:"Zipf skew of key popularity.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+  let domains =
+    Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for batched gets.")
+  in
+  let run dir populate ops clients read_pct window max_queue zipf seed domains =
+    let die e =
+      Printf.eprintf "%s\n" (Store.error_message e);
+      exit 1
+    in
+    let or_die = function Ok v -> v | Error e -> die e in
+    let store =
+      if populate > 0 then begin
+        let store = or_die (Store.init ~dir ~seed ()) in
+        let r = Dna.Rng.create (seed * 31) in
+        for i = 0 to populate - 1 do
+          let data = Bytes.init 120 (fun _ -> Char.chr (Dna.Rng.int r 256)) in
+          or_die (Store.put store ~key:(Printf.sprintf "obj%d" i) data)
+        done;
+        store
+      end
+      else or_die (Store.open_store ~dir)
+    in
+    let keys = Store.keys store in
+    if keys = [] then failwith "serve: store has no objects (use --populate)";
+    let config = { Serve.default_config with Serve.window; Serve.max_queue; Serve.domains } in
+    let mix = { Serve.Workload.label = Printf.sprintf "read%.0f" (100.0 *. read_pct); Serve.Workload.read_pct } in
+    let summary, _ =
+      Serve.Workload.run ~config ~mix ~n_clients:clients ~n_ops:ops ~zipf_s:zipf ~seed ~keys store
+    in
+    print_string (Serve.Workload.render summary);
+    print_string
+      (Dnastore.Report.cache_counters ~label:"store" ~hits:summary.Serve.Workload.cache_hits
+         ~misses:summary.Serve.Workload.cache_misses)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a multi-client zipfian put/get/overwrite workload through the scheduler.")
+    Term.(
+      const run $ dir_arg $ populate $ ops $ clients $ read_pct $ window $ max_queue $ zipf $ seed
+      $ domains)
+
 let main =
   let doc = "modular end-to-end DNA data storage codec and simulator" in
   Cmd.group (Cmd.info "dnastore" ~version:"1.0.0" ~doc)
     [
       encode_cmd; simulate_cmd; cluster_cmd; reconstruct_cmd; decode_cmd; pipeline_cmd;
-      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd; store_cmd;
+      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd; store_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -124,6 +124,13 @@ let recon_percentiles ~p50_s ~p95_s =
     Printf.sprintf "reconstruct per-cluster: p50 %.2f ms, p95 %.2f ms\n" (1000.0 *. p50_s)
       (1000.0 *. p95_s)
 
+(* One line of served-request accounting: throughput plus the latency
+   tail, e.g. for the store's serving layer and its YCSB-style bench. *)
+let latency_summary ~label ~n ~wall_s ~p50_ms ~p95_ms ~p99_ms =
+  let throughput = if wall_s > 0.0 then float_of_int n /. wall_s else 0.0 in
+  Printf.sprintf "%s: %d ops in %.2f s (%.1f ops/s), latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n"
+    label n wall_s throughput p50_ms p95_ms p99_ms
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

@@ -25,6 +25,12 @@ val recon_percentiles : p50_s:float -> p95_s:float -> string
     the [reconstruct_p50_s]/[reconstruct_p95_s] fields of
     [Pipeline.timings]; empty when both are zero (no clusters ran). *)
 
+val latency_summary :
+  label:string -> n:int -> wall_s:float -> p50_ms:float -> p95_ms:float -> p99_ms:float -> string
+(** One line of served-request accounting: op count, wall time, derived
+    throughput and the p50/p95/p99 latency tail (used by the serving
+    layer's stats and the [bench_serve] driver). *)
+
 val pct : float -> string
 (** "12.34%". *)
 

@@ -3,14 +3,25 @@
 
     The paper stresses that clustering and reconstruction must scale
     across cores (Section IX). This module fans balanced array chunks
-    out to worker domains and is the single configuration point for the
-    toolkit's parallelism:
+    out to a pool of long-lived worker domains and is the single
+    configuration point for the toolkit's parallelism:
 
     - chunk assignment is balanced (chunk sizes differ by at most one)
       and never produces an empty or negative range, so ragged shapes
       such as 5 items across 4 domains are safe;
-    - a failing worker never orphans its siblings: every domain is
-      joined before the first failure is re-raised;
+    - workers are spawned once and reused: a parallel region costs a
+      queue push, not a [Domain.spawn]/[Domain.join] round trip, and
+      per-domain scratch state ([Domain.DLS] arenas, cached strand
+      masks) survives from one region to the next;
+    - the pool never holds more worker domains than the hardware can
+      run ([Domain.recommended_domain_count () - 1]; the submitting
+      domain works too), so [~domains:8] on a 2-core box executes 8
+      balanced chunks on 2 domains instead of oversubscribing — and
+      regions entered from inside a task run serially, so nested
+      parallelism cannot multiply domains;
+    - a failing chunk never orphans its siblings: every chunk of a
+      region runs before the first failure (in submission order) is
+      re-raised;
     - [split_rngs] / [map_array_rng] give each task its own
       deterministic random stream, so stochastic stages produce the
       same output for every worker count;
@@ -75,6 +86,118 @@ let reset_counters () =
   Hashtbl.reset counters_tbl;
   Mutex.unlock counters_lock
 
+(* ---------- the long-lived worker pool ---------- *)
+
+(* A region is one parallel map: [n_chunks] pre-assigned balanced
+   chunks, claimed one at a time through [next] by whoever has spare
+   cycles — pool workers and the submitting domain alike. Chunk
+   outcomes (result or exception) land in the region's own array, so a
+   failing chunk is recorded, never propagated mid-region. *)
+type region = {
+  n_chunks : int;
+  next : int Atomic.t;  (** next unclaimed chunk *)
+  completed : int Atomic.t;
+  run_chunk : int -> unit;  (** executes chunk [i]; must not raise *)
+}
+
+let pool_lock = Mutex.create ()
+let pool_cond = Condition.create ()
+
+(* Regions with unclaimed chunks. Exhausted regions are popped lazily
+   by whoever finds them at the front. *)
+let pool_queue : region Queue.t = Queue.create ()
+let pool_stop = ref false
+let pool_handles : unit Domain.t list ref = ref []
+let pool_spawned = Atomic.make 0
+
+(* True while this domain is executing a region chunk (worker or
+   submitter): regions entered from such a context run serially, so
+   nested parallelism never multiplies domains or deadlocks the pool. *)
+let in_task : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+let exhausted r = Atomic.get r.next >= r.n_chunks
+let region_done r = Atomic.get r.completed >= r.n_chunks
+
+(* Claim and run chunks until the region has none left. Completion of
+   the last chunk is announced on [pool_cond] for the submitter. *)
+let help_region r =
+  let previously = Domain.DLS.get in_task in
+  Domain.DLS.set in_task true;
+  let rec claim () =
+    let i = Atomic.fetch_and_add r.next 1 in
+    if i < r.n_chunks then begin
+      r.run_chunk i;
+      let completed = 1 + Atomic.fetch_and_add r.completed 1 in
+      if completed = r.n_chunks then begin
+        Mutex.lock pool_lock;
+        Condition.broadcast pool_cond;
+        Mutex.unlock pool_lock
+      end;
+      claim ()
+    end
+  in
+  claim ();
+  Domain.DLS.set in_task previously
+
+let worker_loop () =
+  let rec loop () =
+    Mutex.lock pool_lock;
+    let rec await () =
+      (* Drop exhausted regions so the queue never pins dead work. *)
+      while (not (Queue.is_empty pool_queue)) && exhausted (Queue.peek pool_queue) do
+        ignore (Queue.pop pool_queue)
+      done;
+      if Queue.is_empty pool_queue && not !pool_stop then begin
+        Condition.wait pool_cond pool_lock;
+        await ()
+      end
+    in
+    await ();
+    if Queue.is_empty pool_queue then (* stop requested *)
+      Mutex.unlock pool_lock
+    else begin
+      let r = Queue.peek pool_queue in
+      Mutex.unlock pool_lock;
+      help_region r;
+      loop ()
+    end
+  in
+  loop ()
+
+let shutdown_pool () =
+  Mutex.lock pool_lock;
+  pool_stop := true;
+  Condition.broadcast pool_cond;
+  let handles = !pool_handles in
+  pool_handles := [];
+  Mutex.unlock pool_lock;
+  List.iter Domain.join handles;
+  Mutex.lock pool_lock;
+  pool_stop := false;
+  Atomic.set pool_spawned 0;
+  Mutex.unlock pool_lock
+
+let pool_size () = Atomic.get pool_spawned
+
+(* The pool never exceeds the hardware: the submitting domain counts as
+   one executor, so at most [recommended_domain_count - 1] workers. *)
+let max_workers () = max 0 (Domain.recommended_domain_count () - 1)
+
+let at_exit_registered = Atomic.make false
+
+let ensure_workers wanted =
+  let wanted = min wanted (max_workers ()) in
+  if Atomic.get pool_spawned < wanted then begin
+    Mutex.lock pool_lock;
+    if not (Atomic.compare_and_set at_exit_registered false true) then ()
+    else Stdlib.at_exit shutdown_pool;
+    while Atomic.get pool_spawned < wanted do
+      pool_handles := Domain.spawn worker_loop :: !pool_handles;
+      Atomic.incr pool_spawned
+    done;
+    Mutex.unlock pool_lock
+  end
+
 (* ---------- core machinery ---------- *)
 
 (* Balanced contiguous ranges: the first [n mod workers] chunks carry one
@@ -86,23 +209,63 @@ let chunk_ranges ~workers n =
       let len = base + if w < rem then 1 else 0 in
       (lo, len))
 
-(* Join every domain before re-raising, so a failing chunk never orphans
-   its siblings; the first failure in submission order wins. *)
-let join_all handles =
-  let outcomes = List.map (fun h -> try Ok (Domain.join h) with e -> Error e) handles in
-  List.map (function Ok v -> v | Error e -> raise e) outcomes
-
-(* Apply [chunk_f lo len] to balanced ranges, in parallel when more than
-   one worker is warranted. Chunk results come back in range order. *)
+(* Apply [chunk_f lo len] to balanced ranges. Chunk results come back in
+   range order. The chunk count depends only on [domains] and [n] —
+   never on the hardware — so result shapes (and [chunked_map] output)
+   are stable across machines; only the execution width adapts. Every
+   chunk runs even if an earlier one raises; the first failure in chunk
+   order is re-raised once the region is complete. *)
 let run_chunks ~domains ~n chunk_f =
   if n = 0 then []
   else
-    let workers = max 1 (min domains n) in
-    if workers = 1 then [ chunk_f 0 n ]
-    else
-      chunk_ranges ~workers n
-      |> Array.map (fun (lo, len) -> Domain.spawn (fun () -> chunk_f lo len))
-      |> Array.to_list |> join_all
+    let chunks = max 1 (min domains n) in
+    let serial () =
+      let outcomes =
+        Array.map
+          (fun (lo, len) -> try Ok (chunk_f lo len) with e -> Error e)
+          (chunk_ranges ~workers:chunks n)
+      in
+      Array.to_list (Array.map (function Ok v -> v | Error e -> raise e) outcomes)
+    in
+    if chunks = 1 || Domain.DLS.get in_task then serial ()
+    else begin
+      ensure_workers (chunks - 1);
+      if pool_size () = 0 then serial ()
+      else begin
+        let ranges = chunk_ranges ~workers:chunks n in
+        let outcomes = Array.make chunks None in
+        let region =
+          {
+            n_chunks = chunks;
+            next = Atomic.make 0;
+            completed = Atomic.make 0;
+            run_chunk =
+              (fun i ->
+                let lo, len = ranges.(i) in
+                outcomes.(i) <- (try Some (Ok (chunk_f lo len)) with e -> Some (Error e)));
+          }
+        in
+        Mutex.lock pool_lock;
+        Queue.push region pool_queue;
+        Condition.broadcast pool_cond;
+        Mutex.unlock pool_lock;
+        (* The submitter is an executor too: claim chunks alongside the
+           workers, then wait out any straggler. *)
+        help_region region;
+        Mutex.lock pool_lock;
+        while not (region_done region) do
+          Condition.wait pool_cond pool_lock
+        done;
+        Mutex.unlock pool_lock;
+        Array.to_list
+          (Array.map
+             (function
+               | Some (Ok v) -> v
+               | Some (Error e) -> raise e
+               | None -> assert false (* region_done implies every slot is filled *))
+             outcomes)
+      end
+    end
 
 let timed ~label ~tasks f =
   let t0 = Unix.gettimeofday () in

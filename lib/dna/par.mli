@@ -8,9 +8,15 @@
       so ragged shapes (e.g. 5 items across 4 domains) are safe;
     - results are order-preserving and — for pure task functions —
       identical for every worker count;
-    - a failing worker never orphans its siblings: all domains are
-      joined before the first failure (in submission order) is
-      re-raised;
+    - execution runs on a pool of long-lived worker domains, spawned
+      once and reused across regions (per-domain scratch arenas and
+      caches survive), never more of them than the hardware can run;
+      the submitting domain executes chunks too, and a region entered
+      from inside a task runs serially, so nested parallelism cannot
+      oversubscribe the machine;
+    - a failing chunk never orphans its siblings: every chunk of a
+      region still runs before the first failure (in submission order)
+      is re-raised;
     - with [domains = 1] execution degrades to the plain serial loop,
       bit-identical to not using this module at all.
 
@@ -32,6 +38,17 @@ val set_default_domains : int -> unit
 
 val default_domains : unit -> int
 (** The current process-wide default worker count. *)
+
+val pool_size : unit -> int
+(** Worker domains currently alive in the pool. 0 until the first
+    region wide enough to need one (and always 0 on a single-core
+    machine, where every region runs on the submitting domain). *)
+
+val shutdown_pool : unit -> unit
+(** Stop and join every pool worker. Idempotent; registered with
+    [at_exit] automatically on first spawn, so programs never need to
+    call it — tests use it to prove the pool restarts cleanly. A later
+    parallel region simply respawns workers. *)
 
 val map_array : ?label:string -> ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Order-preserving parallel map. *)

@@ -59,11 +59,14 @@ type pool = {
 
 type t = {
   dir : string;
-  rng : Dna.Rng.t;
+  rng : Dna.Rng.t;  (** put/primer draws only: gets never touch it *)
   mutable manifest : Manifest.t;
   registry : Codec.Primer.Registry.t;  (** live + retired pairs *)
   pools : (int, pool) Hashtbl.t;  (** shard id -> loaded pool *)
   cache : Bytes.t Lru.t;
+  mutable sequencing_passes : int;
+      (** wetlab sequencing passes run so far; a batched get counts one
+          per shard touched however many objects it coalesces *)
 }
 
 let dir t = t.dir
@@ -108,6 +111,7 @@ let of_manifest ~dir (m : Manifest.t) =
     registry = Codec.Primer.Registry.of_pairs (live @ m.Manifest.retired);
     pools = Hashtbl.create 8;
     cache = Lru.create ~capacity:m.Manifest.config.cache_objects;
+    sequencing_passes = 0;
   }
 
 let init ?(config = default_config) ~dir ~seed () : (t, error) result =
@@ -360,56 +364,34 @@ let delete t ~key : (unit, error) result =
 
 (* ---------- get / batched get ---------- *)
 
-(* The per-shard wetlab run for a batch of objects: one indexed PCR
-   selection over the union of their molecules, one sequencing pass at a
-   depth scaled to the selection, then primer demultiplexing through the
-   wetlab ingestion path. Returns pipeline-ready cores per object. *)
-let shard_run t (pool : pool) (objs : Manifest.object_meta list) :
-    (Manifest.object_meta * Dna.Strand.t array) list =
-  let selected =
-    List.map (fun (o : Manifest.object_meta) -> Dnastore.Primer_index.select pool.index pool.strands o.pair) objs
-  in
-  let union = Array.concat selected in
-  let cfg = t.manifest.Manifest.config in
-  let depth =
-    Simulator.Sequencer.shard_depth ~base:cfg.coverage ~n_selected:(Array.length union)
-      ~n_shard:(Array.length pool.strands)
-  in
-  let sequencing =
-    {
-      (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed depth)) with
-      Simulator.Sequencer.p_reverse = 0.5;
-    }
-  in
-  let channel = Simulator.Iid_channel.create_rate ~error_rate:cfg.error_rate in
-  let reads = Simulator.Sequencer.sequence ~domains:1 sequencing channel t.rng union in
-  let records =
-    Array.to_list
-      (Array.mapi
-         (fun i (r : Simulator.Sequencer.read) ->
-           {
-             Dna.Fastq.id = Printf.sprintf "r_%d" i;
-             seq = r.Simulator.Sequencer.seq;
-             qual = [||];
-           })
-         reads)
-  in
-  let ingested =
-    Dnastore.Wetlab_io.ingest_records
-      (List.map (fun (o : Manifest.object_meta) -> o.pair) objs)
-      records ~parse_errors:0
-  in
-  let cores_of pair =
-    let key = Dnastore.Primer_index.key_of_pair pair in
-    match
-      List.find_opt
-        (fun (p, _) -> Dnastore.Primer_index.key_of_pair p = key)
-        ingested.Dnastore.Wetlab_io.by_pair
-    with
-    | Some (_, cores) -> cores
-    | None -> [||]
-  in
-  List.map (fun (o : Manifest.object_meta) -> (o, cores_of o.pair)) objs
+let sequencing_passes t = t.sequencing_passes
+let object_shard t ~key = Option.map (fun (o : Manifest.object_meta) -> o.shard) (find_object t key)
+
+(* The read stream of one object access: a 64-bit FNV-1a fold of the
+   store seed, the key and the version. A key's sequencing and
+   clustering draws therefore depend only on (store, key, version) —
+   never on [t.rng], on which other keys missed in the same batch, or
+   on how many batches ran before — so [get] and any [get_batch]
+   containing the key replay the same wetlab noise, and gets leave the
+   store's put/primer stream untouched. *)
+let access_rng t (o : Manifest.object_meta) =
+  let h = ref 0xCBF29CE484222325L in
+  let fold i = h := Int64.mul (Int64.logxor !h (Int64.of_int (i land 0xFF))) 0x100000001B3L in
+  let fold_int i = List.iter (fun s -> fold (i lsr s)) [ 0; 8; 16; 24; 32; 40; 48; 56 ] in
+  fold_int t.manifest.Manifest.seed;
+  fold_int o.version;
+  String.iter (fun c -> fold (Char.code c)) o.key;
+  Dna.Rng.create (Int64.to_int (Int64.shift_right_logical !h 1))
+
+(* One object's access, after the serial PCR-selection phase: selected
+   molecules in, decoded bytes out. [depth] is the per-strand sequencing
+   depth of the shard pass the access rode on. Pure given the access
+   rng, so the whole wetlab read path fans out over the domain pool. *)
+type access_task = {
+  tk_obj : Manifest.object_meta;
+  tk_selected : Dna.Strand.t array;
+  tk_depth : int;
+}
 
 (* Cluster, reconstruct and decode one object's cores; pure given its
    rng, so it can run on any domain. *)
@@ -429,14 +411,54 @@ let decode_task ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Stran
   | Ok (bytes, _) -> Ok bytes
   | Error e -> Error (Decode_failed { key = o.key; reason = Codec.File_codec.error_message e })
 
+(* Sequence, demultiplex, cluster, reconstruct, decode one object. *)
+let run_access_task ?recon_backend t (tk : access_task) : (Bytes.t, error) result =
+  let o = tk.tk_obj in
+  let cfg = t.manifest.Manifest.config in
+  let rng = access_rng t o in
+  let seq_rng = Dna.Rng.split rng in
+  let decode_rng = Dna.Rng.split rng in
+  let sequencing =
+    {
+      (Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed tk.tk_depth)) with
+      Simulator.Sequencer.p_reverse = 0.5;
+    }
+  in
+  let channel = Simulator.Iid_channel.create_rate ~error_rate:cfg.error_rate in
+  let reads = Simulator.Sequencer.sequence ~domains:1 sequencing channel seq_rng tk.tk_selected in
+  let records =
+    Array.to_list
+      (Array.mapi
+         (fun i (r : Simulator.Sequencer.read) ->
+           {
+             Dna.Fastq.id = Printf.sprintf "r_%d" i;
+             seq = r.Simulator.Sequencer.seq;
+             qual = [||];
+           })
+         reads)
+  in
+  let ingested = Dnastore.Wetlab_io.ingest_records [ o.pair ] records ~parse_errors:0 in
+  let cores =
+    match ingested.Dnastore.Wetlab_io.by_pair with [ (_, cores) ] -> cores | _ -> [||]
+  in
+  decode_task ?recon_backend decode_rng o cores
+
 let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon_backend t
     (keys : string list) : (string * (Bytes.t, error) result) list =
-  (* Resolve keys: cache hits answer immediately, misses group by shard
-     so each shard is selected and sequenced once. *)
+  (* Resolve keys against a hashed view of the directory: cache hits
+     answer immediately; misses are deduplicated (a key requested twice
+     decodes once) and grouped by shard so each shard is PCR-selected
+     and sequenced in one pass. *)
+  let by_key : (string, Manifest.object_meta) Hashtbl.t =
+    Hashtbl.create (List.length t.manifest.Manifest.objects)
+  in
+  List.iter
+    (fun (o : Manifest.object_meta) -> Hashtbl.replace by_key o.key o)
+    t.manifest.Manifest.objects;
   let resolved =
     List.map
       (fun key ->
-        match find_object t key with
+        match Hashtbl.find_opt by_key key with
         | None -> (key, `Err (Key_not_found key))
         | Some o -> (
             match if use_cache then Lru.find t.cache key else None with
@@ -444,44 +466,85 @@ let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon
             | None -> (key, `Miss o)))
       keys
   in
+  let miss_seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
   let misses =
-    List.filter_map (function _, `Miss o -> Some (o : Manifest.object_meta) | _ -> None) resolved
+    List.filter_map
+      (function
+        | key, `Miss (o : Manifest.object_meta) when not (Hashtbl.mem miss_seen key) ->
+            Hashtbl.add miss_seen key ();
+            Some o
+        | _ -> None)
+      resolved
   in
-  let shard_ids =
-    List.sort_uniq compare (List.map (fun (o : Manifest.object_meta) -> o.shard) misses)
-  in
-  (* Sequencing draws stay serial (deterministic order); the heavy
-     per-object stages fan out over the domain pool below. *)
-  let tasks = ref [] and pool_errors = ref [] in
+  (* Group misses by shard, first appearance first. *)
+  let shard_groups : (int, Manifest.object_meta list ref) Hashtbl.t = Hashtbl.create 8 in
+  let shard_order = ref [] in
+  List.iter
+    (fun (o : Manifest.object_meta) ->
+      match Hashtbl.find_opt shard_groups o.shard with
+      | Some group -> group := o :: !group
+      | None ->
+          Hashtbl.add shard_groups o.shard (ref [ o ]);
+          shard_order := o.shard :: !shard_order)
+    misses;
+  (* Serial phase: per shard, load the pool and run one indexed PCR
+     selection covering every coalesced object. The pass's read budget
+     spreads over the whole selection ({!Simulator.Sequencer.shard_depth}),
+     so coalesced objects sequence shallower — and cheaper — than the
+     same keys fetched one by one. Everything downstream of selection
+     runs inside the parallel tasks. *)
+  let pool_errors : (string, error) Hashtbl.t = Hashtbl.create 4 in
+  let tasks = ref [] in
+  let cfg = t.manifest.Manifest.config in
   List.iter
     (fun shard_id ->
-      let objs = List.filter (fun (o : Manifest.object_meta) -> o.shard = shard_id) misses in
+      let objs = List.rev !(Hashtbl.find shard_groups shard_id) in
       match load_pool t shard_id with
-      | Error e -> List.iter (fun (o : Manifest.object_meta) -> pool_errors := (o.key, e) :: !pool_errors) objs
-      | Ok pool -> tasks := !tasks @ shard_run t pool objs)
-    shard_ids;
-  let tasks = Array.of_list !tasks in
-  let rngs = Dna.Par.split_rngs t.rng (Array.length tasks) in
-  let outcomes =
-    Dna.Par.mapi_array ~label:"store.get_batch" ~domains
-      (fun i (o, cores) -> (o.Manifest.key, decode_task ?recon_backend rngs.(i) o cores))
+      | Error e ->
+          List.iter
+            (fun (o : Manifest.object_meta) -> Hashtbl.replace pool_errors o.key e)
+            objs
+      | Ok pool ->
+          t.sequencing_passes <- t.sequencing_passes + 1;
+          let selected =
+            List.map
+              (fun (o : Manifest.object_meta) ->
+                Dnastore.Primer_index.select pool.index pool.strands o.pair)
+              objs
+          in
+          let n_union = List.fold_left (fun a s -> a + Array.length s) 0 selected in
+          let depth =
+            Simulator.Sequencer.shard_depth ~base:cfg.coverage ~n_selected:n_union
+              ~n_shard:(Array.length pool.strands)
+          in
+          List.iter2
+            (fun o sel -> tasks := { tk_obj = o; tk_selected = sel; tk_depth = depth } :: !tasks)
+            objs selected)
+    (List.rev !shard_order);
+  let tasks = Array.of_list (List.rev !tasks) in
+  let outcome_arr =
+    Dna.Par.map_array ~label:"store.get_batch" ~domains
+      (fun tk -> (tk.tk_obj.Manifest.key, run_access_task ?recon_backend t tk))
       tasks
   in
-  let outcomes = Array.to_list outcomes in
+  let outcomes : (string, (Bytes.t, error) result) Hashtbl.t =
+    Hashtbl.create (Array.length outcome_arr)
+  in
+  Array.iter (fun (key, r) -> Hashtbl.replace outcomes key r) outcome_arr;
   if use_cache then
-    List.iter
+    Array.iter
       (function key, Ok bytes -> Lru.add t.cache key bytes | _, Error _ -> ())
-      outcomes;
+      outcome_arr;
   List.map
     (fun (key, r) ->
       match r with
       | `Err e -> (key, Error e)
       | `Hit bytes -> (key, Ok bytes)
       | `Miss _ -> (
-          match List.assoc_opt key !pool_errors with
+          match Hashtbl.find_opt pool_errors key with
           | Some e -> (key, Error e)
           | None -> (
-              match List.assoc_opt key outcomes with
+              match Hashtbl.find_opt outcomes key with
               | Some outcome -> (key, outcome)
               | None -> (key, Error (Corrupt ("no outcome for key " ^ key))))))
     resolved

@@ -77,12 +77,26 @@ val get : ?use_cache:bool -> t -> key:string -> (Bytes.t, error) result
 val get_batch :
   ?domains:int -> ?use_cache:bool -> ?recon_backend:Dna.Alignment.backend -> t -> string list ->
   (string * (Bytes.t, error) result) list
-(** Serve many keys in one pass, in input order: cache hits answer
-    immediately; misses are grouped so each shard is PCR-selected and
-    sequenced once, then clustering/reconstruction/decoding fan out per
-    object over the domain pool. [recon_backend] selects the consensus
-    alignment kernel (see {!Dna.Alignment.align}); decoded bytes are
-    identical for every choice. *)
+(** Serve many keys in one pass, in input order (duplicates allowed —
+    a key requested twice decodes once and answers twice): cache hits
+    answer immediately; misses are deduplicated and grouped so each
+    shard is PCR-selected and sequenced once, then the whole per-object
+    wetlab path (sequencing, demux, clustering, reconstruction, decode)
+    fans out over the domain pool. Each object's stochastic draws come
+    from a stream derived from (store seed, key, version), so the bytes
+    a key decodes to are identical across [get], any batch composition
+    and any [domains]. [recon_backend] selects the consensus alignment
+    kernel (see {!Dna.Alignment.align}); decoded bytes are identical
+    for every choice. *)
+
+val sequencing_passes : t -> int
+(** Wetlab sequencing passes run so far: a batched get counts one per
+    shard touched, however many coalesced objects rode on it. The
+    serving layer's coalescing tests and stats read this. *)
+
+val object_shard : t -> key:string -> int option
+(** The shard an object currently lives in (workload generators use it
+    to build same-shard batches). *)
 
 type compact_stats = {
   objects_rewritten : int;

@@ -96,6 +96,40 @@ let test_exception_joins_all_siblings () =
     "still functional" [| 0; 2; 4 |]
     (Dna.Par.map_array ~domains:4 (fun x -> 2 * x) [| 0; 1; 2 |])
 
+let test_nested_region_serializes () =
+  (* A region entered from inside a task must run serially rather than
+     recursively claiming pool workers: the inner map still produces
+     correct, ordered results and the whole nest terminates. *)
+  let outer =
+    Dna.Par.map_array ~domains:4
+      (fun i ->
+        Dna.Par.map_array ~domains:4 (fun j -> (10 * i) + j) (Array.init 3 Fun.id))
+      (Array.init 8 Fun.id)
+  in
+  Array.iteri
+    (fun i inner ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "inner region %d" i)
+        [| 10 * i; (10 * i) + 1; (10 * i) + 2 |]
+        inner)
+    outer
+
+let test_pool_lifecycle () =
+  (* The pool never exceeds the hardware (workers <= cores - 1), and a
+     shutdown is clean: later regions still work, respawning workers if
+     the hardware allows any. *)
+  ignore (Dna.Par.map_array ~domains:8 Fun.id (Array.init 32 Fun.id));
+  let hw_cap = max 0 (Domain.recommended_domain_count () - 1) in
+  Alcotest.(check bool) "pool clamped to hardware" true (Dna.Par.pool_size () <= hw_cap);
+  Dna.Par.shutdown_pool ();
+  Alcotest.(check int) "shutdown empties pool" 0 (Dna.Par.pool_size ());
+  Dna.Par.shutdown_pool ();
+  (* idempotent *)
+  Alcotest.(check (array int))
+    "region after shutdown" [| 0; 2; 4; 6 |]
+    (Dna.Par.map_array ~domains:4 (fun x -> 2 * x) [| 0; 1; 2; 3 |]);
+  Alcotest.(check bool) "pool respawned within cap" true (Dna.Par.pool_size () <= hw_cap)
+
 let test_split_rngs_deterministic () =
   let draws seed =
     Dna.Par.split_rngs (Dna.Rng.create seed) 6
@@ -170,6 +204,8 @@ let () =
         [
           Alcotest.test_case "worker exception joins all siblings" `Quick
             test_exception_joins_all_siblings;
+          Alcotest.test_case "nested region serializes" `Quick test_nested_region_serializes;
+          Alcotest.test_case "pool lifecycle" `Quick test_pool_lifecycle;
         ] );
       ( "determinism",
         [

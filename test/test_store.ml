@@ -215,6 +215,88 @@ let test_get_batch_matches_sequential () =
   | [ (_, Ok _); (_, Error (Store.Key_not_found "ghost")) ] -> ()
   | _ -> Alcotest.fail "mixed batch did not isolate the missing key"
 
+let test_get_batch_thousand_keys () =
+  (* Regression for the O(n^2) accumulators (list-append task building
+     and assoc-list joins): a 1k-entry batch cycling a handful of real
+     keys plus misses must come back in input order, with duplicate
+     entries equal and every ghost key failing individually. Each
+     unique key decodes once, so this stays fast. *)
+  let r = Dna.Rng.create 909 in
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:17 ()) in
+  let real = List.init 5 (fun i -> Printf.sprintf "k%d" i) in
+  let payloads = List.map (fun key -> (key, random_file r 120)) real in
+  List.iter (fun (key, data) -> ok_or_fail ("put " ^ key) (Store.put store ~key data)) payloads;
+  let request =
+    List.init 1000 (fun i ->
+        if i mod 7 = 6 then Printf.sprintf "ghost%d" i else List.nth real (i mod 5))
+  in
+  let results = Store.get_batch ~use_cache:false store request in
+  Alcotest.(check int) "one answer per request" (List.length request) (List.length results);
+  let first : (string, Bytes.t) Hashtbl.t = Hashtbl.create 8 in
+  List.iter2
+    (fun asked (key, result) ->
+      Alcotest.(check string) "input order preserved" asked key;
+      match result with
+      | Error (Store.Key_not_found k) ->
+          Alcotest.(check string) "only ghosts miss" asked k;
+          Alcotest.(check bool) "miss is a ghost" true
+            (String.length k >= 5 && String.sub k 0 5 = "ghost")
+      | Error e -> Alcotest.failf "unexpected error for %s: %s" key (Store.error_message e)
+      | Ok bytes -> (
+          Alcotest.(check bytes) ("recovers original " ^ key) (List.assoc key payloads) bytes;
+          match Hashtbl.find_opt first key with
+          | None -> Hashtbl.add first key bytes
+          | Some prior -> Alcotest.(check bytes) "duplicate entries agree" prior bytes))
+    request results
+
+let test_get_batch_duplicate_keys_decode_once () =
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:19 ()) in
+  let data = random_file (Dna.Rng.create 55) 180 in
+  ok_or_fail "put" (Store.put store ~key:"a" data);
+  Dna.Par.reset_counters ();
+  (match Store.get_batch ~use_cache:false store [ "a"; "a" ] with
+  | [ ("a", Ok b1); ("a", Ok b2) ] ->
+      Alcotest.(check bytes) "both entries answered" b1 b2;
+      Alcotest.(check bytes) "and recover the original" data b1
+  | _ -> Alcotest.fail "duplicate-key batch did not answer both entries");
+  let batch_tasks =
+    match
+      List.find_opt (fun c -> c.Dna.Par.label = "store.get_batch") (Dna.Par.counters ())
+    with
+    | Some c -> c.Dna.Par.tasks
+    | None -> 0
+  in
+  Alcotest.(check int) "duplicate key decoded once" 1 batch_tasks
+
+let test_get_deterministic_across_batch_shapes () =
+  (* An object's wetlab draws derive from (store seed, key, version),
+     so the bytes it decodes to cannot depend on which other keys
+     share the batch, on batch order, or on how many gets ran before. *)
+  let r = Dna.Rng.create 606 in
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:23 ()) in
+  List.iter
+    (fun key -> ok_or_fail ("put " ^ key) (Store.put store ~key (random_file r 140)))
+    [ "a"; "b"; "c" ];
+  let solo key = ok_or_fail ("get " ^ key) (Store.get ~use_cache:false store ~key) in
+  let in_batch keys key =
+    match List.assoc key (Store.get_batch ~use_cache:false store keys) with
+    | Ok bytes -> bytes
+    | Error e -> Alcotest.failf "batched get %s: %s" key (Store.error_message e)
+  in
+  let a = solo "a" in
+  Alcotest.(check bytes) "repeat solo get replays the stream" a (solo "a");
+  Alcotest.(check bytes) "same bytes inside [a;b]" a (in_batch [ "a"; "b" ] "a");
+  Alcotest.(check bytes) "same bytes inside [b;a]" a (in_batch [ "b"; "a" ] "a");
+  Alcotest.(check bytes) "same bytes inside [c;a;b]" a (in_batch [ "c"; "a"; "b" ] "a");
+  (* A new version is a new stream: overwrite must change the draws'
+     derivation but still decode to the new payload. *)
+  let v2 = random_file r 140 in
+  ok_or_fail "overwrite a" (Store.overwrite store ~key:"a" v2);
+  Alcotest.(check bytes) "post-overwrite get decodes v2" v2 (solo "a")
+
 (* ---------- LRU cache ---------- *)
 
 let test_cache_hits_on_repeated_get () =
@@ -375,6 +457,12 @@ let () =
         [
           Alcotest.test_case "batched get equals sequential" `Slow
             test_get_batch_matches_sequential;
+          Alcotest.test_case "1k-key batch joins in input order" `Slow
+            test_get_batch_thousand_keys;
+          Alcotest.test_case "duplicate keys decode once, answer twice" `Slow
+            test_get_batch_duplicate_keys_decode_once;
+          Alcotest.test_case "bytes independent of batch shape" `Slow
+            test_get_deterministic_across_batch_shapes;
         ] );
       ( "cache",
         [
