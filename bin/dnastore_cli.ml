@@ -613,7 +613,7 @@ let store_cmd =
     exit 1
   in
   let or_die = function Ok v -> v | Error e -> die e in
-  let opened dir = or_die (Store.open_store ~dir) in
+  let opened dir = or_die (Store.open_store ~dir ()) in
   let init_cmd =
     let seed = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Store rng seed.") in
     let shard_target =
@@ -677,17 +677,41 @@ let store_cmd =
     let domains =
       Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for decoding.")
     in
-    let run dir key output domains recon_backend =
+    let degraded =
+      Arg.(
+        value & flag
+        & info [ "degraded" ]
+            ~doc:
+              "Serve whatever survives when the object's shard is damaged or scrub marked it \
+               degraded, instead of failing. Exit 2 signals a partial (non-exact) read.")
+    in
+    let run dir key output domains recon_backend degraded =
       let store = opened dir in
-      match Store.get_batch ~domains ~recon_backend store [ key ] with
-      | [ (_, Ok bytes) ] ->
-          write_binary output bytes;
-          Printf.printf "recovered %s (%d bytes)\n" key (Bytes.length bytes)
-      | [ (_, Error e) ] -> die e
-      | _ -> assert false
+      if degraded then begin
+        let p = or_die (Store.get_partial store ~key) in
+        write_binary output p.Store.bytes;
+        if p.Store.exact then
+          Printf.printf "recovered %s (%d bytes, exact)\n" key (Bytes.length p.Store.bytes)
+        else begin
+          Printf.printf "degraded read of %s: %.1f%% of %d bytes recovered (%s)\n" key
+            (100.0 *. p.Store.recovered_fraction)
+            (Bytes.length p.Store.bytes)
+            (match p.Store.recovered_ranges with
+            | [] -> "no intact ranges"
+            | rs -> String.concat ", " (List.map (fun (a, b) -> Printf.sprintf "[%d,%d)" a b) rs));
+          exit 2
+        end
+      end
+      else
+        match Store.get_batch ~domains ~recon_backend store [ key ] with
+        | [ (_, Ok bytes) ] ->
+            write_binary output bytes;
+            Printf.printf "recovered %s (%d bytes)\n" key (Bytes.length bytes)
+        | [ (_, Error e) ] -> die e
+        | _ -> assert false
     in
     Cmd.v (Cmd.info "get" ~doc:"Sequence, reconstruct and decode one object.")
-      Term.(const run $ dir_arg $ key_arg $ output $ domains $ recon_backend_arg)
+      Term.(const run $ dir_arg $ key_arg $ output $ domains $ recon_backend_arg $ degraded)
   in
   let rm_cmd =
     let run dir key =
@@ -704,7 +728,12 @@ let store_cmd =
       let s = or_die (Store.compact store) in
       Printf.printf "rewrote %d objects: %d -> %d strands, %d -> %d shards, %d primer pairs reclaimed\n"
         s.Store.objects_rewritten s.strands_before s.strands_after s.shards_before s.shards_after
-        s.primer_pairs_reclaimed
+        s.primer_pairs_reclaimed;
+      if s.Store.objects_dropped > 0 then
+        Printf.printf "dropped %d lost object(s) from the directory\n" s.Store.objects_dropped;
+      print_string
+        (Dnastore.Report.maintenance_counters ~unlink_failures:s.Store.unlink_failures
+           ~orphans_reclaimed:0)
     in
     Cmd.v
       (Cmd.info "compact" ~doc:"Re-synthesize live objects into fresh shards and reclaim primers.")
@@ -713,14 +742,125 @@ let store_cmd =
   let stats_cmd =
     let run dir =
       let store = opened dir in
-      print_string (Store.render_stats store)
+      print_string (Store.render_stats store);
+      let s = Store.stats store in
+      print_string
+        (Dnastore.Report.maintenance_counters ~unlink_failures:0
+           ~orphans_reclaimed:s.Store.orphans_reclaimed)
     in
     Cmd.v (Cmd.info "stats" ~doc:"Print shard, object, primer and cache statistics.")
       Term.(const run $ dir_arg)
   in
+  let scrub_cmd =
+    let run dir =
+      let store = opened dir in
+      let r = or_die (Store.scrub store) in
+      print_string
+        (Dnastore.Report.scrub_summary ~shards_checked:r.Store.shards_checked
+           ~shards_corrupt:r.Store.shards_corrupt ~shards_quarantined:r.Store.shards_quarantined
+           ~shards_dropped:r.Store.shards_dropped ~objects_checked:r.Store.objects_checked
+           ~objects_repaired:r.Store.objects_repaired ~objects_degraded:r.Store.objects_degraded
+           ~objects_lost:r.Store.objects_lost ~checksums_backfilled:r.Store.checksums_backfilled);
+      if r.Store.objects_degraded > 0 || r.Store.objects_lost > 0 then exit 2
+    in
+    Cmd.v
+      (Cmd.info "scrub"
+         ~doc:
+           "Verify every shard checksum and self-repair damaged objects. Exit 2 when damage \
+            survives the pass (degraded or lost objects).")
+      Term.(const run $ dir_arg)
+  in
+  let corrupt_cmd =
+    let mode =
+      Arg.(
+        value
+        & opt (enum [ ("flip", `Flip); ("truncate", `Truncate); ("garbage", `Garbage) ]) `Flip
+        & info [ "mode" ] ~docv:"MODE"
+            ~doc:
+              "Damage to inject: $(b,flip) rewrites bases inside one molecule, $(b,truncate) \
+               drops the tail of the shard file, $(b,garbage) replaces it with non-FASTA bytes.")
+    in
+    let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Injection rng seed.") in
+    let run dir key mode seed =
+      let store = opened dir in
+      let shard =
+        match Store.object_shard store ~key with
+        | Some s -> s
+        | None -> die (Store.Key_not_found key)
+      in
+      let path =
+        match Store.shard_path store ~shard with
+        | Some p -> p
+        | None -> die (Store.Corrupt (Printf.sprintf "shard %d has no file" shard))
+      in
+      let content =
+        let ic = open_in_bin path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let rng = Dna.Rng.create seed in
+      let damaged =
+        match mode with
+        | `Flip ->
+            (* Rewrite a run of bases in the middle of the file, skewing
+               the pool without changing its length or framing. *)
+            let b = Bytes.of_string content in
+            let len = Bytes.length b in
+            let flips = ref 0 in
+            while !flips < 8 do
+              let i = Dna.Rng.int rng len in
+              (match Bytes.get b i with
+              | 'A' -> Bytes.set b i 'C'
+              | 'C' -> Bytes.set b i 'G'
+              | 'G' -> Bytes.set b i 'T'
+              | 'T' -> Bytes.set b i 'A'
+              | _ -> decr flips);
+              incr flips
+            done;
+            Bytes.to_string b
+        | `Truncate -> String.sub content 0 (String.length content / 2)
+        | `Garbage -> "not a FASTA file\n"
+      in
+      let oc = open_out_bin path in
+      output_string oc damaged;
+      close_out oc;
+      Printf.printf "corrupted shard %d (%s) under key %s\n" shard path key
+    in
+    Cmd.v
+      (Cmd.info "corrupt"
+         ~doc:
+           "Deterministically damage the shard holding a key (test tool for the scrub/degraded \
+            read path).")
+      Term.(const run $ dir_arg $ key_arg $ mode $ seed)
+  in
+  let crash_matrix_cmd =
+    let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.") in
+    let scratch =
+      Arg.(
+        value
+        & opt string "/tmp/dnastore-crash-matrix"
+        & info [ "scratch" ] ~docv:"DIR" ~doc:"Scratch directory (deleted and recreated per run).")
+    in
+    let run seed scratch =
+      let outcome = Crash_harness.run ~seed ~dir:scratch () in
+      print_string (Crash_harness.render outcome);
+      if outcome.Crash_harness.failures <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "crash-matrix"
+         ~doc:
+           "Sweep a simulated kill across every filesystem fault point of a scripted workload \
+            and verify that reopening recovers a consistent prefix. Exit 1 on any violation.")
+      Term.(const run $ seed $ scratch)
+  in
   Cmd.group
     (Cmd.info "store" ~doc:"Persistent sharded DNA object store with rewritable random access.")
-    [ init_cmd; put_cmd; get_cmd; rm_cmd; compact_cmd; stats_cmd ]
+    [
+      init_cmd; put_cmd; get_cmd; rm_cmd; compact_cmd; stats_cmd; scrub_cmd; corrupt_cmd;
+      crash_matrix_cmd;
+    ]
 
 (* serve: drive a multi-client workload through the serving layer *)
 
@@ -762,7 +902,21 @@ let serve_cmd =
   let domains =
     Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains for batched gets.")
   in
-  let run dir populate ops clients read_pct window max_queue zipf seed domains =
+  let deadline =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS"
+          ~doc:"Per-request queueing deadline; requests waiting longer are answered timed-out.")
+  in
+  let degraded_reads =
+    Arg.(
+      value & flag
+      & info [ "degraded-reads" ]
+          ~doc:"Answer damaged gets with the surviving bytes instead of an error.")
+  in
+  let run dir populate ops clients read_pct window max_queue zipf seed domains deadline_s
+      degraded_reads =
     let die e =
       Printf.eprintf "%s\n" (Store.error_message e);
       exit 1
@@ -778,11 +932,20 @@ let serve_cmd =
         done;
         store
       end
-      else or_die (Store.open_store ~dir)
+      else or_die (Store.open_store ~dir ())
     in
     let keys = Store.keys store in
     if keys = [] then failwith "serve: store has no objects (use --populate)";
-    let config = { Serve.default_config with Serve.window; Serve.max_queue; Serve.domains } in
+    let config =
+      {
+        Serve.default_config with
+        Serve.window;
+        Serve.max_queue;
+        Serve.domains;
+        Serve.deadline_s;
+        Serve.degraded_reads;
+      }
+    in
     let mix = { Serve.Workload.label = Printf.sprintf "read%.0f" (100.0 *. read_pct); Serve.Workload.read_pct } in
     let summary, _ =
       Serve.Workload.run ~config ~mix ~n_clients:clients ~n_ops:ops ~zipf_s:zipf ~seed ~keys store
@@ -797,7 +960,7 @@ let serve_cmd =
        ~doc:"Serve a multi-client zipfian put/get/overwrite workload through the scheduler.")
     Term.(
       const run $ dir_arg $ populate $ ops $ clients $ read_pct $ window $ max_queue $ zipf $ seed
-      $ domains)
+      $ domains $ deadline $ degraded_reads)
 
 let main =
   let doc = "modular end-to-end DNA data storage codec and simulator" in

@@ -131,6 +131,35 @@ let latency_summary ~label ~n ~wall_s ~p50_ms ~p95_ms ~p99_ms =
   Printf.sprintf "%s: %d ops in %.2f s (%.1f ops/s), latency p50 %.2f ms, p95 %.2f ms, p99 %.2f ms\n"
     label n wall_s throughput p50_ms p95_ms p99_ms
 
+(* A scrub pass in two lines: what the shard sweep found, what object
+   recovery did about it. *)
+let scrub_summary ~shards_checked ~shards_corrupt ~shards_quarantined ~shards_dropped
+    ~objects_checked ~objects_repaired ~objects_degraded ~objects_lost ~checksums_backfilled =
+  Printf.sprintf
+    "scrub: %d shards checked, %d corrupt (%d quarantined, %d dropped)\n\
+    \       %d objects checked: %d repaired, %d degraded, %d lost, %d checksums backfilled\n"
+    shards_checked shards_corrupt shards_quarantined shards_dropped objects_checked
+    objects_repaired objects_degraded objects_lost checksums_backfilled
+
+(* One line of serving-layer resilience accounting: how much load was
+   shed, retried, abandoned, or answered late/partially. Empty when
+   nothing noteworthy happened, so happy-path reports stay clean. *)
+let resilience_counters ~rejected ~retries ~gave_up ~timed_out ~degraded =
+  if rejected = 0 && retries = 0 && gave_up = 0 && timed_out = 0 && degraded = 0 then ""
+  else
+    Printf.sprintf
+      "resilience: %d rejected, %d retries (%d gave up), %d timed out, %d degraded reads\n"
+      rejected retries gave_up timed_out degraded
+
+(* One line of store-maintenance hygiene: unlinks compact could not
+   complete (files left behind for the next pass) and the temp/orphan
+   debris reclaimed when the store was opened. Empty when clean. *)
+let maintenance_counters ~unlink_failures ~orphans_reclaimed =
+  if unlink_failures = 0 && orphans_reclaimed = 0 then ""
+  else
+    Printf.sprintf "maintenance: %d failed unlinks left behind, %d orphan files reclaimed\n"
+      unlink_failures orphans_reclaimed
+
 let pct x = Printf.sprintf "%.2f%%" (100.0 *. x)
 let f3 x = Printf.sprintf "%.3f" x
 let f4 x = Printf.sprintf "%.4f" x

@@ -31,6 +31,29 @@ val latency_summary :
     throughput and the p50/p95/p99 latency tail (used by the serving
     layer's stats and the [bench_serve] driver). *)
 
+val scrub_summary :
+  shards_checked:int ->
+  shards_corrupt:int ->
+  shards_quarantined:int ->
+  shards_dropped:int ->
+  objects_checked:int ->
+  objects_repaired:int ->
+  objects_degraded:int ->
+  objects_lost:int ->
+  checksums_backfilled:int ->
+  string
+(** A scrub pass in two lines: the shard sweep, then what object
+    recovery did about the damage (used by [dnastore store scrub]). *)
+
+val resilience_counters :
+  rejected:int -> retries:int -> gave_up:int -> timed_out:int -> degraded:int -> string
+(** One line of serving-layer resilience accounting (load shed, retried,
+    abandoned, answered late or partially); empty when all zero. *)
+
+val maintenance_counters : unlink_failures:int -> orphans_reclaimed:int -> string
+(** One line of store-maintenance hygiene: unlinks compact had to skip
+    and orphan/temp debris reclaimed at open; empty when all zero. *)
+
 val pct : float -> string
 (** "12.34%". *)
 

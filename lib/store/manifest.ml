@@ -3,12 +3,22 @@
     "key" — codec parameters and location), plus the retired primer
     pairs whose molecules still sit in shards awaiting compaction.
 
+    Format version 2 adds integrity metadata: a CRC-32 per shard (over
+    the canonical serialization of the manifest-recorded strand prefix,
+    so orphan molecules appended by an interrupted put do not disturb
+    it), a CRC-32 per object (over the original payload, the ground
+    truth scrub repairs against), an object health mark
+    (healthy/degraded/lost, written by {!Store.scrub}) and a shard
+    quarantine flag. Version-1 manifests load with the metadata absent.
+
     Updates are crash-safe: [save] writes the full document to a
     temporary file in the store directory and renames it over
     [MANIFEST.json], so a reader sees either the old or the new
-    manifest, never a torn one. *)
+    manifest, never a torn one. All disk traffic goes through a
+    {!Store_io.t}, so every write and rename is a fault-injection
+    point. *)
 
-let format_version = 1
+let format_version = 2
 let manifest_name = "MANIFEST.json"
 let shards_dir = "shards"
 let shard_file shard_id = Filename.concat shards_dir (Printf.sprintf "shard_%05d.fasta" shard_id)
@@ -28,7 +38,18 @@ type shard_meta = {
   file : string;  (** relative to the store directory *)
   n_strands : int;  (** molecules recorded in the manifest (orphans of an interrupted put may exceed this) *)
   dead_strands : int;  (** molecules of deleted/overwritten objects, reclaimed by compaction *)
+  checksum : int option;
+      (** CRC-32 of the canonical FASTA serialization of the first
+          [n_strands] records; [None] in version-1 manifests *)
+  quarantined : bool;
+      (** scrub found this shard damaged and left it in place because
+          degraded or lost objects still reference it *)
 }
+
+type health =
+  | Healthy
+  | Degraded of { recovered_fraction : float; ranges : (int * int) list }
+  | Lost
 
 type object_meta = {
   key : string;
@@ -39,6 +60,8 @@ type object_meta = {
   params : Codec.Params.t;
   layout : Codec.Layout.t;
   original_size : int;
+  checksum : int option;  (** CRC-32 of the payload; [None] in version-1 manifests *)
+  health : health;
 }
 
 type t = {
@@ -80,33 +103,50 @@ let json_of_pair (pair : Codec.Primer.pair) =
 
 let json_of_shard (s : shard_meta) =
   J.Obj
-    [
-      ("id", J.Int s.shard_id);
-      ("file", J.String s.file);
-      ("n_strands", J.Int s.n_strands);
-      ("dead_strands", J.Int s.dead_strands);
-    ]
+    ([
+       ("id", J.Int s.shard_id);
+       ("file", J.String s.file);
+       ("n_strands", J.Int s.n_strands);
+       ("dead_strands", J.Int s.dead_strands);
+     ]
+    @ (match s.checksum with None -> [] | Some c -> [ ("checksum", J.Int c) ])
+    @ if s.quarantined then [ ("quarantined", J.Bool true) ] else [])
+
+let health_name = function Healthy -> "healthy" | Degraded _ -> "degraded" | Lost -> "lost"
+
+let json_of_health = function
+  | Healthy -> [ ("health", J.String "healthy") ]
+  | Lost -> [ ("health", J.String "lost") ]
+  | Degraded { recovered_fraction; ranges } ->
+      [
+        ("health", J.String "degraded");
+        ("recovered_fraction", J.Float recovered_fraction);
+        ( "recovered_ranges",
+          J.List (List.map (fun (a, b) -> J.List [ J.Int a; J.Int b ]) ranges) );
+      ]
 
 let json_of_object (o : object_meta) =
   J.Obj
-    [
-      ("key", J.String o.key);
-      ("version", J.Int o.version);
-      ("shard", J.Int o.shard);
-      ("pair", json_of_pair o.pair);
-      ("n_units", J.Int o.n_units);
-      ("payload_nt", J.Int o.params.Codec.Params.payload_nt);
-      ("rs_data", J.Int o.params.Codec.Params.rs_data);
-      ("rs_parity", J.Int o.params.Codec.Params.rs_parity);
-      ("scramble_seed", J.Int o.params.Codec.Params.scramble_seed);
-      ("layout", J.String (Codec.Layout.name o.layout));
-      ("original_size", J.Int o.original_size);
-    ]
+    ([
+       ("key", J.String o.key);
+       ("version", J.Int o.version);
+       ("shard", J.Int o.shard);
+       ("pair", json_of_pair o.pair);
+       ("n_units", J.Int o.n_units);
+       ("payload_nt", J.Int o.params.Codec.Params.payload_nt);
+       ("rs_data", J.Int o.params.Codec.Params.rs_data);
+       ("rs_parity", J.Int o.params.Codec.Params.rs_parity);
+       ("scramble_seed", J.Int o.params.Codec.Params.scramble_seed);
+       ("layout", J.String (Codec.Layout.name o.layout));
+       ("original_size", J.Int o.original_size);
+     ]
+    @ (match o.checksum with None -> [] | Some c -> [ ("checksum", J.Int c) ])
+    @ json_of_health o.health)
 
 let to_json (t : t) =
   J.Obj
     [
-      ("format_version", J.Int t.version);
+      ("format_version", J.Int format_version);
       ("seed", J.Int t.seed);
       ("generation", J.Int t.generation);
       ("next_shard_id", J.Int t.next_shard_id);
@@ -127,6 +167,17 @@ let to_json (t : t) =
 
 let ( let* ) = Result.bind
 
+let opt_int_field v k =
+  match J.member k v with
+  | None -> Ok None
+  | Some f -> Result.map Option.some (J.as_int f)
+
+let opt_bool_field v k =
+  match J.member k v with
+  | None -> Ok false
+  | Some (J.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S is not a bool" k)
+
 let strand_field v k =
   let* s = J.string_field v k in
   match Dna.Strand.of_string_opt s with
@@ -143,7 +194,31 @@ let shard_of_json v =
   let* file = J.string_field v "file" in
   let* n_strands = J.int_field v "n_strands" in
   let* dead_strands = J.int_field v "dead_strands" in
-  Ok { shard_id; file; n_strands; dead_strands }
+  let* checksum = opt_int_field v "checksum" in
+  let* quarantined = opt_bool_field v "quarantined" in
+  Ok { shard_id; file; n_strands; dead_strands; checksum; quarantined }
+
+let range_of_json = function
+  | J.List [ J.Int a; J.Int b ] -> Ok (a, b)
+  | _ -> Error "malformed recovered range (want [start, stop])"
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let health_of_json v =
+  match J.member "health" v with
+  | None -> Ok Healthy (* version-1 objects carry no health mark *)
+  | Some (J.String "healthy") -> Ok Healthy
+  | Some (J.String "lost") -> Ok Lost
+  | Some (J.String "degraded") ->
+      let* recovered_fraction = J.float_field v "recovered_fraction" in
+      let* ranges = Result.bind (J.list_field v "recovered_ranges") (map_result range_of_json) in
+      Ok (Degraded { recovered_fraction; ranges })
+  | Some _ -> Error "unknown health mark"
 
 let object_of_json v =
   let* key = J.string_field v "key" in
@@ -157,6 +232,8 @@ let object_of_json v =
   let* scramble_seed = J.int_field v "scramble_seed" in
   let* layout_name = J.string_field v "layout" in
   let* original_size = J.int_field v "original_size" in
+  let* checksum = opt_int_field v "checksum" in
+  let* health = health_of_json v in
   let* layout =
     match List.find_opt (fun l -> Codec.Layout.name l = layout_name) Codec.Layout.all with
     | Some l -> Ok l
@@ -172,21 +249,18 @@ let object_of_json v =
       params = { Codec.Params.payload_nt; rs_data; rs_parity; scramble_seed };
       layout;
       original_size;
+      checksum;
+      health;
     }
 
-let rec map_result f = function
-  | [] -> Ok []
-  | x :: rest ->
-      let* y = f x in
-      let* ys = map_result f rest in
-      Ok (y :: ys)
+let readable_versions = [ 1; 2 ]
 
 let of_json v : (t, string) result =
   let* version = J.int_field v "format_version" in
-  if version <> format_version then
+  if not (List.mem version readable_versions) then
     Error
-      (Printf.sprintf "manifest format version %d, this build reads version %d" version
-         format_version)
+      (Printf.sprintf "manifest format version %d, this build reads versions %s" version
+         (String.concat "/" (List.map string_of_int readable_versions)))
   else
     let* seed = J.int_field v "seed" in
     let* generation = J.int_field v "generation" in
@@ -213,31 +287,20 @@ let of_json v : (t, string) result =
 
 (* ---------- disk ---------- *)
 
-let write_file_atomic ~dir ~name content =
-  (* Write-temp-then-rename: the visible file is either the old or the
-     new content, never a torn write. *)
-  let tmp = Filename.concat dir (name ^ ".tmp") in
-  let oc = open_out tmp in
-  Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
-    (fun () ->
-      output_string oc content;
-      flush oc);
-  Sys.rename tmp (Filename.concat dir name)
+let write_file_atomic ?(io = Store_io.real) ~dir ~name content =
+  Store_io.write_file_atomic io ~dir ~name content
 
-let save ~dir (t : t) = write_file_atomic ~dir ~name:manifest_name (J.to_string (to_json t))
+let save ?(io = Store_io.real) ~dir (t : t) =
+  Store_io.write_file_atomic io ~dir ~name:manifest_name (J.to_string (to_json t))
 
-let load ~dir : (t, string) result =
+let load ?(io = Store_io.real) ~dir () : (t, string) result =
   let path = Filename.concat dir manifest_name in
-  if not (Sys.file_exists path) then Error (Printf.sprintf "no manifest at %s" path)
+  if not (Store_io.exists io path) then Error (Printf.sprintf "no manifest at %s" path)
   else begin
-    let ic = open_in_bin path in
-    let content =
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> really_input_string ic (in_channel_length ic))
-    in
-    match J.of_string content with
-    | Error msg -> Error (Printf.sprintf "manifest unreadable: %s" msg)
-    | Ok v -> of_json v
+    match Store_io.read_file io path with
+    | exception Sys_error msg -> Error (Printf.sprintf "manifest unreadable: %s" msg)
+    | content -> (
+        match J.of_string content with
+        | Error msg -> Error (Printf.sprintf "manifest unreadable: %s" msg)
+        | Ok v -> of_json v)
   end

@@ -1,7 +1,9 @@
 (** The store's on-disk catalog: a versioned JSON document describing
     shards, live objects (primer pair, codec parameters, location) and
     retired primer pairs awaiting compaction. [save] is crash-safe
-    (write-temp-then-rename). *)
+    (write-temp-then-rename). Format version 2 adds shard/object CRC-32
+    checksums, object health marks and shard quarantine flags; version-1
+    manifests still load (the metadata comes back absent). *)
 
 val format_version : int
 val manifest_name : string
@@ -24,7 +26,21 @@ type shard_meta = {
   file : string;  (** relative to the store directory *)
   n_strands : int;
   dead_strands : int;  (** molecules of deleted/overwritten objects, reclaimed by compaction *)
+  checksum : int option;
+      (** CRC-32 of the canonical FASTA serialization of the first
+          [n_strands] records (orphan molecules beyond the recorded
+          prefix do not disturb it); [None] in version-1 manifests *)
+  quarantined : bool;
+      (** scrub found this shard damaged and left it in place because
+          degraded or lost objects still reference it *)
 }
+
+type health =
+  | Healthy
+  | Degraded of { recovered_fraction : float; ranges : (int * int) list }
+      (** scrub could only partially re-decode the object; [ranges] are
+          the recovered byte intervals (inclusive start, exclusive end) *)
+  | Lost  (** scrub could not recover any unit *)
 
 type object_meta = {
   key : string;
@@ -35,6 +51,8 @@ type object_meta = {
   params : Codec.Params.t;
   layout : Codec.Layout.t;
   original_size : int;
+  checksum : int option;  (** CRC-32 of the payload; [None] in version-1 manifests *)
+  health : health;
 }
 
 type t = {
@@ -52,13 +70,16 @@ type t = {
 
 val empty : seed:int -> config:config -> t
 
+val health_name : health -> string
+(** ["healthy"], ["degraded"] or ["lost"]. *)
+
 val to_json : t -> Store_json.t
 val of_json : Store_json.t -> (t, string) result
 (** Rejects unknown format versions and malformed fields. *)
 
-val write_file_atomic : dir:string -> name:string -> string -> unit
+val write_file_atomic : ?io:Store_io.t -> dir:string -> name:string -> string -> unit
 (** Write-temp-then-rename within [dir]; used for the manifest and the
-    shard pools. *)
+    shard pools. Defaults to the real filesystem. *)
 
-val save : dir:string -> t -> unit
-val load : dir:string -> (t, string) result
+val save : ?io:Store_io.t -> dir:string -> t -> unit
+val load : ?io:Store_io.t -> dir:string -> unit -> (t, string) result

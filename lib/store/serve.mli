@@ -21,12 +21,27 @@ type request =
   | Put of { key : string; data : Bytes.t }
   | Overwrite of { key : string; data : Bytes.t }
 
-type response = Value of Bytes.t  (** a served get *) | Ack  (** a durable write *)
+type response =
+  | Value of Bytes.t  (** a served get *)
+  | Ack  (** a durable write *)
+  | Partial of {
+      bytes : Bytes.t;
+      recovered_fraction : float;
+      recovered_ranges : (int * int) list;
+    }
+      (** a degraded read (only with [config.degraded_reads]): the
+          object's shard is damaged or scrub marked it Degraded, and
+          these are the surviving bytes — see {!Store.get_partial} for
+          the range semantics *)
 
 type error =
   | Overloaded of { queue_depth : int; max_queue : int }
       (** Rejected at admission: the queue was full when the request
           arrived. Nothing was enqueued; the client may retry later. *)
+  | Timed_out of { waited_s : float; deadline_s : float }
+      (** The request waited in the queue past [config.deadline_s];
+          judged at the start of the round that dequeued it, before any
+          wetlab work is spent on it. *)
   | Store of Store.error  (** The store failed the admitted request. *)
 
 val error_message : error -> string
@@ -36,10 +51,15 @@ type config = {
   max_queue : int;  (** admission bound; beyond it requests get {!Overloaded} *)
   domains : int;  (** worker budget handed to {!Store.get_batch} *)
   use_cache : bool;  (** serve gets through the store's decoded-object LRU *)
+  deadline_s : float option;  (** per-request queueing deadline; [None] = never time out *)
+  degraded_reads : bool;
+      (** answer damaged gets with {!Partial} instead of an error when
+          the store can salvage part of the object *)
 }
 
 val default_config : config
-(** [{ window = 32; max_queue = 256; domains = 1; use_cache = true }] *)
+(** [{ window = 32; max_queue = 256; domains = 1; use_cache = true;
+       deadline_s = None; degraded_reads = false }] *)
 
 type completion = {
   ticket : int;  (** admission order, dense from 0 *)
@@ -60,6 +80,8 @@ type stats = {
       (** gets answered without a sequencing pass of their own — they
           shared a same-shard pass with another get in the round, were
           duplicates, or hit the decoded-object cache *)
+  timed_out : int;  (** requests answered {!Timed_out} at dequeue *)
+  degraded : int;  (** gets answered {!Partial} via the degraded-read path *)
 }
 
 type t
@@ -87,9 +109,9 @@ val render_stats : t -> string
 (** A closed-loop YCSB-style workload: [n_clients] clients each keep
     one request in flight, keys drawn zipfian (popular keys hot, tail
     cold), operations drawn read/write by [read_pct]. Rejected requests
-    are retried after the scheduler makes progress, so every generated
-    operation eventually completes. Fixed [seed] makes a run
-    reproducible end to end. *)
+    retry under bounded exponential backoff with seeded jitter, so a
+    saturated scheduler sheds load instead of spinning. Fixed [seed]
+    makes a run reproducible end to end. *)
 module Workload : sig
   type mix = {
     label : string;
@@ -106,7 +128,11 @@ module Workload : sig
     p99_ms : float;
     reads : int;
     writes : int;
-    rejected : int;  (** admission rejections (each later retried) *)
+    rejected : int;  (** admission rejections *)
+    retries : int;  (** resubmissions after {!Overloaded}, across all ops *)
+    gave_up : int;  (** ops abandoned after [max_retries] rejections *)
+    timed_out : int;
+    degraded : int;
     coalesced_reads : int;
     sequencing_passes : int;  (** wetlab passes the whole run cost *)
     cache_hits : int;
@@ -122,6 +148,7 @@ module Workload : sig
 
   val run :
     ?config:config ->
+    ?max_retries:int ->
     mix:mix ->
     n_clients:int ->
     n_ops:int ->
@@ -132,7 +159,12 @@ module Workload : sig
     summary * completion list
   (** Drive [n_ops] operations against [keys] (which must already be in
       the store) and summarize. Writes are overwrites of existing keys,
-      so the object population is stable across the run. *)
+      so the object population is stable across the run. An
+      {!Overloaded} rejection backs the operation off a jittered,
+      exponentially growing number of scheduler rounds (seeded — the
+      schedule replays), and after [max_retries] (default 8) consecutive
+      rejections the operation is dropped and counted in
+      [summary.gave_up]. *)
 
   val summary_json : summary -> Store.Json.t
   val render : summary -> string

@@ -26,6 +26,7 @@
 
 module Json = Store_json
 module Lru = Lru
+module Io = Store_io
 
 type config = Manifest.config = {
   shard_target_strands : int;
@@ -43,6 +44,10 @@ type error =
   | Primer_space_exhausted of { attempts : int }
   | Decode_failed of { key : string; reason : string }
   | Corrupt of string
+  | Corrupt_shard of { shard : int; reason : string }
+  | Io_error of string
+  | Object_degraded of { key : string; recovered_fraction : float }
+  | Object_lost of string
 
 let error_message = function
   | Key_not_found key -> Printf.sprintf "Store: key %s not found" key
@@ -51,6 +56,12 @@ let error_message = function
       Printf.sprintf "Store: primer space exhausted after %d attempts" attempts
   | Decode_failed { key; reason } -> Printf.sprintf "Store: decoding %s failed: %s" key reason
   | Corrupt reason -> Printf.sprintf "Store: corrupt store: %s" reason
+  | Corrupt_shard { shard; reason } -> Printf.sprintf "Store: shard %d corrupt: %s" shard reason
+  | Io_error msg -> Printf.sprintf "Store: I/O failure: %s" msg
+  | Object_degraded { key; recovered_fraction } ->
+      Printf.sprintf "Store: object %s is degraded (%.0f%% recovered); use a degraded read" key
+        (100. *. recovered_fraction)
+  | Object_lost key -> Printf.sprintf "Store: object %s is lost" key
 
 type pool = {
   strands : Dna.Strand.t array;
@@ -59,6 +70,7 @@ type pool = {
 
 type t = {
   dir : string;
+  io : Store_io.t;  (** every byte to or from disk goes through this *)
   rng : Dna.Rng.t;  (** put/primer draws only: gets never touch it *)
   mutable manifest : Manifest.t;
   registry : Codec.Primer.Registry.t;  (** live + retired pairs *)
@@ -67,6 +79,9 @@ type t = {
   mutable sequencing_passes : int;
       (** wetlab sequencing passes run so far; a batched get counts one
           per shard touched however many objects it coalesces *)
+  mutable orphans_reclaimed : int;
+      (** leftover [.tmp] and unreferenced shard files removed when this
+          store was opened (debris of an interrupted run) *)
 }
 
 let dir t = t.dir
@@ -86,53 +101,89 @@ let shard_files t =
     (fun (s : Manifest.shard_meta) -> Filename.concat t.dir s.file)
     t.manifest.Manifest.shards
 
-(* ---------- lifecycle ---------- *)
+let shard_path t ~shard =
+  List.find_map
+    (fun (s : Manifest.shard_meta) ->
+      if s.shard_id = shard then Some (Filename.concat t.dir s.file) else None)
+    t.manifest.Manifest.shards
 
-let mkdir_p path =
-  let rec make p =
-    if p <> "" && p <> "." && p <> "/" && not (Sys.file_exists p) then begin
-      make (Filename.dirname p);
-      (try Sys.mkdir p 0o755 with Sys_error _ when Sys.file_exists p -> ())
-    end
-  in
-  make path
+(* ---------- lifecycle ---------- *)
 
 let rng_of_manifest (m : Manifest.t) =
   (* Mix the generation in so every reopened store continues on a fresh
      stream instead of replaying the original one. *)
   Dna.Rng.create (m.Manifest.seed + (1000003 * m.Manifest.generation))
 
-let of_manifest ~dir (m : Manifest.t) =
+let of_manifest ~io ~dir ~orphans (m : Manifest.t) =
   let live = List.map (fun (o : Manifest.object_meta) -> o.pair) m.Manifest.objects in
   {
     dir;
+    io;
     rng = rng_of_manifest m;
     manifest = m;
     registry = Codec.Primer.Registry.of_pairs (live @ m.Manifest.retired);
     pools = Hashtbl.create 8;
     cache = Lru.create ~capacity:m.Manifest.config.cache_objects;
     sequencing_passes = 0;
+    orphans_reclaimed = orphans;
   }
 
-let init ?(config = default_config) ~dir ~seed () : (t, error) result =
-  if Sys.file_exists (Filename.concat dir Manifest.manifest_name) then
+let init ?(config = default_config) ?(io = Store_io.real) ~dir ~seed () : (t, error) result =
+  if Store_io.exists io (Filename.concat dir Manifest.manifest_name) then
     Error (Corrupt (Printf.sprintf "%s is already an initialized store" dir))
   else begin
-    mkdir_p (Filename.concat dir Manifest.shards_dir);
+    Store_io.mkdir_p io (Filename.concat dir Manifest.shards_dir);
     let m = Manifest.empty ~seed ~config in
-    Manifest.save ~dir m;
-    Ok (of_manifest ~dir m)
+    match Manifest.save ~io ~dir m with
+    | exception Store_io.Io_failure msg -> Error (Io_error msg)
+    | () -> Ok (of_manifest ~io ~dir ~orphans:0 m)
   end
 
-let open_store ~dir : (t, error) result =
-  match Manifest.load ~dir with
-  | Error msg -> Error (Corrupt msg)
-  | Ok m -> Ok (of_manifest ~dir m)
+(* Sweep the debris an interrupted run can leave behind: torn or
+   unrenamed [.tmp] files anywhere in the store, and shard files the
+   manifest does not reference (written by a put or compaction that
+   crashed before its manifest landed). Acked state never lives in
+   either, so removal is always safe. *)
+let reclaim_orphans ~io ~dir (m : Manifest.t) =
+  let referenced = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Manifest.shard_meta) -> Hashtbl.replace referenced (Filename.basename s.file) ())
+    m.Manifest.shards;
+  let removed = ref 0 in
+  let try_remove path =
+    match Store_io.remove io path with () -> incr removed | exception Sys_error _ -> ()
+  in
+  Array.iter
+    (fun name ->
+      if Filename.check_suffix name ".tmp" then try_remove (Filename.concat dir name))
+    (Store_io.list_dir io dir);
+  let sdir = Filename.concat dir Manifest.shards_dir in
+  Array.iter
+    (fun name ->
+      let path = Filename.concat sdir name in
+      if Filename.check_suffix name ".tmp" then try_remove path
+      else if
+        Filename.check_suffix name ".fasta"
+        && String.length name >= 6
+        && String.sub name 0 6 = "shard_"
+        && not (Hashtbl.mem referenced name)
+      then try_remove path)
+    (Store_io.list_dir io sdir);
+  !removed
 
-(* Persist a new manifest state (generation bumped) and adopt it. *)
+let open_store ?(io = Store_io.real) ~dir () : (t, error) result =
+  match Manifest.load ~io ~dir () with
+  | Error msg -> Error (Corrupt msg)
+  | Ok m ->
+      let orphans = reclaim_orphans ~io ~dir m in
+      Ok (of_manifest ~io ~dir ~orphans m)
+
+(* Persist a new manifest state (generation bumped) and adopt it. Only
+   adopts after the save lands, so an I/O failure leaves the in-memory
+   view on the old, still-true state. *)
 let save_manifest t (m : Manifest.t) =
   let m = { m with Manifest.generation = m.Manifest.generation + 1 } in
-  Manifest.save ~dir:t.dir m;
+  Manifest.save ~io:t.io ~dir:t.dir m;
   t.manifest <- m
 
 (* ---------- shard pools ---------- *)
@@ -145,6 +196,45 @@ let live_pairs_of_shard t shard_id =
     (fun (o : Manifest.object_meta) -> if o.shard = shard_id then Some o.pair else None)
     t.manifest.Manifest.objects
 
+(* Read and parse a shard file and verify it against its manifest
+   record: file present, parseable, at least the recorded strand count,
+   and — when the manifest carries one — a matching CRC-32 over the
+   canonical serialization of the recorded prefix. Orphan records beyond
+   the prefix (an interrupted put) do not disturb the checksum. [`Ok]
+   carries the computed prefix checksum (scrub backfills it into
+   version-1 manifests) and the parsed records. Never raises: any
+   parser or I/O exception becomes [`Corrupt]. *)
+let check_shard t (smeta : Manifest.shard_meta) :
+    [ `Ok of int * Dna.Fasta.record list | `Corrupt of string ] =
+  let path = Filename.concat t.dir smeta.file in
+  if not (Store_io.exists t.io path) then
+    `Corrupt (Printf.sprintf "shard file %s is missing" smeta.file)
+  else
+    match
+      let content = Store_io.read_file t.io path in
+      Dna.Fasta.parse_string content
+    with
+    | exception (Store_io.Crashed _ as e) -> raise e
+    | exception Sys_error msg -> `Corrupt msg
+    | exception e -> `Corrupt (Printexc.to_string e)
+    | records, errors ->
+        if errors <> [] then
+          `Corrupt (Printf.sprintf "%d unparsable FASTA records" (List.length errors))
+        else if List.length records < smeta.n_strands then
+          `Corrupt
+            (Printf.sprintf "shard %s holds %d strands, manifest records %d" smeta.file
+               (List.length records) smeta.n_strands)
+        else begin
+          let prefix = List.filteri (fun i _ -> i < smeta.n_strands) records in
+          let crc = Store_io.crc32 (Dna.Fasta.to_string prefix) in
+          match smeta.checksum with
+          | Some expect when expect <> crc ->
+              `Corrupt
+                (Printf.sprintf "shard %s checksum mismatch (recorded %d, computed %d)"
+                   smeta.file expect crc)
+          | _ -> `Ok (crc, records)
+        end
+
 let load_pool t shard_id : (pool, error) result =
   match Hashtbl.find_opt t.pools shard_id with
   | Some p -> Ok p
@@ -152,35 +242,61 @@ let load_pool t shard_id : (pool, error) result =
       match shard_meta t shard_id with
       | None -> Error (Corrupt (Printf.sprintf "shard %d is not in the manifest" shard_id))
       | Some smeta ->
-          let path = Filename.concat t.dir smeta.file in
-          if not (Sys.file_exists path) then
-            Error (Corrupt (Printf.sprintf "shard file %s is missing" smeta.file))
-          else begin
-            let records, _errors = Dna.Fasta.read_file path in
-            let strands = Array.of_list (List.map (fun r -> r.Dna.Fasta.seq) records) in
-            if Array.length strands < smeta.n_strands then
-              Error
-                (Corrupt
-                   (Printf.sprintf "shard %s holds %d strands, manifest records %d" smeta.file
-                      (Array.length strands) smeta.n_strands))
-            else begin
-              (* Strands beyond the manifest count are orphans of an
-                 interrupted put; their pair is unreserved, so they are
-                 unselectable and [build] leaves them unindexed. *)
-              let index =
-                Dnastore.Primer_index.build ~pairs:(live_pairs_of_shard t shard_id) strands
-              in
-              let p = { strands; index } in
-              Hashtbl.replace t.pools shard_id p;
-              Ok p
-            end
-          end)
+          if smeta.quarantined then
+            Error
+              (Corrupt_shard
+                 { shard = shard_id; reason = "quarantined: scrub found unrepaired damage" })
+          else (
+            match check_shard t smeta with
+            | `Corrupt reason -> Error (Corrupt_shard { shard = shard_id; reason })
+            | `Ok (_, records) ->
+                let strands = Array.of_list (List.map (fun r -> r.Dna.Fasta.seq) records) in
+                (* Strands beyond the manifest count are orphans of an
+                   interrupted put; their pair is unreserved, so they are
+                   unselectable and [build] leaves them unindexed. *)
+                let index =
+                  Dnastore.Primer_index.build ~pairs:(live_pairs_of_shard t shard_id) strands
+                in
+                let p = { strands; index } in
+                Hashtbl.replace t.pools shard_id p;
+                Ok p))
 
+(* Load whatever still parses from a (possibly damaged or quarantined)
+   shard, skipping count and checksum verification: scrub and degraded
+   reads work with the surviving molecules. Never cached in [t.pools],
+   so verified readers cannot pick it up by accident. *)
+let load_pool_lenient t shard_id : (pool, error) result =
+  match shard_meta t shard_id with
+  | None -> Error (Corrupt (Printf.sprintf "shard %d is not in the manifest" shard_id))
+  | Some smeta -> (
+      let path = Filename.concat t.dir smeta.file in
+      if not (Store_io.exists t.io path) then
+        Error (Corrupt_shard { shard = shard_id; reason = "shard file is missing" })
+      else
+        match
+          let content = Store_io.read_file t.io path in
+          Dna.Fasta.parse_string content
+        with
+        | exception (Store_io.Crashed _ as e) -> raise e
+        | exception Sys_error msg -> Error (Corrupt_shard { shard = shard_id; reason = msg })
+        | exception e ->
+            Error (Corrupt_shard { shard = shard_id; reason = Printexc.to_string e })
+        | records, _errors ->
+            let strands = Array.of_list (List.map (fun r -> r.Dna.Fasta.seq) records) in
+            let index =
+              Dnastore.Primer_index.build ~pairs:(live_pairs_of_shard t shard_id) strands
+            in
+            Ok { strands; index })
+
+(* Write a shard pool atomically and return the CRC-32 of its canonical
+   serialization — the checksum the manifest records for the file. *)
 let write_shard_file t ~file (strands : Dna.Strand.t array) =
   let records =
     Array.to_list (Array.mapi (fun i s -> { Dna.Fasta.id = Printf.sprintf "m_%d" i; seq = s }) strands)
   in
-  Manifest.write_file_atomic ~dir:t.dir ~name:file (Dna.Fasta.to_string records)
+  let content = Dna.Fasta.to_string records in
+  Manifest.write_file_atomic ~io:t.io ~dir:t.dir ~name:file content;
+  Store_io.crc32 content
 
 (* ---------- put / overwrite ---------- *)
 
@@ -196,9 +312,11 @@ let append_object t ~key ~(prev : Manifest.object_meta option) ?(params = Codec.
   let open_shard =
     List.fold_left
       (fun acc (s : Manifest.shard_meta) ->
-        match acc with
-        | Some (a : Manifest.shard_meta) when a.shard_id >= s.shard_id -> acc
-        | _ -> Some s)
+        if s.quarantined then acc (* never append to a damaged pool *)
+        else
+          match acc with
+          | Some (a : Manifest.shard_meta) when a.shard_id >= s.shard_id -> acc
+          | _ -> Some s)
       None m.Manifest.shards
   in
   let open_shard =
@@ -233,10 +351,19 @@ let append_object t ~key ~(prev : Manifest.object_meta option) ?(params = Codec.
                 | None -> (m.Manifest.next_shard_id, Manifest.shard_file m.Manifest.next_shard_id)
               in
               let strands = Array.append existing tagged in
-              (* Shard first, manifest second: a crash in between leaves
-                 orphan molecules behind an old manifest, never a
-                 manifest pointing at missing data. *)
-              write_shard_file t ~file strands;
+              match
+                (* Shard first, manifest second: a crash in between leaves
+                   orphan molecules behind an old manifest, never a
+                   manifest pointing at missing data. *)
+                write_shard_file t ~file strands
+              with
+              | exception Store_io.Io_failure msg ->
+                  (* The write never landed (or only its temp file did):
+                     nothing was acked, so release the pair and report.
+                     Any stale temp file is reclaimed on the next open. *)
+                  Codec.Primer.Registry.release t.registry pair;
+                  Error (Io_error msg)
+              | shard_checksum ->
               let smeta =
                 {
                   Manifest.shard_id;
@@ -244,6 +371,8 @@ let append_object t ~key ~(prev : Manifest.object_meta option) ?(params = Codec.
                   n_strands = Array.length strands;
                   dead_strands =
                     (match open_shard with Some s -> s.dead_strands | None -> 0);
+                  checksum = Some shard_checksum;
+                  quarantined = false;
                 }
               in
               let meta =
@@ -256,6 +385,8 @@ let append_object t ~key ~(prev : Manifest.object_meta option) ?(params = Codec.
                   params;
                   layout;
                   original_size = Bytes.length data;
+                  checksum = Some (Store_io.crc32 (Bytes.to_string data));
+                  health = Manifest.Healthy;
                 }
               in
               let shards =
@@ -301,14 +432,26 @@ let append_object t ~key ~(prev : Manifest.object_meta option) ?(params = Codec.
                 | None -> m.Manifest.retired
                 | Some p -> p.pair :: m.Manifest.retired
               in
-              save_manifest t
-                {
-                  m with
-                  Manifest.shards;
-                  objects;
-                  retired;
-                  next_shard_id = max m.Manifest.next_shard_id (shard_id + 1);
-                };
+              match
+                save_manifest t
+                  {
+                    m with
+                    Manifest.shards;
+                    objects;
+                    retired;
+                    next_shard_id = max m.Manifest.next_shard_id (shard_id + 1);
+                  }
+              with
+              | exception Store_io.Io_failure msg ->
+                  (* The shard file landed but the manifest did not: the
+                     new molecules are unselectable orphans, exactly as
+                     after a crash between the two writes. Nothing was
+                     acked; drop the stale cached pool and release the
+                     pair. *)
+                  Codec.Primer.Registry.release t.registry pair;
+                  Hashtbl.remove t.pools shard_id;
+                  Error (Io_error msg)
+              | () ->
               (* Keep the loaded pool in step with the file. *)
               let index =
                 match Hashtbl.find_opt t.pools shard_id with
@@ -347,20 +490,25 @@ let delete t ~key : (unit, error) result =
             else s)
           m.Manifest.shards
       in
-      save_manifest t
-        {
-          m with
-          Manifest.shards;
-          objects = List.filter (fun (x : Manifest.object_meta) -> x.key <> key) m.Manifest.objects;
-          retired = o.pair :: m.Manifest.retired;
-        };
-      (* The molecules stay in the shard and the pair stays reserved
-         (retired) until compaction physically removes them. *)
-      (match Hashtbl.find_opt t.pools o.shard with
-      | Some p -> Dnastore.Primer_index.remove_pair p.index o.pair
-      | None -> ());
-      Lru.remove t.cache key;
-      Ok ()
+      match
+        save_manifest t
+          {
+            m with
+            Manifest.shards;
+            objects =
+              List.filter (fun (x : Manifest.object_meta) -> x.key <> key) m.Manifest.objects;
+            retired = o.pair :: m.Manifest.retired;
+          }
+      with
+      | exception Store_io.Io_failure msg -> Error (Io_error msg)
+      | () ->
+          (* The molecules stay in the shard and the pair stays reserved
+             (retired) until compaction physically removes them. *)
+          (match Hashtbl.find_opt t.pools o.shard with
+          | Some p -> Dnastore.Primer_index.remove_pair p.index o.pair
+          | None -> ());
+          Lru.remove t.cache key;
+          Ok ()
 
 (* ---------- get / batched get ---------- *)
 
@@ -394,9 +542,10 @@ type access_task = {
 }
 
 (* Cluster, reconstruct and decode one object's cores; pure given its
-   rng, so it can run on any domain. *)
+   rng, so it can run on any domain. Returns the decode stats alongside
+   the bytes so partial (degraded) readers can map recovered ranges. *)
 let decode_task ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Strand.t array) :
-    (Bytes.t, error) result =
+    (Bytes.t * Codec.File_codec.decode_stats, error) result =
   let clusters = Dnastore.Pipeline.cluster_default ~domains:1 () rng cores in
   let cluster_arr = Array.of_list (List.map Array.of_list clusters) in
   Dnastore.Pipeline.sort_clusters cluster_arr;
@@ -408,11 +557,12 @@ let decode_task ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Stran
            else Some (Dnastore.Pipeline.reconstruct_nw ?backend:recon_backend ~target_len reads))
   in
   match Codec.File_codec.decode ~layout:o.layout ~params:o.params ~n_units:o.n_units consensus with
-  | Ok (bytes, _) -> Ok bytes
+  | Ok (bytes, stats) -> Ok (bytes, stats)
   | Error e -> Error (Decode_failed { key = o.key; reason = Codec.File_codec.error_message e })
 
 (* Sequence, demultiplex, cluster, reconstruct, decode one object. *)
-let run_access_task ?recon_backend t (tk : access_task) : (Bytes.t, error) result =
+let run_access_task ?recon_backend t (tk : access_task) :
+    (Bytes.t * Codec.File_codec.decode_stats, error) result =
   let o = tk.tk_obj in
   let cfg = t.manifest.Manifest.config in
   let rng = access_rng t o in
@@ -460,10 +610,18 @@ let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon
       (fun key ->
         match Hashtbl.find_opt by_key key with
         | None -> (key, `Err (Key_not_found key))
-        | Some o -> (
-            match if use_cache then Lru.find t.cache key else None with
-            | Some bytes -> (key, `Hit bytes)
-            | None -> (key, `Miss o)))
+        | Some (o : Manifest.object_meta) -> (
+            (* Health gate: scrub-marked objects never enter the normal
+               decode path (their shard may be quarantined); callers opt
+               into partial bytes via [get_partial]. *)
+            match o.health with
+            | Manifest.Lost -> (key, `Err (Object_lost key))
+            | Manifest.Degraded { recovered_fraction; _ } ->
+                (key, `Err (Object_degraded { key; recovered_fraction }))
+            | Manifest.Healthy -> (
+                match if use_cache then Lru.find t.cache key else None with
+                | Some bytes -> (key, `Hit bytes)
+                | None -> (key, `Miss o))))
       keys
   in
   let miss_seen : (string, unit) Hashtbl.t = Hashtbl.create 16 in
@@ -524,7 +682,7 @@ let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon
   let tasks = Array.of_list (List.rev !tasks) in
   let outcome_arr =
     Dna.Par.map_array ~label:"store.get_batch" ~domains
-      (fun tk -> (tk.tk_obj.Manifest.key, run_access_task ?recon_backend t tk))
+      (fun tk -> (tk.tk_obj.Manifest.key, Result.map fst (run_access_task ?recon_backend t tk)))
       tasks
   in
   let outcomes : (string, (Bytes.t, error) result) Hashtbl.t =
@@ -554,91 +712,405 @@ let get ?(use_cache = true) t ~key : (Bytes.t, error) result =
   | [ (_, r) ] -> r
   | _ -> Error (Corrupt "single-key batch returned a different shape")
 
+type health = Manifest.health =
+  | Healthy
+  | Degraded of { recovered_fraction : float; ranges : (int * int) list }
+  | Lost
+
+let health_name = Manifest.health_name
+let shards_dir = Manifest.shards_dir
+
+let object_health t ~key =
+  Option.map (fun (o : Manifest.object_meta) -> o.health) (find_object t key)
+
+(* ---------- degraded reads ---------- *)
+
+type partial_read = {
+  bytes : Bytes.t;
+  recovered_fraction : float;
+  recovered_ranges : (int * int) list;
+  exact : bool;
+}
+
+(* Best-effort read against whatever molecules survive in the object's
+   (possibly damaged) shard: lenient pool load, then the ordinary wetlab
+   path, mapping the decode stats onto recovered byte ranges. *)
+let partial_attempt t (o : Manifest.object_meta) : (partial_read, error) result =
+  match load_pool_lenient t o.shard with
+  | Error e -> Error e
+  | Ok pool -> (
+      let selected = Dnastore.Primer_index.select pool.index pool.strands o.pair in
+      if Array.length selected = 0 then Error (Object_lost o.key)
+      else begin
+        t.sequencing_passes <- t.sequencing_passes + 1;
+        let cfg = t.manifest.Manifest.config in
+        let depth =
+          Simulator.Sequencer.shard_depth ~base:cfg.coverage ~n_selected:(Array.length selected)
+            ~n_shard:(Array.length pool.strands)
+        in
+        match run_access_task t { tk_obj = o; tk_selected = selected; tk_depth = depth } with
+        | Error e -> Error e
+        | Ok (bytes, stats) ->
+            let p = Codec.File_codec.partial ~params:o.params ~file_len:(Bytes.length bytes) stats in
+            let exact =
+              Codec.File_codec.fully_recovered stats
+              && (match o.checksum with
+                 | Some c -> Store_io.crc32 (Bytes.to_string bytes) = c
+                 | None -> true)
+            in
+            Ok
+              {
+                bytes;
+                recovered_fraction = p.Codec.File_codec.recovered_fraction;
+                recovered_ranges = p.Codec.File_codec.recovered_ranges;
+                exact;
+              }
+      end)
+
+let get_partial ?(use_cache = true) t ~key : (partial_read, error) result =
+  match find_object t key with
+  | None -> Error (Key_not_found key)
+  | Some o -> (
+      match o.Manifest.health with
+      | Manifest.Lost -> Error (Object_lost key)
+      | Manifest.Degraded _ -> partial_attempt t o
+      | Manifest.Healthy -> (
+          match get ~use_cache t ~key with
+          | Ok bytes ->
+              let n = Bytes.length bytes in
+              Ok
+                {
+                  bytes;
+                  recovered_fraction = 1.0;
+                  recovered_ranges = (if n = 0 then [] else [ (0, n) ]);
+                  exact = true;
+                }
+          | Error (Corrupt_shard _) ->
+              (* Damage scrub has not classified yet: fall back to the
+                 surviving molecules rather than failing the read. *)
+              partial_attempt t o
+          | Error e -> Error e))
+
 (* ---------- compaction ---------- *)
 
 type compact_stats = {
   objects_rewritten : int;
+  objects_dropped : int;  (** Lost objects removed from the directory *)
   strands_before : int;
   strands_after : int;
   shards_before : int;
   shards_after : int;
   primer_pairs_reclaimed : int;
+  unlink_failures : int;  (** old shard files left behind by a failed unlink *)
 }
+
+(* Re-encode decoded objects into fresh, densely packed shards under
+   their existing primer pairs, in input order. Writes the shard files
+   (checksummed); returns their metas, the refreshed object metas and
+   the next unused shard id. Shared by compaction and scrub repair. *)
+let pack_objects t ~next_id ~target (items : (Manifest.object_meta * Bytes.t) list) =
+  let next = ref next_id in
+  let shards = ref [] and objects = ref [] and current = ref [] and current_n = ref 0 in
+  let flush () =
+    if !current <> [] then begin
+      let strands = Array.concat (List.rev !current) in
+      let file = Manifest.shard_file !next in
+      let checksum = write_shard_file t ~file strands in
+      shards :=
+        {
+          Manifest.shard_id = !next;
+          file;
+          n_strands = Array.length strands;
+          dead_strands = 0;
+          checksum = Some checksum;
+          quarantined = false;
+        }
+        :: !shards;
+      incr next;
+      current := [];
+      current_n := 0
+    end
+  in
+  List.iter
+    (fun ((o : Manifest.object_meta), bytes) ->
+      let encoded = Codec.File_codec.encode ~layout:o.layout ~params:o.params bytes in
+      let tagged = Array.map (Codec.Primer.attach o.pair) encoded.Codec.File_codec.strands in
+      if !current_n > 0 && !current_n >= target then flush ();
+      objects :=
+        {
+          o with
+          Manifest.shard = !next;
+          n_units = encoded.Codec.File_codec.n_units;
+          checksum = Some (Store_io.crc32 (Bytes.to_string bytes));
+          health = Manifest.Healthy;
+        }
+        :: !objects;
+      current := tagged :: !current;
+      current_n := !current_n + Array.length tagged)
+    items;
+  flush ();
+  (List.rev !shards, List.rev !objects, !next)
 
 let compact t : (compact_stats, error) result =
   let m = t.manifest in
-  let live = m.Manifest.objects in
-  (* All-or-nothing: every live object must decode before anything on
+  (* Healthy objects are rewritten; Degraded ones keep their quarantined
+     shard (the surviving molecules are all they have); Lost ones are
+     dropped and their pairs reclaimed. *)
+  let healthy, unhealthy =
+    List.partition
+      (fun (o : Manifest.object_meta) -> o.health = Manifest.Healthy)
+      m.Manifest.objects
+  in
+  let degraded =
+    List.filter
+      (fun (o : Manifest.object_meta) ->
+        match o.health with Manifest.Degraded _ -> true | _ -> false)
+      unhealthy
+  in
+  let lost =
+    List.filter (fun (o : Manifest.object_meta) -> o.health = Manifest.Lost) unhealthy
+  in
+  (* All-or-nothing: every healthy object must decode before anything on
      disk changes, so a failed compaction never loses data. *)
   let decoded =
-    List.map (fun (o : Manifest.object_meta) -> (o, get ~use_cache:true t ~key:o.key)) live
+    List.map (fun (o : Manifest.object_meta) -> (o, get ~use_cache:true t ~key:o.key)) healthy
   in
   match List.find_opt (fun (_, r) -> Result.is_error r) decoded with
   | Some (_, Error e) -> Error e
   | Some (_, Ok _) -> assert false
-  | None ->
-      let strands_before =
-        List.fold_left (fun a (s : Manifest.shard_meta) -> a + s.n_strands) 0 m.Manifest.shards
-      in
-      (* Re-synthesize every live object, packing fresh shards in
-         insertion order under the same primer pairs. *)
-      let target = m.Manifest.config.shard_target_strands in
-      let next_id = ref m.Manifest.next_shard_id in
-      let shards = ref [] and current = ref [] and current_n = ref 0 and objects = ref [] in
-      let flush_shard () =
-        if !current <> [] then begin
-          let strands = Array.concat (List.rev !current) in
-          let file = Manifest.shard_file !next_id in
-          write_shard_file t ~file strands;
-          shards :=
-            { Manifest.shard_id = !next_id; file; n_strands = Array.length strands; dead_strands = 0 }
-            :: !shards;
-          incr next_id;
-          current := [];
-          current_n := 0
-        end
-      in
-      List.iter
-        (fun ((o : Manifest.object_meta), r) ->
-          let bytes = match r with Ok b -> b | Error _ -> assert false in
-          let encoded = Codec.File_codec.encode ~layout:o.layout ~params:o.params bytes in
-          let tagged = Array.map (Codec.Primer.attach o.pair) encoded.Codec.File_codec.strands in
-          if !current_n > 0 && !current_n >= target then flush_shard ();
-          objects := { o with Manifest.shard = !next_id } :: !objects;
-          current := tagged :: !current;
-          current_n := !current_n + Array.length tagged)
-        decoded;
-      flush_shard ();
-      let old_files = shard_files t in
-      let reclaimed = m.Manifest.retired in
-      save_manifest t
-        {
-          m with
-          Manifest.shards = List.rev !shards;
-          objects = List.rev !objects;
-          retired = [];
-          next_shard_id = !next_id;
-        };
-      (* Only after the manifest points at the new shards: reclaim the
-         retired primer pairs and drop the old shard files. A crash
-         before the removals merely leaves unreferenced files behind. *)
-      List.iter (fun pair -> Codec.Primer.Registry.release t.registry pair) reclaimed;
-      List.iter (fun path -> try Sys.remove path with Sys_error _ -> ()) old_files;
-      Hashtbl.reset t.pools;
-      let strands_after =
-        List.fold_left
-          (fun a (s : Manifest.shard_meta) -> a + s.n_strands)
-          0 t.manifest.Manifest.shards
-      in
-      Ok
-        {
-          objects_rewritten = List.length live;
-          strands_before;
-          strands_after;
-          shards_before = List.length m.Manifest.shards;
-          shards_after = List.length t.manifest.Manifest.shards;
-          primer_pairs_reclaimed = List.length reclaimed;
-        }
+  | None -> (
+      try
+        let strands_before =
+          List.fold_left (fun a (s : Manifest.shard_meta) -> a + s.n_strands) 0 m.Manifest.shards
+        in
+        let items =
+          List.map
+            (fun (o, r) -> (o, match r with Ok b -> b | Error _ -> assert false))
+            decoded
+        in
+        let new_shards, new_objects, next_id =
+          pack_objects t ~next_id:m.Manifest.next_shard_id
+            ~target:m.Manifest.config.shard_target_strands items
+        in
+        (* Shards still referenced by degraded objects survive as-is. *)
+        let keep = Hashtbl.create 4 in
+        List.iter (fun (o : Manifest.object_meta) -> Hashtbl.replace keep o.shard ()) degraded;
+        let kept_shards =
+          List.filter (fun (s : Manifest.shard_meta) -> Hashtbl.mem keep s.shard_id) m.Manifest.shards
+        in
+        let old_files =
+          List.filter_map
+            (fun (s : Manifest.shard_meta) ->
+              if Hashtbl.mem keep s.shard_id then None
+              else Some (Filename.concat t.dir s.file))
+            m.Manifest.shards
+        in
+        (* Rebuild the directory in the original insertion order. *)
+        let fresh = Hashtbl.create 8 in
+        List.iter (fun (o : Manifest.object_meta) -> Hashtbl.replace fresh o.key o) new_objects;
+        let objects =
+          List.filter_map
+            (fun (o : Manifest.object_meta) ->
+              match o.health with
+              | Manifest.Lost -> None
+              | Manifest.Degraded _ -> Some o
+              | Manifest.Healthy -> Hashtbl.find_opt fresh o.key)
+            m.Manifest.objects
+        in
+        let reclaimed =
+          m.Manifest.retired @ List.map (fun (o : Manifest.object_meta) -> o.pair) lost
+        in
+        save_manifest t
+          {
+            m with
+            Manifest.shards = new_shards @ kept_shards;
+            objects;
+            retired = [];
+            next_shard_id = next_id;
+          };
+        (* Only after the manifest points at the new shards: reclaim the
+           retired primer pairs and drop the old shard files. A crash
+           before the removals merely leaves unreferenced files behind
+           (reclaimed on the next open); a failed unlink is counted and
+           surfaced, not swallowed. *)
+        List.iter (fun pair -> Codec.Primer.Registry.release t.registry pair) reclaimed;
+        let unlink_failures = ref 0 in
+        List.iter
+          (fun path ->
+            try Store_io.remove t.io path with Sys_error _ -> incr unlink_failures)
+          old_files;
+        Hashtbl.reset t.pools;
+        List.iter (fun (o : Manifest.object_meta) -> Lru.remove t.cache o.key) lost;
+        let strands_after =
+          List.fold_left
+            (fun a (s : Manifest.shard_meta) -> a + s.n_strands)
+            0 t.manifest.Manifest.shards
+        in
+        Ok
+          {
+            objects_rewritten = List.length healthy;
+            objects_dropped = List.length lost;
+            strands_before;
+            strands_after;
+            shards_before = List.length m.Manifest.shards;
+            shards_after = List.length t.manifest.Manifest.shards;
+            primer_pairs_reclaimed = List.length reclaimed;
+            unlink_failures = !unlink_failures;
+          }
+      with Store_io.Io_failure msg ->
+        (* New shard files written so far are unreferenced (the manifest
+           never moved) and reclaimed on the next open. *)
+        Hashtbl.reset t.pools;
+        Error (Io_error msg))
+
+(* ---------- scrub & self-repair ---------- *)
+
+type scrub_report = {
+  shards_checked : int;
+  shards_corrupt : int;  (** failed verification on this pass *)
+  shards_quarantined : int;  (** left damaged in place, still referenced *)
+  shards_dropped : int;  (** damaged and no longer referenced: unlinked *)
+  objects_checked : int;
+  objects_repaired : int;  (** re-synthesized bit-identically into fresh shards *)
+  objects_degraded : int;
+  objects_lost : int;
+  checksums_backfilled : int;  (** version-1 shards that gained a checksum *)
+}
+
+let scrub t : (scrub_report, error) result =
+  let m = t.manifest in
+  (* Verify from disk, not from cached pools. *)
+  Hashtbl.reset t.pools;
+  try
+    let backfilled = ref 0 in
+    let corrupt : (int, string) Hashtbl.t = Hashtbl.create 4 in
+    let fresh_checksum : (int, int) Hashtbl.t = Hashtbl.create 4 in
+    List.iter
+      (fun (s : Manifest.shard_meta) ->
+        match check_shard t s with
+        | `Corrupt reason -> Hashtbl.replace corrupt s.shard_id reason
+        | `Ok (crc, _) ->
+            if s.checksum = None then incr backfilled;
+            Hashtbl.replace fresh_checksum s.shard_id crc)
+      m.Manifest.shards;
+    (* Objects on a damaged shard — plus any the last scrub already
+       marked — get a recovery attempt from whatever molecules survive.
+       Access streams hash from (seed, key, version), so the attempt
+       replays deterministically. *)
+    let needs_attention (o : Manifest.object_meta) =
+      Hashtbl.mem corrupt o.shard || o.health <> Manifest.Healthy
+    in
+    let evaluate (o : Manifest.object_meta) =
+      match load_pool_lenient t o.shard with
+      | Error _ -> `Lost
+      | Ok pool -> (
+          let selected = Dnastore.Primer_index.select pool.index pool.strands o.pair in
+          if Array.length selected = 0 then `Lost
+          else begin
+            t.sequencing_passes <- t.sequencing_passes + 1;
+            let depth =
+              Simulator.Sequencer.shard_depth ~base:m.Manifest.config.coverage
+                ~n_selected:(Array.length selected) ~n_shard:(Array.length pool.strands)
+            in
+            match run_access_task t { tk_obj = o; tk_selected = selected; tk_depth = depth } with
+            | Error _ -> `Lost
+            | Ok (bytes, stats) ->
+                let crc_ok =
+                  match o.checksum with
+                  | Some c -> Store_io.crc32 (Bytes.to_string bytes) = c
+                  | None -> true
+                in
+                if Codec.File_codec.fully_recovered stats && crc_ok then `Repair bytes
+                else begin
+                  let p =
+                    Codec.File_codec.partial ~params:o.params ~file_len:(Bytes.length bytes) stats
+                  in
+                  if p.Codec.File_codec.recovered_fraction > 0.0 then
+                    `Degraded
+                      (p.Codec.File_codec.recovered_fraction, p.Codec.File_codec.recovered_ranges)
+                  else `Lost
+                end
+          end)
+    in
+    let outcomes =
+      List.map
+        (fun (o : Manifest.object_meta) ->
+          if needs_attention o then (o, evaluate o) else (o, `Keep))
+        m.Manifest.objects
+    in
+    let repairs =
+      List.filter_map (function o, `Repair b -> Some (o, b) | _ -> None) outcomes
+    in
+    let new_shards, repaired_objs, next_id =
+      pack_objects t ~next_id:m.Manifest.next_shard_id
+        ~target:m.Manifest.config.shard_target_strands repairs
+    in
+    let repaired_by_key = Hashtbl.create 8 in
+    List.iter
+      (fun (o : Manifest.object_meta) -> Hashtbl.replace repaired_by_key o.key o)
+      repaired_objs;
+    let objects =
+      List.map
+        (fun ((o : Manifest.object_meta), verdict) ->
+          match verdict with
+          | `Keep -> o
+          | `Repair _ -> Hashtbl.find repaired_by_key o.key
+          | `Degraded (recovered_fraction, ranges) ->
+              { o with Manifest.health = Manifest.Degraded { recovered_fraction; ranges } }
+          | `Lost -> { o with Manifest.health = Manifest.Lost })
+        outcomes
+    in
+    (* A damaged shard survives — quarantined — only while degraded or
+       lost objects still point into it; once everything it held has
+       been repaired elsewhere, drop it. *)
+    let still_referenced = Hashtbl.create 8 in
+    List.iter (fun (o : Manifest.object_meta) -> Hashtbl.replace still_referenced o.shard ()) objects;
+    let kept, dropped =
+      List.partition
+        (fun (s : Manifest.shard_meta) ->
+          (not (Hashtbl.mem corrupt s.shard_id)) || Hashtbl.mem still_referenced s.shard_id)
+        m.Manifest.shards
+    in
+    let kept =
+      List.map
+        (fun (s : Manifest.shard_meta) ->
+          if Hashtbl.mem corrupt s.shard_id then { s with Manifest.quarantined = true }
+          else
+            match (s.checksum, Hashtbl.find_opt fresh_checksum s.shard_id) with
+            | None, Some crc -> { s with Manifest.checksum = Some crc }
+            | _ -> s)
+        kept
+    in
+    save_manifest t
+      { m with Manifest.shards = kept @ new_shards; objects; next_shard_id = next_id };
+    List.iter
+      (fun (s : Manifest.shard_meta) ->
+        try Store_io.remove t.io (Filename.concat t.dir s.file) with Sys_error _ -> ())
+      dropped;
+    List.iter
+      (fun ((o : Manifest.object_meta), verdict) ->
+        match verdict with
+        | `Repair bytes -> Lru.add t.cache o.key bytes
+        | `Degraded _ | `Lost -> Lru.remove t.cache o.key
+        | `Keep -> ())
+      outcomes;
+    Hashtbl.reset t.pools;
+    let count f l = List.length (List.filter f l) in
+    Ok
+      {
+        shards_checked = List.length m.Manifest.shards;
+        shards_corrupt = Hashtbl.length corrupt;
+        shards_quarantined = count (fun (s : Manifest.shard_meta) -> s.quarantined) kept;
+        shards_dropped = List.length dropped;
+        objects_checked = List.length m.Manifest.objects;
+        objects_repaired = List.length repairs;
+        objects_degraded = count (function _, `Degraded _ -> true | _ -> false) outcomes;
+        objects_lost = count (function _, `Lost -> true | _ -> false) outcomes;
+        checksums_backfilled = !backfilled;
+      }
+  with Store_io.Io_failure msg ->
+    Hashtbl.reset t.pools;
+    Error (Io_error msg)
 
 (* ---------- stats ---------- *)
 
@@ -652,6 +1124,10 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   generation : int;
+  degraded_objects : int;
+  lost_objects : int;
+  quarantined_shards : int;
+  orphans_reclaimed : int;
 }
 
 let stats t =
@@ -668,13 +1144,28 @@ let stats t =
     cache_hits = Lru.hits t.cache;
     cache_misses = Lru.misses t.cache;
     generation = m.Manifest.generation;
+    degraded_objects =
+      List.length
+        (List.filter
+           (fun (o : Manifest.object_meta) ->
+             match o.health with Manifest.Degraded _ -> true | _ -> false)
+           m.Manifest.objects);
+    lost_objects =
+      List.length
+        (List.filter
+           (fun (o : Manifest.object_meta) -> o.health = Manifest.Lost)
+           m.Manifest.objects);
+    quarantined_shards =
+      List.length
+        (List.filter (fun (s : Manifest.shard_meta) -> s.quarantined) m.Manifest.shards);
+    orphans_reclaimed = t.orphans_reclaimed;
   }
 
 let render_stats t =
   let s = stats t in
   let m = t.manifest in
   Dnastore.Report.table
-    ([ "shard"; "file"; "strands"; "dead" ]
+    ([ "shard"; "file"; "strands"; "dead"; "state" ]
     :: List.map
          (fun (sh : Manifest.shard_meta) ->
            [
@@ -682,10 +1173,17 @@ let render_stats t =
              sh.file;
              string_of_int sh.n_strands;
              string_of_int sh.dead_strands;
+             (if sh.quarantined then "quarantined"
+              else match sh.checksum with Some _ -> "ok" | None -> "unchecked");
            ])
          m.Manifest.shards)
   ^ Printf.sprintf "objects: %d  shards: %d  strands: %d (%d dead)  generation: %d\n" s.n_objects
       s.n_shards s.n_strands s.dead_strands s.generation
   ^ Printf.sprintf "primer pairs: %d live, %d retired (await compaction)\n" s.live_primer_pairs
       s.retired_primer_pairs
+  ^ (if s.degraded_objects + s.lost_objects + s.quarantined_shards + s.orphans_reclaimed = 0 then ""
+     else
+       Printf.sprintf
+         "health: %d degraded, %d lost objects; %d quarantined shards; %d orphans reclaimed\n"
+         s.degraded_objects s.lost_objects s.quarantined_shards s.orphans_reclaimed)
   ^ Dnastore.Report.cache_counters ~label:"store" ~hits:s.cache_hits ~misses:s.cache_misses

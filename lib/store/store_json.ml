@@ -84,6 +84,10 @@ let to_string v =
 
 exception Parse_error of string
 
+let max_depth = 512
+(* Nesting bound for containers: adversarial input like ["[[[[..."]
+   must come back as a typed error, not blow the OCaml stack. *)
+
 let of_string (s : string) : (t, string) result =
   let n = String.length s in
   let pos = ref 0 in
@@ -177,7 +181,8 @@ let of_string (s : string) : (t, string) result =
         | Some f -> Float f
         | None -> fail ("malformed number " ^ lit))
   in
-  let rec parse_value () =
+  let rec parse_value depth =
+    if depth > max_depth then fail (Printf.sprintf "nesting deeper than %d" max_depth);
     skip_ws ();
     match peek () with
     | None -> fail "unexpected end of input"
@@ -193,9 +198,10 @@ let of_string (s : string) : (t, string) result =
           let rec fields_loop () =
             skip_ws ();
             let k = parse_string () in
+            if List.mem_assoc k !fields then fail (Printf.sprintf "duplicate key %S" k);
             skip_ws ();
             expect ':';
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             fields := (k, v) :: !fields;
             skip_ws ();
             match peek () with
@@ -218,7 +224,7 @@ let of_string (s : string) : (t, string) result =
         else begin
           let items = ref [] in
           let rec items_loop () =
-            let v = parse_value () in
+            let v = parse_value (depth + 1) in
             items := v :: !items;
             skip_ws ();
             match peek () with
@@ -238,7 +244,7 @@ let of_string (s : string) : (t, string) result =
     | Some _ -> parse_number ()
   in
   match
-    let v = parse_value () in
+    let v = parse_value 0 in
     skip_ws ();
     if !pos <> n then fail "trailing garbage";
     v

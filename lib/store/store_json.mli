@@ -16,10 +16,15 @@ val to_string : t -> string
 (** Pretty-printed with two-space indentation and a trailing newline;
     strings are fully escaped (control characters as [\uXXXX]). *)
 
+val max_depth : int
+(** Container-nesting bound enforced by {!of_string} (adversarial
+    ["[[[[…"] input fails typed instead of overflowing the stack). *)
+
 val of_string : string -> (t, string) result
 (** Strict parse of one JSON value: trailing garbage, unterminated
-    literals and malformed escapes are errors. [\uXXXX] escapes decode
-    to UTF-8. *)
+    literals, malformed escapes, duplicate object keys and nesting
+    beyond {!max_depth} are errors — never exceptions. [\uXXXX]
+    escapes decode to UTF-8. *)
 
 val member : string -> t -> t option
 

@@ -1,0 +1,23 @@
+(* The crash-consistency sweep as a tier-1 test: replay a scripted
+   put/overwrite/delete/compact workload once per filesystem fault
+   point with a simulated kill landing there, reopen, and check that
+   acked writes survive bit-identically, acked deletes stay deleted,
+   the in-flight operation is atomic and no temp/orphan debris remains.
+   CI's crash-matrix job runs the same sweep at a second seed. *)
+
+let test_crash_matrix () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dnastore_crash_%d" (Unix.getpid ()))
+  in
+  let o = Crash_harness.run ~seed:1 ~dir () in
+  Alcotest.(check bool)
+    (Printf.sprintf "sweep traverses a full workload (%d points)" o.Crash_harness.total_points)
+    true
+    (o.Crash_harness.total_points > 30);
+  Alcotest.(check int) "one run per fault point" o.Crash_harness.total_points o.Crash_harness.runs;
+  if o.Crash_harness.failures <> [] then Alcotest.fail (Crash_harness.render o)
+
+let () =
+  Alcotest.run "crash"
+    [ ("matrix", [ Alcotest.test_case "kill at every fault point" `Slow test_crash_matrix ]) ]

@@ -217,6 +217,145 @@ let test_workload_run_summary () =
   | Ok _ -> ()
   | Error e -> Alcotest.failf "summary JSON does not parse: %s" e
 
+(* ---------- resilience: deadlines, degraded reads, backoff ---------- *)
+
+let test_deadline_times_out_stale_requests () =
+  let dir = temp_serve_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:51 ()) in
+  ok_or_fail "put" (Store.put store ~key:"k" (random_file (Dna.Rng.create 8) 90));
+  let serve =
+    Serve.create ~config:{ Serve.default_config with Serve.deadline_s = Some 0.01 } store
+  in
+  (match Serve.submit serve ~client:0 (Serve.Get { key = "k" }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit: %s" (Serve.error_message e));
+  Unix.sleepf 0.03;
+  let before = Store.sequencing_passes store in
+  (match Serve.step serve with
+  | [ c ] -> (
+      match c.Serve.result with
+      | Error (Serve.Timed_out { waited_s; deadline_s }) ->
+          Alcotest.(check bool) "waited past the deadline" true (waited_s > deadline_s);
+          Alcotest.(check bool) "deadline echoed" true (abs_float (deadline_s -. 0.01) < 1e-9)
+      | Ok _ -> Alcotest.fail "stale request was served"
+      | Error e -> Alcotest.failf "wrong error: %s" (Serve.error_message e))
+  | cs -> Alcotest.failf "expected one completion, got %d" (List.length cs));
+  Alcotest.(check int) "no wetlab work spent on it" 0 (Store.sequencing_passes store - before);
+  Alcotest.(check int) "timeout counted" 1 (Serve.stats serve).Serve.timed_out;
+  (* A prompt request under the same config is served normally. *)
+  (match Serve.submit serve ~client:0 (Serve.Get { key = "k" }) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "submit: %s" (Serve.error_message e));
+  match Serve.step serve with
+  | [ { Serve.result = Ok (Serve.Value _); _ } ] -> ()
+  | _ -> Alcotest.fail "prompt request not served"
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let small_params = { Codec.Params.payload_nt = 60; rs_data = 6; rs_parity = 3; scramble_seed = 7 }
+
+let test_degraded_reads_answer_partial () =
+  (* Damage the tail units of an object and let scrub mark it Degraded:
+     with [degraded_reads] off the get fails typed; with it on, the
+     same get comes back Partial with the surviving prefix intact. *)
+  let dir = temp_serve_dir () in
+  let config = { test_config with Store.error_rate = 0.005 } in
+  let store = ok_or_fail "init" (Store.init ~config ~dir ~seed:53 ()) in
+  let data = random_file (Dna.Rng.create 9) 300 in
+  ok_or_fail "put" (Store.put ~params:small_params store ~key:"frayed" data);
+  let path =
+    match Store.object_shard store ~key:"frayed" with
+    | Some shard -> (
+        match Store.shard_path store ~shard with
+        | Some p -> p
+        | None -> Alcotest.fail "no shard file")
+    | None -> Alcotest.fail "no shard"
+  in
+  let records, _ = Dna.Fasta.parse_string (read_whole path) in
+  let keep = List.filteri (fun i _ -> i < List.length records - 12) records in
+  write_whole path (Dna.Fasta.to_string keep);
+  let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
+  (match Store.scrub store with
+  | Ok r -> Alcotest.(check int) "object degraded" 1 r.Store.objects_degraded
+  | Error e -> Alcotest.failf "scrub: %s" (Store.error_message e));
+  let get_via config_patch =
+    let serve = Serve.create ~config:config_patch store in
+    (match Serve.submit serve ~client:0 (Serve.Get { key = "frayed" }) with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "submit: %s" (Serve.error_message e));
+    match Serve.step serve with
+    | [ c ] -> (c.Serve.result, Serve.stats serve)
+    | cs -> Alcotest.failf "expected one completion, got %d" (List.length cs)
+  in
+  (match get_via Serve.default_config with
+  | Error (Serve.Store (Store.Object_degraded { key = "frayed"; _ })), st ->
+      Alcotest.(check int) "no degraded answer without opt-in" 0 st.Serve.degraded
+  | Ok _, _ -> Alcotest.fail "degraded object served without opt-in"
+  | Error e, _ -> Alcotest.failf "wrong error: %s" (Serve.error_message e));
+  match get_via { Serve.default_config with Serve.degraded_reads = true } with
+  | Ok (Serve.Partial { bytes; recovered_fraction; recovered_ranges }), st ->
+      Alcotest.(check int) "original length" 300 (Bytes.length bytes);
+      Alcotest.(check bool) "strictly partial" true
+        (recovered_fraction > 0.0 && recovered_fraction < 1.0);
+      Alcotest.(check bool) "ranges reported" true (recovered_ranges <> []);
+      List.iter
+        (fun (a, b) ->
+          Alcotest.(check bytes)
+            (Printf.sprintf "range [%d,%d) intact" a b)
+            (Bytes.sub data a (b - a))
+            (Bytes.sub bytes a (b - a)))
+        recovered_ranges;
+      Alcotest.(check int) "degraded answer counted" 1 st.Serve.degraded
+  | Ok _, _ -> Alcotest.fail "expected a Partial response"
+  | Error e, _ -> Alcotest.failf "degraded read failed: %s" (Serve.error_message e)
+
+let test_workload_backoff_is_bounded_and_deterministic () =
+  (* Saturate a tiny scheduler: rejections must be retried under the
+     seeded backoff (not spun on), the retry schedule must replay
+     exactly for the same seed, and every operation must either
+     complete or be counted as given up. *)
+  let run_once dir_seed =
+    let dir = temp_serve_dir () in
+    let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:dir_seed ()) in
+    let rng = Dna.Rng.create 12 in
+    let keys = List.init 3 (fun i -> Printf.sprintf "s%d" i) in
+    List.iter
+      (fun key -> ok_or_fail ("put " ^ key) (Store.put store ~key (random_file rng 90)))
+      keys;
+    let config = { Serve.default_config with Serve.window = 2; Serve.max_queue = 2 } in
+    let mix = { Serve.Workload.label = "hot"; Serve.Workload.read_pct = 1.0 } in
+    Serve.Workload.run ~config ~mix ~n_clients:8 ~n_ops:24 ~zipf_s:0.5 ~seed:33 ~keys store
+  in
+  let summary, completions = run_once 57 in
+  Alcotest.(check bool) "saturation rejected something" true (summary.Serve.Workload.rejected > 0);
+  Alcotest.(check bool) "rejections were retried" true (summary.Serve.Workload.retries > 0);
+  Alcotest.(check int) "every op completed or gave up" 24
+    (summary.Serve.Workload.ops + summary.Serve.Workload.gave_up);
+  List.iter
+    (fun (c : Serve.completion) ->
+      match c.Serve.result with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "op failed: %s" (Serve.error_message e))
+    completions;
+  (* Replay: the whole retry schedule derives from the seed. *)
+  let summary', _ = run_once 57 in
+  Alcotest.(check int) "rejected replays" summary.Serve.Workload.rejected
+    summary'.Serve.Workload.rejected;
+  Alcotest.(check int) "retries replay" summary.Serve.Workload.retries
+    summary'.Serve.Workload.retries;
+  Alcotest.(check int) "gave_up replays" summary.Serve.Workload.gave_up
+    summary'.Serve.Workload.gave_up;
+  Alcotest.(check int) "ops replay" summary.Serve.Workload.ops summary'.Serve.Workload.ops
+
 let () =
   Alcotest.run "serve"
     [
@@ -236,5 +375,14 @@ let () =
         [
           Alcotest.test_case "zipf sampler skews" `Quick test_zipf_sampler;
           Alcotest.test_case "closed-loop run summary" `Slow test_workload_run_summary;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "deadline times out stale requests" `Slow
+            test_deadline_times_out_stale_requests;
+          Alcotest.test_case "degraded reads answer partial" `Slow
+            test_degraded_reads_answer_partial;
+          Alcotest.test_case "backoff bounded and deterministic" `Slow
+            test_workload_backoff_is_bounded_and_deterministic;
         ] );
     ]

@@ -86,7 +86,7 @@ let test_store_survives_reopen () =
       ok_or_fail "put a" (Store.put store ~key:"a" a);
       ok_or_fail "put b" (Store.put store ~key:"b" b);
       (* A fresh handle must see only what reached the disk. *)
-      let store = ok_or_fail "reopen" (Store.open_store ~dir) in
+      let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
       Alcotest.(check (list string)) "keys" [ "a"; "b" ] (List.sort compare (Store.keys store));
       let a' = ok_or_fail "get a" (Store.get store ~key:"a") in
       let b' = ok_or_fail "get b" (Store.get store ~key:"b") in
@@ -156,7 +156,7 @@ let test_delete_compact_reclaims () =
       (* The freed primer pair must be usable by a later put. *)
       ok_or_fail "put c" (Store.put store ~key:"c" (random_file r 120));
       (* Durability of the compacted state. *)
-      let store = ok_or_fail "reopen" (Store.open_store ~dir) in
+      let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
       let b' = ok_or_fail "get b after compaction" (Store.get store ~key:"b") in
       Alcotest.(check bytes) "b intact after compaction" b b';
       match Store.get store ~key:"a" with
@@ -178,7 +178,7 @@ let test_overwrite_appends_version () =
   let got = ok_or_fail "get" (Store.get ~use_cache:false store ~key:"doc") in
   Alcotest.(check bytes) "overwrite wins" v2 got;
   let _ = ok_or_fail "compact" (Store.compact store) in
-  let store = ok_or_fail "reopen" (Store.open_store ~dir) in
+  let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
   let got = ok_or_fail "get after compact+reopen" (Store.get store ~key:"doc") in
   Alcotest.(check bytes) "new version survives compaction" v2 got;
   match Store.overwrite store ~key:"missing" v1 with
@@ -345,7 +345,7 @@ let test_corrupt_manifest_rejected () =
   let dir = temp_store_dir () in
   let _ = ok_or_fail "init" (Store.init ~dir ~seed:13 ()) in
   patch_manifest dir (fun _ -> "{ not json");
-  match Store.open_store ~dir with
+  match Store.open_store ~dir () with
   | Error (Store.Corrupt _) -> ()
   | Ok _ -> Alcotest.fail "opened a store with a garbage manifest"
   | Error e -> Alcotest.fail ("unexpected error: " ^ Store.error_message e)
@@ -357,12 +357,373 @@ let test_format_version_gate () =
       replace_substring
         ~needle:(Printf.sprintf "\"format_version\": %d" Store.format_version)
         ~into:"\"format_version\": 99" content);
-  match Store.open_store ~dir with
+  match Store.open_store ~dir () with
   | Error (Store.Corrupt msg) ->
       Alcotest.(check bool) "error names the version" true
         (contains_substring ~needle:"version" msg)
   | Ok _ -> Alcotest.fail "opened a future-format store"
   | Error e -> Alcotest.fail ("unexpected error: " ^ Store.error_message e)
+
+(* ---------- JSON hardening: adversarial and fuzzed inputs ---------- *)
+
+let test_json_rejects_deep_nesting () =
+  (* Beyond-max_depth nesting must come back as a typed error, not a
+     Stack_overflow. *)
+  let deep open_c close_c n =
+    String.make n open_c ^ "1" ^ String.make n close_c
+  in
+  List.iter
+    (fun s ->
+      match Store.Json.of_string s with
+      | Ok _ -> Alcotest.fail "parsed pathologically deep nesting"
+      | Error msg ->
+          Alcotest.(check bool) "error names the depth" true
+            (contains_substring ~needle:"nesting" msg))
+    [
+      deep '[' ']' (Store.Json.max_depth + 1);
+      deep '[' ']' 200_000;
+      String.concat "" (List.init 2_000 (fun _ -> "{\"k\":")) ^ "1"
+      ^ String.concat "" (List.init 2_000 (fun _ -> "}"));
+    ];
+  (* ... while nesting inside the bound still parses. *)
+  match Store.Json.of_string (deep '[' ']' (Store.Json.max_depth - 1)) with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail ("rejected in-bounds nesting: " ^ msg)
+
+let test_json_rejects_duplicate_keys () =
+  List.iter
+    (fun s ->
+      match Store.Json.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "parsed duplicate keys in %S" s)
+      | Error msg ->
+          Alcotest.(check bool) "error names the duplicate" true
+            (contains_substring ~needle:"duplicate" msg))
+    [
+      {|{"a": 1, "a": 2}|};
+      {|{"a": 1, "b": {"x": 1, "x": 2}}|};
+      {|{"a": 1, "b": 2, "a": 3}|};
+    ]
+
+let test_json_fuzz_never_raises () =
+  (* Seeded fuzz over mutations of a realistic manifest-shaped document:
+     truncations, byte flips, splices of structural characters. Every
+     mutant must come back Ok or Error — never an exception. *)
+  let base =
+    Store.Json.to_string
+      (Store.Json.Obj
+         [
+           ("format_version", Store.Json.Int 2);
+           ("seed", Store.Json.Int 42);
+           ( "shards",
+             Store.Json.List
+               [
+                 Store.Json.Obj
+                   [
+                     ("shard_id", Store.Json.Int 0);
+                     ("file", Store.Json.String "shards/shard_00000.fasta");
+                     ("checksum", Store.Json.Int 123456789);
+                   ];
+               ] );
+           ("label", Store.Json.String "esc\\aped \"quo\tes\" \x01");
+         ])
+  in
+  List.iter
+    (fun seed ->
+      let rng = Dna.Rng.create (31_337 + seed) in
+      let splice_chars = [| '{'; '}'; '['; ']'; '"'; '\\'; ','; ':'; 'u'; '\x00'; '\xff' |] in
+      for _ = 1 to 400 do
+        let b = Bytes.of_string base in
+        let n = Bytes.length b in
+        let mutant =
+          match Dna.Rng.int rng 3 with
+          | 0 -> Bytes.sub_string b 0 (Dna.Rng.int rng n) (* truncation *)
+          | 1 ->
+              let i = Dna.Rng.int rng n in
+              Bytes.set b i splice_chars.(Dna.Rng.int rng (Array.length splice_chars));
+              Bytes.to_string b
+          | _ ->
+              let i = Dna.Rng.int rng n in
+              Bytes.set b i (Char.chr (Dna.Rng.int rng 256));
+              Bytes.to_string b
+        in
+        match Store.Json.of_string mutant with
+        | Ok _ | Error _ -> ()
+        | exception e ->
+            Alcotest.failf "of_string raised %s on %S" (Printexc.to_string e) mutant
+      done)
+    [ 1; 2 ]
+
+(* ---------- durability hardening: faults, scrub, degraded reads ---------- *)
+
+let read_whole path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let write_whole path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let shard_path_of store key =
+  match Store.object_shard store ~key with
+  | None -> Alcotest.failf "no shard for %s" key
+  | Some shard -> (
+      match Store.shard_path store ~shard with
+      | Some p -> p
+      | None -> Alcotest.failf "no file for shard %d" shard)
+
+let test_get_on_damaged_shard_fails_typed () =
+  (* A truncated or non-FASTA shard file must surface as the typed
+     Corrupt_shard — the Fasta parser's complaints must not escape as
+     exceptions. *)
+  List.iter
+    (fun (label, damage) ->
+      let dir = temp_store_dir () in
+      let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:29 ()) in
+      ok_or_fail "put" (Store.put store ~key:"x" (random_file (Dna.Rng.create 12) 200));
+      let path = shard_path_of store "x" in
+      write_whole path (damage (read_whole path));
+      (* A fresh handle, so the read sees the disk, not the pool the
+         put left cached in memory. *)
+      let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
+      match Store.get ~use_cache:false store ~key:"x" with
+      | Error (Store.Corrupt_shard { shard = 0; reason }) ->
+          Alcotest.(check bool) (label ^ ": reason is non-empty") true (String.length reason > 0)
+      | Ok _ -> Alcotest.fail (label ^ ": get succeeded on a damaged shard")
+      | Error e -> Alcotest.failf "%s: wrong error: %s" label (Store.error_message e)
+      | exception e -> Alcotest.failf "%s: get raised %s" label (Printexc.to_string e))
+    [
+      ("garbage", fun _ -> "definitely not FASTA\n\x00\x01");
+      ("truncated", fun s -> String.sub s 0 (String.length s / 3));
+      ("emptied", fun _ -> "");
+    ]
+
+let flip_bases_in_record path ~record ~flips =
+  (* Rewrite [flips] bases of one molecule, keeping the FASTA framing
+     valid so only the checksum and the decode see the damage. *)
+  let records, errors = Dna.Fasta.parse_string (read_whole path) in
+  Alcotest.(check int) "shard parses before damage" 0 (List.length errors);
+  let mutated =
+    List.mapi
+      (fun i (r : Dna.Fasta.record) ->
+        if i <> record then r
+        else begin
+          let s = Bytes.of_string (Dna.Strand.to_string r.seq) in
+          for j = 0 to flips - 1 do
+            let pos = 10 + (j * 7) in
+            Bytes.set s pos (match Bytes.get s pos with 'A' -> 'C' | 'C' -> 'G' | 'G' -> 'T' | _ -> 'A')
+          done;
+          { r with Dna.Fasta.seq = Dna.Strand.of_string (Bytes.to_string s) }
+        end)
+      records
+  in
+  write_whole path (Dna.Fasta.to_string mutated)
+
+let test_scrub_detects_and_repairs () =
+  (* Flip bases inside one molecule: the prefix checksum must catch it,
+     scrub must re-synthesize the object bit-identically, and the
+     repaired store must survive reopen. Two seeds pin determinism. *)
+  List.iter
+    (fun seed ->
+      let r = Dna.Rng.create (4_000 + seed) in
+      let a = random_file r 300 and b = random_file r 150 in
+      let dir = temp_store_dir () in
+      (* A small shard target keeps a and b in separate shards, so the
+         damage (and the repair) stays scoped to one object. *)
+      let config = { test_config with Store.shard_target_strands = 20 } in
+      let store = ok_or_fail "init" (Store.init ~config ~dir ~seed ()) in
+      ok_or_fail "put a" (Store.put store ~key:"a" a);
+      ok_or_fail "put b" (Store.put store ~key:"b" b);
+      Alcotest.(check bool) "a and b in different shards" true
+        (Store.object_shard store ~key:"a" <> Store.object_shard store ~key:"b");
+      flip_bases_in_record (shard_path_of store "a") ~record:1 ~flips:3;
+      let store = ok_or_fail "reopen damaged" (Store.open_store ~dir ()) in
+      (match Store.get ~use_cache:false store ~key:"a" with
+      | Error (Store.Corrupt_shard _) -> ()
+      | Ok _ -> Alcotest.fail "checksum did not catch the flipped bases"
+      | Error e -> Alcotest.fail ("wrong error: " ^ Store.error_message e));
+      let rep = ok_or_fail "scrub" (Store.scrub store) in
+      Alcotest.(check int) "one corrupt shard found" 1 rep.Store.shards_corrupt;
+      Alcotest.(check int) "object repaired" 1 rep.Store.objects_repaired;
+      Alcotest.(check int) "nothing degraded" 0 rep.Store.objects_degraded;
+      Alcotest.(check int) "nothing lost" 0 rep.Store.objects_lost;
+      let a' = ok_or_fail "get a after scrub" (Store.get ~use_cache:false store ~key:"a") in
+      Alcotest.(check bytes) "repair is bit-identical" a a';
+      (* The damage is gone for good: a second scrub finds nothing, and
+         a fresh handle reads the repaired object. *)
+      let rep2 = ok_or_fail "second scrub" (Store.scrub store) in
+      Alcotest.(check int) "second scrub finds nothing" 0 rep2.Store.shards_corrupt;
+      let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
+      Alcotest.(check bytes) "repair survives reopen" a
+        (ok_or_fail "get a reopened" (Store.get store ~key:"a"));
+      Alcotest.(check bytes) "bystander intact" b
+        (ok_or_fail "get b reopened" (Store.get store ~key:"b")))
+    [ 1; 2 ]
+
+let test_scrub_classifies_lost_and_gates_reads () =
+  (* Replace the pool with a useless one: nothing is selectable, so the
+     object is Lost, normal reads fail typed, and compact drops it. *)
+  let dir = temp_store_dir () in
+  let config = { test_config with Store.shard_target_strands = 20 } in
+  let store = ok_or_fail "init" (Store.init ~config ~dir ~seed:31 ()) in
+  let data = random_file (Dna.Rng.create 77) 220 in
+  ok_or_fail "put" (Store.put store ~key:"doomed" data);
+  ok_or_fail "put other" (Store.put store ~key:"other" (random_file (Dna.Rng.create 78) 90));
+  write_whole (shard_path_of store "doomed") ">m_0\nACGTACGTACGT\n";
+  let rep = ok_or_fail "scrub" (Store.scrub store) in
+  Alcotest.(check int) "object lost" 1 rep.Store.objects_lost;
+  Alcotest.(check bool) "shard quarantined or dropped" true
+    (rep.Store.shards_quarantined + rep.Store.shards_dropped >= 1);
+  Alcotest.(check (option string)) "health says lost" (Some "lost")
+    (Option.map Store.health_name (Store.object_health store ~key:"doomed"));
+  (match Store.get ~use_cache:false store ~key:"doomed" with
+  | Error (Store.Object_lost "doomed") -> ()
+  | Ok _ -> Alcotest.fail "read of a lost object succeeded"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Store.error_message e));
+  (match Store.get_partial store ~key:"doomed" with
+  | Error (Store.Object_lost _) -> ()
+  | Ok _ -> Alcotest.fail "partial read of a lost object succeeded"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Store.error_message e));
+  let c = ok_or_fail "compact" (Store.compact store) in
+  Alcotest.(check int) "compact drops the lost object" 1 c.Store.objects_dropped;
+  Alcotest.(check bool) "lost key gone after compact" false (Store.mem store "doomed");
+  Alcotest.(check bool) "healthy key survives" true (Store.mem store "other")
+
+let small_params = { Codec.Params.payload_nt = 60; rs_data = 6; rs_parity = 3; scramble_seed = 7 }
+
+let test_scrub_marks_degraded_and_partial_reads () =
+  (* Drop the tail molecules of a multi-unit object: the leading units
+     survive, so scrub must classify Degraded (not Lost), gate normal
+     reads with the recovered fraction, and get_partial must return the
+     surviving prefix bit-identically. *)
+  let dir = temp_store_dir () in
+  let config = { test_config with Store.shard_target_strands = 200; error_rate = 0.005 } in
+  let store = ok_or_fail "init" (Store.init ~config ~dir ~seed:37 ()) in
+  let data = random_file (Dna.Rng.create 88) 300 in
+  ok_or_fail "put" (Store.put ~params:small_params store ~key:"frayed" data);
+  let path = shard_path_of store "frayed" in
+  let records, errors = Dna.Fasta.parse_string (read_whole path) in
+  Alcotest.(check int) "shard parses before damage" 0 (List.length errors);
+  let keep = List.filteri (fun i _ -> i < List.length records - 12) records in
+  write_whole path (Dna.Fasta.to_string keep);
+  let rep = ok_or_fail "scrub" (Store.scrub store) in
+  Alcotest.(check int) "object degraded" 1 rep.Store.objects_degraded;
+  Alcotest.(check int) "nothing lost" 0 rep.Store.objects_lost;
+  Alcotest.(check int) "damaged shard quarantined" 1 rep.Store.shards_quarantined;
+  (match Store.get ~use_cache:false store ~key:"frayed" with
+  | Error (Store.Object_degraded { key = "frayed"; recovered_fraction }) ->
+      Alcotest.(check bool) "fraction strictly partial" true
+        (recovered_fraction > 0.0 && recovered_fraction < 1.0)
+  | Ok _ -> Alcotest.fail "normal read of a degraded object succeeded"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Store.error_message e));
+  let p = ok_or_fail "get_partial" (Store.get_partial store ~key:"frayed") in
+  Alcotest.(check int) "partial read has original length" 300 (Bytes.length p.Store.bytes);
+  Alcotest.(check bool) "not exact" false p.Store.exact;
+  Alcotest.(check bool) "some ranges recovered" true (p.Store.recovered_ranges <> []);
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bytes)
+        (Printf.sprintf "recovered range [%d,%d) is bit-identical" a b)
+        (Bytes.sub data a (b - a))
+        (Bytes.sub p.Store.bytes a (b - a)))
+    p.Store.recovered_ranges;
+  (* The verdict is durable: a fresh handle sees the same health. *)
+  let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
+  Alcotest.(check (option string)) "degraded after reopen" (Some "degraded")
+    (Option.map Store.health_name (Store.object_health store ~key:"frayed"))
+
+let test_simulated_enospc_is_typed_and_recoverable () =
+  (* The second data write (the first put's shard file) hits ENOSPC:
+     the put must fail with the typed Io_error, ack nothing, release
+     the primer pair, and leave the store fully usable. *)
+  let dir = temp_store_dir () in
+  let io = Store.Io.faulty { (Store.Io.no_faults ~seed:5) with Store.Io.enospc_at = Some 2 } in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~io ~dir ~seed:41 ()) in
+  let data = random_file (Dna.Rng.create 13) 180 in
+  (match Store.put store ~key:"k" data with
+  | Error (Store.Io_error _) -> ()
+  | Ok () -> Alcotest.fail "put succeeded through ENOSPC"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Store.error_message e));
+  Alcotest.(check bool) "nothing acked" false (Store.mem store "k");
+  Alcotest.(check int) "no primer pair leaked" 0 (Store.stats store).Store.live_primer_pairs;
+  (* The fault was transient; the same key must now go through. *)
+  ok_or_fail "retry put" (Store.put store ~key:"k" data);
+  Alcotest.(check bytes) "retried put reads back" data
+    (ok_or_fail "get" (Store.get ~use_cache:false store ~key:"k"));
+  let store = ok_or_fail "reopen" (Store.open_store ~dir ()) in
+  Alcotest.(check bytes) "and survives reopen" data (ok_or_fail "get" (Store.get store ~key:"k"))
+
+let strip_v2_fields content =
+  (* Rewrite a version-2 manifest as the version-1 format: drop the
+     checksum/quarantined/health fields and fix the dangling commas. *)
+  let lines = String.split_on_char '\n' content in
+  let keep line =
+    let t = String.trim line in
+    not
+      (List.exists
+         (fun p -> String.length t >= String.length p && String.sub t 0 (String.length p) = p)
+         [ "\"checksum\""; "\"quarantined\""; "\"health\"" ])
+  in
+  let pruned = String.concat "\n" (List.filter keep lines) in
+  (* Remove commas left trailing before a closing bracket. *)
+  let buf = Buffer.create (String.length pruned) in
+  let n = String.length pruned in
+  let i = ref 0 in
+  while !i < n do
+    let c = pruned.[!i] in
+    if c = ',' then begin
+      let j = ref (!i + 1) in
+      while !j < n && (pruned.[!j] = ' ' || pruned.[!j] = '\n') do
+        incr j
+      done;
+      if !j < n && (pruned.[!j] = '}' || pruned.[!j] = ']') then () else Buffer.add_char buf c
+    end
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  replace_substring
+    ~needle:(Printf.sprintf "\"format_version\": %d" Store.format_version)
+    ~into:"\"format_version\": 1" (Buffer.contents buf)
+
+let test_v1_manifest_opens_and_scrub_backfills () =
+  let dir = temp_store_dir () in
+  let store = ok_or_fail "init" (Store.init ~config:test_config ~dir ~seed:43 ()) in
+  let data = random_file (Dna.Rng.create 14) 160 in
+  ok_or_fail "put" (Store.put store ~key:"legacy" data);
+  patch_manifest dir strip_v2_fields;
+  let store = ok_or_fail "open v1 manifest" (Store.open_store ~dir ()) in
+  Alcotest.(check bytes) "v1 object reads back" data
+    (ok_or_fail "get" (Store.get ~use_cache:false store ~key:"legacy"));
+  let rep = ok_or_fail "scrub" (Store.scrub store) in
+  Alcotest.(check bool) "scrub backfills the checksums" true (rep.Store.checksums_backfilled >= 1);
+  Alcotest.(check int) "no false corruption" 0 rep.Store.shards_corrupt;
+  (* The upgraded manifest now verifies like any version-2 store. *)
+  let store = ok_or_fail "reopen upgraded" (Store.open_store ~dir ()) in
+  let rep2 = ok_or_fail "second scrub" (Store.scrub store) in
+  Alcotest.(check int) "nothing left to backfill" 0 rep2.Store.checksums_backfilled;
+  Alcotest.(check bytes) "still reads back" data
+    (ok_or_fail "get" (Store.get store ~key:"legacy"))
+
+let test_compact_counts_unlink_failures () =
+  (* Delete a retired shard file out from under compact: the missing
+     unlink must be counted, not silently swallowed, and compaction
+     must still succeed. *)
+  let dir = temp_store_dir () in
+  let config = { test_config with Store.shard_target_strands = 20 } in
+  let store = ok_or_fail "init" (Store.init ~config ~dir ~seed:47 ()) in
+  ok_or_fail "put a" (Store.put store ~key:"a" (random_file (Dna.Rng.create 15) 250));
+  ok_or_fail "put b" (Store.put store ~key:"b" (random_file (Dna.Rng.create 16) 250));
+  Alcotest.(check bool) "spread over several shards" true
+    ((Store.stats store).Store.n_shards > 1);
+  let path = shard_path_of store "a" in
+  ok_or_fail "delete a" (Store.delete store ~key:"a");
+  Sys.remove path;
+  let c = ok_or_fail "compact" (Store.compact store) in
+  Alcotest.(check bool) "missing unlink counted" true (c.Store.unlink_failures >= 1);
+  Alcotest.(check bytes) "survivor intact" (random_file (Dna.Rng.create 16) 250)
+    (ok_or_fail "get b" (Store.get ~use_cache:false store ~key:"b"))
 
 (* ---------- wetlab serialization at store-pool sizes ---------- *)
 
@@ -473,6 +834,30 @@ let () =
         [
           Alcotest.test_case "garbage manifest rejected" `Quick test_corrupt_manifest_rejected;
           Alcotest.test_case "format version gate" `Quick test_format_version_gate;
+        ] );
+      ( "json hardening",
+        [
+          Alcotest.test_case "deep nesting fails typed" `Quick test_json_rejects_deep_nesting;
+          Alcotest.test_case "duplicate keys rejected" `Quick test_json_rejects_duplicate_keys;
+          Alcotest.test_case "fuzzed inputs never raise (2 seeds)" `Quick
+            test_json_fuzz_never_raises;
+        ] );
+      ( "hardening",
+        [
+          Alcotest.test_case "damaged shard fails typed" `Slow
+            test_get_on_damaged_shard_fails_typed;
+          Alcotest.test_case "scrub detects and repairs (2 seeds)" `Slow
+            test_scrub_detects_and_repairs;
+          Alcotest.test_case "scrub classifies lost, reads gated" `Slow
+            test_scrub_classifies_lost_and_gates_reads;
+          Alcotest.test_case "scrub marks degraded, partial reads" `Slow
+            test_scrub_marks_degraded_and_partial_reads;
+          Alcotest.test_case "simulated ENOSPC is typed and recoverable" `Slow
+            test_simulated_enospc_is_typed_and_recoverable;
+          Alcotest.test_case "v1 manifest opens, scrub backfills" `Slow
+            test_v1_manifest_opens_and_scrub_backfills;
+          Alcotest.test_case "compact counts unlink failures" `Slow
+            test_compact_counts_unlink_failures;
         ] );
       ( "formats",
         [
