@@ -16,6 +16,8 @@
 
 let smoke = ref false
 let out_dir = ref "."
+let seed = ref 1
+let scale_reads = ref 0 (* 0: pick by mode (smoke 6k, full 1M) *)
 
 let () =
   let rec parse = function
@@ -26,8 +28,16 @@ let () =
     | "--out-dir" :: dir :: rest ->
         out_dir := dir;
         parse rest
+    | "--seed" :: s :: rest ->
+        seed := int_of_string s;
+        parse rest
+    | "--scale-reads" :: s :: rest ->
+        scale_reads := int_of_string s;
+        parse rest
     | arg :: _ ->
-        Printf.eprintf "usage: bench_kernels [--smoke] [--out-dir DIR] (got %S)\n" arg;
+        Printf.eprintf
+          "usage: bench_kernels [--smoke] [--out-dir DIR] [--seed N] [--scale-reads N] (got %S)\n"
+          arg;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv))
@@ -52,9 +62,16 @@ let ns_per_op f =
 
 (* ---------- JSON ---------- *)
 
-type entry = { name : string; ns_per_op : float option; s_total : float option; speedup : float }
+type entry = {
+  name : string;
+  ns_per_op : float option;
+  s_total : float option;
+  speedup : float;
+  extra : (string * float) list;  (* accuracy, peak RSS, words/read, ... *)
+}
 
-let entry ?ns ?s ~speedup name = { name; ns_per_op = ns; s_total = s; speedup }
+let entry ?ns ?s ?(extra = []) ~speedup name =
+  { name; ns_per_op = ns; s_total = s; speedup; extra }
 
 let json_entry e =
   let fields =
@@ -66,6 +83,7 @@ let json_entry e =
       | Some s -> [ Printf.sprintf "\"s_total\": %.4f" s ]
       | None -> [])
     @ [ Printf.sprintf "\"speedup_vs_scalar\": %.2f" e.speedup ]
+    @ List.map (fun (k, v) -> Printf.sprintf "\"%s\": %.6g" k v) e.extra
   in
   "    {" ^ String.concat ", " fields ^ "}"
 
@@ -214,19 +232,16 @@ let run_cluster () =
   Printf.printf "macro cluster run: scalar %.3fs (%d clusters)  myers %.3fs (%d clusters)  %.1fx\n"
     s_run_scalar nc_scalar s_run_myers nc_myers
     (s_run_scalar /. s_run_myers);
-  write_json
-    (Filename.concat !out_dir "BENCH_cluster.json")
-    ~config:
-      [
-        ("read_len", string_of_int read_len);
-        ("error_rate", string_of_float error_rate);
-        ("n_refs", string_of_int n_refs);
-        ("coverage", string_of_int coverage);
-        ("n_reads", string_of_int n_reads);
-        ("rounds", string_of_int rounds);
-        ("bound", string_of_int bound);
-        ("smoke", string_of_bool !smoke);
-      ]
+  ( [
+      ("read_len", string_of_int read_len);
+      ("error_rate", string_of_float error_rate);
+      ("n_refs", string_of_int n_refs);
+      ("coverage", string_of_int coverage);
+      ("n_reads", string_of_int n_reads);
+      ("rounds", string_of_int rounds);
+      ("bound", string_of_int bound);
+      ("smoke", string_of_bool !smoke);
+    ],
     [
       entry ~s:s_scalar
         ~ns:(s_scalar *. 1e9 /. float_of_int n_calls)
@@ -236,8 +251,145 @@ let run_cluster () =
         ~speedup:leq_speedup "levenshtein_leq/bitparallel";
       entry ~s:s_run_scalar ~speedup:1.0 "cluster_run/scalar";
       entry ~s:s_run_myers ~speedup:(s_run_scalar /. s_run_myers) "cluster_run/bitparallel";
-    ]
+    ] )
+
+(* ---------- Clustering at scale ----------
+
+   The end-to-end read path the packed representation exists for:
+   generate a simulated read set straight to FASTQ, stream it back into
+   one packed arena (bounded memory — the read set never exists as
+   boxed objects), and cluster it three ways on identical reads:
+
+   - packed: [Cluster.run_pool] — flat engine + packed signature index;
+   - boxed: [Cluster.run] — the per-read-boxed engine this PR replaces,
+     same kernels, so the delta is the engine and representation;
+   - clover: the trie-based streaming baseline, for accuracy context.
+
+   Also measured: minor-heap words allocated per read by the simulator
+   channel loop, boxed transmit vs pooled transmit_into. *)
+
+let scale_params () =
+  (* partition_len 8 spreads 1M representatives across 65536 integer
+     keys (~15 per bucket in round one); anchors stay at the default 3
+     so most reads contain one. *)
+  {
+    (Clustering.Cluster.default_params ~read_len ()) with
+    Clustering.Cluster.rounds = 16;
+    stall_rounds = 4;
+    partition_len = 8;
+    domains = 1;
+  }
+
+let channel_alloc () =
+  let k = if !smoke then 2_000 else 20_000 in
+  let rng = Dna.Rng.create !seed in
+  let clean = Dna.Strand.random rng read_len in
+  let ch = Simulator.Iid_channel.create_rate ~error_rate in
+  let sink = ref 0 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to k do
+    sink := !sink + Dna.Strand.length (Simulator.Channel.transmit ch rng clean)
+  done;
+  let boxed = (Gc.minor_words () -. w0) /. float_of_int k in
+  let pool =
+    Dna.Strand_pool.create ~capacity_bases:(k * (read_len + 16)) ~capacity_reads:(k + 1) ()
+  in
+  let w1 = Gc.minor_words () in
+  for _ = 1 to k do
+    Simulator.Channel.transmit_into ch rng clean pool;
+    ignore (Dna.Strand_pool.commit pool)
+  done;
+  let pooled = (Gc.minor_words () -. w1) /. float_of_int k in
+  ignore !sink;
+  Printf.printf "channel alloc: boxed %.1f words/read   pooled %.2f words/read\n" boxed
+    pooled;
+  (boxed, pooled)
+
+let run_scale () =
+  let n_target =
+    if !scale_reads > 0 then !scale_reads else if !smoke then 6_000 else 1_000_000
+  in
+  let coverage = 8 in
+  let n_refs = max 1 (n_target / coverage) in
+  let path = Filename.temp_file "dnastore_scale" ".fastq" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  let n_written =
+    Scale_stream.write_fastq ~path ~seed:!seed ~n_refs ~coverage ~len:read_len ~error_rate
+  in
+  let s_gen = Unix.gettimeofday () -. t0 in
+  let t0 = Unix.gettimeofday () in
+  let pool, truth = Scale_stream.load_fastq ~path in
+  let s_load = Unix.gettimeofday () -. t0 in
+  Printf.printf "scale: %d reads generated in %.1fs, streamed back in %.1fs\n" n_written
+    s_gen s_load;
+  let params = scale_params () in
+  let accuracy (r : Clustering.Cluster.result) =
+    Clustering.Metrics.accuracy ~truth r.Clustering.Cluster.clusters
+  in
+  let t0 = Unix.gettimeofday () in
+  let packed = Clustering.Cluster.run_pool params (Dna.Rng.create (!seed + 101)) pool in
+  let s_packed = Unix.gettimeofday () -. t0 in
+  let rss_packed = Scale_stream.peak_rss_mb () in
+  let acc_packed = accuracy packed in
+  (* The boxed engine and Clover read the same packed bases through
+     zero-copy views; only the engines differ. *)
+  let views = Dna.Strand_pool.to_array pool in
+  let t0 = Unix.gettimeofday () in
+  let clover = Clustering.Clover.run views in
+  let s_clover = Unix.gettimeofday () -. t0 in
+  let acc_clover = accuracy clover in
+  let t0 = Unix.gettimeofday () in
+  let boxed = Clustering.Cluster.run params (Dna.Rng.create (!seed + 101)) views in
+  let s_boxed = Unix.gettimeofday () -. t0 in
+  let acc_boxed = accuracy boxed in
+  Printf.printf
+    "scale cluster (%d reads): packed %.2fs acc %.4f | boxed %.2fs acc %.4f (%.1fx) | clover %.2fs acc %.4f\n"
+    n_written s_packed acc_packed s_boxed acc_boxed (s_boxed /. s_packed) s_clover
+    acc_clover;
+  let alloc_boxed, alloc_pooled = channel_alloc () in
+  ( [
+      ("scale_reads", string_of_int n_written);
+      ("scale_coverage", string_of_int coverage);
+      ("scale_seed", string_of_int !seed);
+      ("scale_rounds", string_of_int params.Clustering.Cluster.rounds);
+      ("scale_partition_len", string_of_int params.Clustering.Cluster.partition_len);
+    ],
+    [
+      entry ~s:s_packed
+        ~speedup:(s_boxed /. s_packed)
+        ~extra:
+          [
+            ("accuracy", acc_packed);
+            ("peak_rss_mb", rss_packed);
+            ("n_reads", float_of_int n_written);
+          ]
+        "cluster_scale/packed";
+      entry ~s:s_boxed ~speedup:1.0
+        ~extra:[ ("accuracy", acc_boxed); ("n_reads", float_of_int n_written) ]
+        "cluster_scale/boxed";
+      entry ~s:s_clover
+        ~speedup:(s_boxed /. s_clover)
+        ~extra:[ ("accuracy", acc_clover); ("n_reads", float_of_int n_written) ]
+        "cluster_scale/clover";
+      entry ~s:s_load ~speedup:1.0
+        ~extra:[ ("n_reads", float_of_int n_written) ]
+        "cluster_scale/stream_load";
+      entry ~speedup:(alloc_boxed /. Float.max 1e-9 alloc_pooled)
+        ~extra:
+          [
+            ("words_per_read_boxed", alloc_boxed);
+            ("words_per_read_pooled", alloc_pooled);
+          ]
+        "channel_alloc/transmit_into";
+    ] )
 
 let () =
   run_micro ();
-  run_cluster ()
+  let cluster_config, cluster_entries = run_cluster () in
+  let scale_config, scale_entries = run_scale () in
+  write_json
+    (Filename.concat !out_dir "BENCH_cluster.json")
+    ~config:(cluster_config @ scale_config)
+    (cluster_entries @ scale_entries)

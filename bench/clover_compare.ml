@@ -3,7 +3,12 @@
 
    Clover never computes an edit distance: one streaming pass assigns
    each read by a bounded-edit trie lookup of its prefix. The trade-off
-   is speed and memory against robustness to prefix errors. *)
+   is speed and memory against robustness to prefix errors.
+
+   Reads are staged through FASTQ and streamed back into a packed arena
+   ([Scale_stream]), so the working set is one arena + one truth array
+   regardless of read count — the same bounded-memory path the scale
+   benchmark uses, exercised here across error rates. *)
 
 open Exp_common
 
@@ -13,19 +18,29 @@ let len = 120
 
 let run () =
   print_string (section "Ablation: iterative-merge clustering vs Clover (tree-based)");
-  Printf.printf "setting: %d strands, coverage %d, length %d\n\n" n_strands coverage len;
+  Printf.printf "setting: %d strands, coverage %d, length %d (reads streamed via FASTQ)\n\n"
+    n_strands coverage len;
   let rows = ref [ [ "error rate"; "merge acc"; "merge time"; "clover acc"; "clover time" ] ] in
   List.iter
     (fun error_rate ->
+      let path = Filename.temp_file "dnastore_clover" ".fastq" in
+      Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+      @@ fun () ->
+      ignore
+        (Scale_stream.write_fastq ~path ~seed:31337 ~n_refs:n_strands ~coverage ~len
+           ~error_rate);
+      let pool, truth = Scale_stream.load_fastq ~path in
       let rng = Dna.Rng.create 31337 in
-      let channel = Simulator.Iid_channel.create_rate ~error_rate in
-      let strands = Array.init n_strands (fun _ -> Dna.Strand.random rng len) in
-      let sp = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage) in
-      let reads = Simulator.Sequencer.sequence sp channel rng strands in
-      let rs = Array.map (fun r -> r.Simulator.Sequencer.seq) reads in
-      let truth = Array.map (fun r -> r.Simulator.Sequencer.origin) reads in
-      let (merge_result, _), merge_time = time (fun () -> cluster_auto rng rs) in
-      let clover_result, clover_time = time (fun () -> Clustering.Clover.run rs) in
+      (* Zero-copy views into the arena: auto-config and Clover read the
+         same packed bases the pool engine clusters. *)
+      let views = Dna.Strand_pool.to_array pool in
+      let params = Clustering.Cluster.default_params ~read_len:len () in
+      let config = Clustering.Auto_config.configure params rng views in
+      let params = Clustering.Auto_config.apply config params in
+      let merge_result, merge_time =
+        time (fun () -> Clustering.Cluster.run_pool params rng pool)
+      in
+      let clover_result, clover_time = time (fun () -> Clustering.Clover.run views) in
       let acc result = Clustering.Metrics.accuracy ~truth result.Clustering.Cluster.clusters in
       rows :=
         [

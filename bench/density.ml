@@ -18,9 +18,7 @@ let payload_bytes = 24
 (* A channel whose indel probability spikes inside homopolymer runs —
    the failure mode constrained coding exists to avoid. *)
 let homopolymer_channel ~base_rate ~run_multiplier =
-  {
-    Simulator.Channel.name = "homopolymer-biased";
-    transmit =
+  Simulator.Channel.create ~name:"homopolymer-biased"
       (fun rng strand ->
         let n = Dna.Strand.length strand in
         let buf = Buffer.create (n + 8) in
@@ -39,7 +37,6 @@ let homopolymer_channel ~base_rate ~run_multiplier =
           else Buffer.add_char buf (Dna.Nucleotide.to_char (Dna.Strand.get strand i))
         done;
         Dna.Strand.of_string (Buffer.contents buf))
-  }
 
 let run () =
   print_string (section "Ablation: unconstrained + RS vs constrained coding");

@@ -1,0 +1,106 @@
+(* Streaming read-set plumbing for the clustering scale benchmarks.
+
+   Generation writes simulated reads straight to FASTQ through a small
+   per-chunk arena (the full read set never exists in memory), with the
+   ground-truth origin embedded in each read id as "r<i>_o<origin>".
+   Loading streams the FASTQ back one record at a time into one packed
+   arena pool plus a flat truth array — bounded memory at any read
+   count. *)
+
+(* Generate [n_refs * coverage]-ish reads (dropout-free fixed coverage)
+   of [len]nt references through the iid channel at [error_rate], and
+   append them to [path]. Returns the number of reads written. *)
+let write_fastq ~path ~seed ~n_refs ~coverage ~len ~error_rate =
+  let rng = Dna.Rng.create seed in
+  let channel = Simulator.Iid_channel.create_rate ~error_rate in
+  let sequencing =
+    Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed coverage)
+  in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      let chunk = 4096 in
+      let pool = Dna.Strand_pool.create () in
+      let buf = Buffer.create (1 lsl 17) in
+      let written = ref 0 in
+      let base_ref = ref 0 in
+      while !base_ref < n_refs do
+        let m = min chunk (n_refs - !base_ref) in
+        let refs = Array.init m (fun _ -> Dna.Strand.random rng len) in
+        Dna.Strand_pool.clear pool;
+        let origins = Simulator.Sequencer.sequence_pool sequencing channel rng refs ~pool in
+        Array.iteri
+          (fun i origin ->
+            let seq = Dna.Strand_pool.get pool i in
+            Buffer.add_string buf
+              (Printf.sprintf "@r%d_o%d\n" !written (!base_ref + origin));
+            Buffer.add_string buf (Dna.Strand.to_string seq);
+            Buffer.add_string buf "\n+\n";
+            Buffer.add_string buf (String.make (Dna.Strand.length seq) 'I');
+            Buffer.add_char buf '\n';
+            incr written;
+            if Buffer.length buf > 1 lsl 16 then begin
+              Buffer.output_buffer oc buf;
+              Buffer.clear buf
+            end)
+          origins;
+        base_ref := !base_ref + m
+      done;
+      Buffer.output_buffer oc buf;
+      !written)
+
+let origin_of_id id =
+  match String.rindex_opt id 'o' with
+  | Some k -> int_of_string (String.sub id (k + 1) (String.length id - k - 1))
+  | None -> invalid_arg ("scale read id without origin: " ^ id)
+
+(* Stream [path] into a packed pool; returns it with the per-read truth
+   (origin) array. Only one FASTQ record is boxed at any moment. *)
+let load_fastq ~path =
+  let pool = Dna.Strand_pool.create () in
+  let truth = ref (Array.make 1024 0) in
+  let count = ref 0 in
+  let (), errors =
+    Dna.Fastq.fold_file path ~init:() ~f:(fun () (r : Dna.Fastq.record) ->
+        if !count >= Array.length !truth then begin
+          let a = Array.make (2 * Array.length !truth) 0 in
+          Array.blit !truth 0 a 0 !count;
+          truth := a
+        end;
+        !truth.(!count) <- origin_of_id r.id;
+        incr count;
+        ignore (Dna.Strand_pool.add_strand pool r.seq))
+  in
+  (match errors with
+  | [] -> ()
+  | e :: _ ->
+      Printf.eprintf "scale fastq: %d parse errors (first at line %d: %s)\n"
+        (List.length errors) e.Dna.Fastq.line e.Dna.Fastq.message;
+      exit 1);
+  (pool, Array.sub !truth 0 !count)
+
+(* Peak resident set of this process so far, from /proc (0.0 when
+   unavailable, e.g. non-Linux). *)
+let peak_rss_mb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0.0
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let rec scan () =
+            match input_line ic with
+            | line ->
+                if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+                  let digits =
+                    String.to_seq line
+                    |> Seq.filter (fun c -> c >= '0' && c <= '9')
+                    |> String.of_seq
+                  in
+                  float_of_string digits /. 1024.0
+                end
+                else scan ()
+            | exception End_of_file -> 0.0
+          in
+          scan ())

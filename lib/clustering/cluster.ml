@@ -180,6 +180,168 @@ let run params rng (reads : Dna.Strand.t array) : result =
   let assignment = Array.init n (fun i -> Union_find.find dsu i) in
   { assignment; clusters; stats }
 
+(* The same algorithm restructured for millions of reads: flat arrays
+   everywhere the boxed engine used hashtables of lists.
+
+   - representatives come from one reservoir-sampling pass over the
+     reads (one rng draw per read, serial, so the result is independent
+     of the worker count);
+   - partitions are integer keys (the 2*partition_len-bit code of the
+     bases after the anchor) bucketed by counting sort — no string keys,
+     no per-bucket list cells;
+   - signatures live in a flat packed {!Signature.Index} built once in
+     parallel (sharded rows, free merge) and compared by SWAR popcount;
+   - bucket segments are compared in parallel over the Par pool and
+     merge decisions applied serially in segment order, so the
+     assignment is bit-identical for every [domains] value. *)
+let run_scaled params rng (reads : Dna.Strand.t array) : result =
+  let n = Array.length reads in
+  let dsu = Union_find.create n in
+  let stats =
+    {
+      signature_comparisons = 0;
+      edit_comparisons = 0;
+      merges = 0;
+      signature_time = 0.0;
+      clustering_time = 0.0;
+    }
+  in
+  let t_start = now () in
+  let t_sig0 = now () in
+  let index =
+    Signature.Index.build ~domains:params.domains ~q:params.gram_len params.kind reads
+  in
+  stats.signature_time <- now () -. t_sig0;
+  let nkeys = 1 lsl (2 * params.partition_len) in
+  (* Per-round scratch, allocated once. *)
+  let cnt = Array.make n 0 in
+  let rep = Array.make n 0 in
+  let roots = Array.make n 0 in
+  let entry_root = Array.make n 0 in
+  let entry_idx = Array.make n 0 in
+  let entry_key = Array.make n 0 in
+  let bucket_start = Array.make (nkeys + 1) 0 in
+  let cursor = Array.make nkeys 0 in
+  let order_root = Array.make n 0 in
+  let order_idx = Array.make n 0 in
+  let stall = ref 0 in
+  let round = ref 0 in
+  while !round < params.rounds && !stall < params.stall_rounds do
+    incr round;
+    let merges_before = stats.merges in
+    (* One random representative per cluster, by reservoir sampling: the
+       k-th member seen replaces the current pick with probability 1/k,
+       which is the boxed engine's uniform choice without building
+       member lists. *)
+    let n_roots = ref 0 in
+    for i = 0 to n - 1 do
+      let root = Union_find.find dsu i in
+      if cnt.(root) = 0 then begin
+        roots.(!n_roots) <- root;
+        incr n_roots
+      end;
+      cnt.(root) <- cnt.(root) + 1;
+      if Dna.Rng.int rng cnt.(root) = 0 then rep.(root) <- i
+    done;
+    let anchor = Dna.Strand.random rng params.anchor_len in
+    (* Key every represented cluster by the partition bases. *)
+    let n_entries = ref 0 in
+    for r = 0 to !n_roots - 1 do
+      let root = roots.(r) in
+      cnt.(root) <- 0 (* reset for the next round as we go *);
+      let idx = rep.(root) in
+      let read = reads.(idx) in
+      match Dna.Strand.find read ~pattern:anchor with
+      | Some p when p + params.anchor_len + params.partition_len <= Dna.Strand.length read
+        ->
+          let key = ref 0 in
+          for b = 0 to params.partition_len - 1 do
+            key :=
+              (!key lsl 2)
+              lor Dna.Strand.unsafe_get_code read (p + params.anchor_len + b)
+          done;
+          entry_root.(!n_entries) <- root;
+          entry_idx.(!n_entries) <- idx;
+          entry_key.(!n_entries) <- !key;
+          incr n_entries
+      | Some _ | None -> () (* this cluster sits the round out *)
+    done;
+    (* Counting sort into buckets. *)
+    Array.fill bucket_start 0 (nkeys + 1) 0;
+    for e = 0 to !n_entries - 1 do
+      bucket_start.(entry_key.(e) + 1) <- bucket_start.(entry_key.(e) + 1) + 1
+    done;
+    for k = 1 to nkeys do
+      bucket_start.(k) <- bucket_start.(k) + bucket_start.(k - 1)
+    done;
+    Array.blit bucket_start 0 cursor 0 nkeys;
+    for e = 0 to !n_entries - 1 do
+      let k = entry_key.(e) in
+      order_root.(cursor.(k)) <- entry_root.(e);
+      order_idx.(cursor.(k)) <- entry_idx.(e);
+      cursor.(k) <- cursor.(k) + 1
+    done;
+    (* Bucket segments worth comparing (>= 2 members). *)
+    let segments = ref [] in
+    for k = nkeys - 1 downto 0 do
+      if bucket_start.(k + 1) - bucket_start.(k) > 1 then
+        segments := (bucket_start.(k), bucket_start.(k + 1)) :: !segments
+    done;
+    let segments = Array.of_list !segments in
+    let decisions =
+      Dna.Par.map_array ~label:"cluster.buckets" ~domains:params.domains
+        (fun (lo, hi) ->
+          let merges = ref [] in
+          let sig_cmp = ref 0 and edit_cmp = ref 0 in
+          for i = lo to hi - 1 do
+            for j = i + 1 to hi - 1 do
+              let root_i = order_root.(i) and root_j = order_root.(j) in
+              if root_i <> root_j then begin
+                incr sig_cmp;
+                let d = Signature.Index.distance index order_idx.(i) order_idx.(j) in
+                if d <= params.theta_low then merges := (root_i, root_j) :: !merges
+                else if d <= params.theta_high then begin
+                  incr edit_cmp;
+                  match
+                    Dna.Distance.levenshtein_leq ~backend:params.distance_backend
+                      ~bound:params.edit_threshold
+                      reads.(order_idx.(i))
+                      reads.(order_idx.(j))
+                  with
+                  | Some _ -> merges := (root_i, root_j) :: !merges
+                  | None -> ()
+                end
+              end
+            done
+          done;
+          (!merges, !sig_cmp, !edit_cmp))
+        segments
+    in
+    Array.iter
+      (fun (merges, sig_cmp, edit_cmp) ->
+        stats.signature_comparisons <- stats.signature_comparisons + sig_cmp;
+        stats.edit_comparisons <- stats.edit_comparisons + edit_cmp;
+        List.iter
+          (fun (a, b) ->
+            if not (Union_find.same dsu a b) then begin
+              Union_find.union dsu a b;
+              stats.merges <- stats.merges + 1
+            end)
+          merges)
+      decisions;
+    if stats.merges = merges_before then incr stall else stall := 0
+  done;
+  stats.clustering_time <- now () -. t_start;
+  let clusters = Union_find.clusters dsu in
+  let assignment = Array.init n (fun i -> Union_find.find dsu i) in
+  { assignment; clusters; stats }
+
+let run_pool params rng (pool : Dna.Strand_pool.t) : result =
+  (* Views share the pool's packed buffer — one small record per read,
+     never a copy of the bases — and give the index and the edit kernels
+     a stable array to address reads by. *)
+  run_scaled params rng (Dna.Strand_pool.to_array pool)
+
 (* Materialize clusters as lists of reads, for the reconstruction stage. *)
 let read_clusters result (reads : Dna.Strand.t array) : Dna.Strand.t list list =
   List.map (fun members -> Array.to_list (Array.map (fun i -> reads.(i)) members)) result.clusters

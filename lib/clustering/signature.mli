@@ -26,3 +26,17 @@ val distance : t -> t -> int
 
 val max_distance : q:int -> read_len:int -> kind -> int
 (** A rough upper bound, for scaling thresholds. *)
+
+(** Flat signature index for clustering at scale: every read's
+    signature packed into one shared int array (q-gram presence bits
+    compared by SWAR-popcount Hamming, w-gram positions by L1), built
+    in parallel with workers filling disjoint row ranges — bit-identical
+    for every worker count, and distances agree with {!distance} on the
+    boxed signatures. *)
+module Index : sig
+  type t
+
+  val build : ?domains:int -> q:int -> kind -> Dna.Strand.t array -> t
+  val distance : t -> int -> int -> int
+  (** [distance idx i j] between reads [i] and [j] of the build input. *)
+end

@@ -21,6 +21,23 @@ val ingest_records :
 val ingest_string : Codec.Primer.pair list -> string -> ingested
 val ingest_file : Codec.Primer.pair list -> string -> ingested
 
+type ingested_pool = {
+  pools_by_pair : (Codec.Primer.pair * Dna.Strand_pool.t) list;
+  pool_stats : ingest_stats;
+}
+
+val ingest_pool :
+  Codec.Primer.pair list -> ?parse_errors:int -> Dna.Strand_pool.t -> ingested_pool
+(** Demux reads already in an arena (e.g. pooled simulator output):
+    orientation and primer stripping as in [ingest_records], with the
+    cores landing in one pool per primer pair — no boxed strand per
+    read. Pairs that match nothing are dropped from the result. *)
+
+val ingest_file_pool : Codec.Primer.pair list -> string -> ingested_pool
+(** Stream a FASTQ file straight into per-pair core pools: bounded
+    memory — no record list, no boxed read set — regardless of file
+    size. *)
+
 val export_fastq : ?quality:int -> Dna.Strand.t array -> string
 (** Simulated reads as FASTQ text with a uniform quality track. *)
 

@@ -44,18 +44,54 @@ let parse_lines lines =
 
 let parse_string s = parse_lines (String.split_on_char '\n' s)
 
-let read_file path =
+(* Streaming fold: one record in memory at a time (header plus its
+   accumulating sequence buffer), never the whole file as a line list.
+   Semantics match [parse_lines] record for record. *)
+let fold_channel ic ~init ~f =
+  let errors = ref [] in
+  let acc = ref init in
+  let cur_id = ref None in
+  let cur_seq = Buffer.create 256 in
+  let cur_line = ref 0 in
+  let flush () =
+    match !cur_id with
+    | None -> ()
+    | Some (id, line) ->
+        (match Strand.of_string_opt (Buffer.contents cur_seq) with
+        | Some seq -> acc := f !acc { id; seq }
+        | None -> errors := { line; message = "invalid base in record " ^ id } :: !errors);
+        Buffer.clear cur_seq;
+        cur_id := None
+  in
+  (try
+     while true do
+       let raw = input_line ic in
+       incr cur_line;
+       let line = String.trim raw in
+       if line = "" then ()
+       else if line.[0] = '>' then begin
+         flush ();
+         cur_id := Some (String.sub line 1 (String.length line - 1), !cur_line)
+       end
+       else
+         match !cur_id with
+         | None ->
+             errors := { line = !cur_line; message = "sequence before header" } :: !errors
+         | Some _ -> Buffer.add_string cur_seq (String.uppercase_ascii line)
+     done
+   with End_of_file -> ());
+  flush ();
+  (!acc, List.rev !errors)
+
+let fold_file path ~init ~f =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> ());
-      parse_lines (List.rev !lines))
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> fold_channel ic ~init ~f)
+
+let iter_file path ~f = fst (fold_file path ~init:() ~f:(fun () r -> f r))
+
+let read_file path =
+  let records, errors = fold_file path ~init:[] ~f:(fun acc r -> r :: acc) in
+  (List.rev records, errors)
 
 let to_string records =
   let buf = Buffer.create 1024 in

@@ -8,5 +8,18 @@ type error = { line : int; message : string }
 val parse_lines : string list -> record list * error list
 val parse_string : string -> record list * error list
 val read_file : string -> record list * error list
+
+val fold_channel : in_channel -> init:'a -> f:('a -> record -> 'a) -> 'a * error list
+(** Stream records off a channel without building a line list or a
+    record list: only the record being parsed is live. Errors are
+    collected and returned as in [parse_lines]. *)
+
+val fold_file : string -> init:'a -> f:('a -> record -> 'a) -> 'a * error list
+(** [fold_channel] on an opened file. *)
+
+val iter_file : string -> f:(record -> unit) -> unit
+(** Streams like [fold_file] but discards errors (use [fold_file] to
+    observe them). *)
+
 val to_string : record list -> string
 val write_file : string -> record list -> unit

@@ -71,18 +71,78 @@ let parse_lines lines =
 
 let parse_string s = parse_lines (String.split_on_char '\n' s)
 
-let read_file path =
+(* Streaming fold: one record in memory at a time, so multi-gigabyte
+   read sets never materialize as a line list. Semantics match
+   [parse_lines] record for record. *)
+let fold_channel ic ~init ~f =
+  let errors = ref [] in
+  let acc = ref init in
+  let lineno = ref 0 in
+  let next () =
+    match input_line ic with
+    | line ->
+        incr lineno;
+        Some (String.trim line)
+    | exception End_of_file -> None
+  in
+  let rec loop () =
+    match next () with
+    | None -> ()
+    | Some "" -> loop ()
+    | Some line when line.[0] <> '@' ->
+        errors := { line = !lineno; message = "expected @header" } :: !errors;
+        loop ()
+    | Some line -> (
+        let header_line = !lineno in
+        let id = String.sub line 1 (String.length line - 1) in
+        match next () with
+        | None -> errors := { line = header_line; message = "truncated record" } :: !errors
+        | Some seq_s -> (
+            match next () with
+            | None ->
+                errors := { line = header_line; message = "truncated record" } :: !errors
+            | Some plus -> (
+                match next () with
+                | None ->
+                    errors := { line = header_line; message = "truncated record" } :: !errors
+                | Some qual_s ->
+                    if String.length plus = 0 || plus.[0] <> '+' then
+                      errors :=
+                        { line = !lineno - 1; message = "expected + separator" } :: !errors
+                    else if String.length seq_s <> String.length qual_s then
+                      errors :=
+                        { line = !lineno; message = "quality length mismatch" } :: !errors
+                    else begin
+                      match Strand.of_string_opt (String.uppercase_ascii seq_s) with
+                      | Some seq -> (
+                          match qual_of_string_opt qual_s with
+                          | Some qual -> acc := f !acc { id; seq; qual }
+                          | None ->
+                              errors :=
+                                {
+                                  line = !lineno;
+                                  message = "invalid quality character in read " ^ id;
+                                }
+                                :: !errors)
+                      | None ->
+                          errors :=
+                            { line = !lineno - 2; message = "invalid base in read " ^ id }
+                            :: !errors
+                    end;
+                    loop ())))
+  in
+  loop ();
+  (!acc, List.rev !errors)
+
+let fold_file path ~init ~f =
   let ic = open_in path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let lines = ref [] in
-      (try
-         while true do
-           lines := input_line ic :: !lines
-         done
-       with End_of_file -> ());
-      parse_lines (List.rev !lines))
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> fold_channel ic ~init ~f)
+
+let iter_file path ~f = fst (fold_file path ~init:() ~f:(fun () r -> f r))
+
+let read_file path =
+  let records, errors = fold_file path ~init:[] ~f:(fun acc r -> r :: acc) in
+  (List.rev records, errors)
 
 let to_string records =
   let buf = Buffer.create 1024 in

@@ -1,13 +1,26 @@
-(** An immutable DNA strand.
+(** An immutable DNA strand, stored 2-bit packed.
 
-    Conversion to and from strings is free; integer-coded access
-    ([get_code], [unsafe_get_code]) keeps distance and alignment kernels
-    cheap. All construction validates or generates bases. *)
+    Bases are 0..3 codes packed {!bases_per_word} to a word in a flat
+    int array; a strand is a (words, offset, length) view, so [sub] is
+    O(1) and copy-free. Integer-coded access ([get_code],
+    [unsafe_get_code]) keeps distance and alignment kernels cheap, and
+    [eq_masks] is derived directly from the packed words. All
+    construction validates or generates bases. *)
 
 type t
 
 val empty : t
 val length : t -> int
+
+val bases_per_word : int
+(** Bases packed per int word of the underlying buffer (16). *)
+
+val unsafe_of_packed : int array -> off:int -> len:int -> t
+(** View over an existing packed buffer: base [i] is the 2-bit code at
+    bit [((off + i) mod bases_per_word) * 2] of word
+    [(off + i) / bases_per_word]. No validation and no copy — the caller
+    must guarantee the codes in range never change afterwards (see
+    {!Strand_pool} for the write-once arena discipline). *)
 
 val of_string : string -> t
 (** Accepts the characters A C G T (either case is normalized by the

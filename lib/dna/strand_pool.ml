@@ -1,0 +1,178 @@
+(* Structure-of-arrays arena for reads: one grow-only packed 2-bit
+   buffer plus per-read offset/length tables. Reads are appended
+   back-to-back, so a million reads cost three flat arrays instead of a
+   million boxed strands, and [get] hands out zero-copy Strand views.
+
+   Write-once discipline: a read's bits are set exactly once (emit ORs
+   codes into zeroed slots) before [commit] publishes it, and nothing
+   ever rewrites a committed read. Growth replaces the buffer with a
+   copy, so views minted before a growth stay valid — they keep the old
+   array alive — but they stop aliasing the pool; mint views after all
+   appends when identity matters. At most one read is open at a time. *)
+
+type t = {
+  mutable words : int array;  (* packed codes, Strand.bases_per_word per word *)
+  mutable bases : int;  (* bases used in [words], committed + open *)
+  mutable offs : int array;  (* base offset of read i *)
+  mutable lens : int array;  (* length of read i *)
+  mutable n : int;  (* committed reads *)
+  mutable open_start : int;  (* = bases when no read is open *)
+}
+
+let bpw = Strand.bases_per_word
+
+(* Shift/mask forms of /bpw and mod bpw for the per-base hot path. *)
+let bpw_shift = 4
+let bpw_mask = bpw - 1
+let () = assert (bpw = 1 lsl bpw_shift)
+let words_for b = (b + bpw_mask) lsr bpw_shift
+
+let create ?(capacity_bases = 1 lsl 16) ?(capacity_reads = 1024) () =
+  {
+    words = Array.make (max 1 (words_for capacity_bases)) 0;
+    bases = 0;
+    offs = Array.make (max 1 capacity_reads) 0;
+    lens = Array.make (max 1 capacity_reads) 0;
+    n = 0;
+    open_start = 0;
+  }
+
+let length t = t.n
+let total_bases t = t.open_start
+
+let clear t =
+  (* Reset without shrinking; zero the buffer so emit's OR discipline
+     holds for the next fill. *)
+  Array.fill t.words 0 (Array.length t.words) 0;
+  t.bases <- 0;
+  t.n <- 0;
+  t.open_start <- 0
+
+let grow_words t needed_bases =
+  let need = words_for needed_bases in
+  if need > Array.length t.words then begin
+    let cap = ref (max 1 (Array.length t.words)) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let words = Array.make !cap 0 in
+    Array.blit t.words 0 words 0 (words_for t.bases);
+    t.words <- words
+  end
+
+let grow_reads t =
+  if t.n >= Array.length t.offs then begin
+    let cap = 2 * Array.length t.offs in
+    let offs = Array.make cap 0 and lens = Array.make cap 0 in
+    Array.blit t.offs 0 offs 0 t.n;
+    Array.blit t.lens 0 lens 0 t.n;
+    t.offs <- offs;
+    t.lens <- lens
+  end
+
+(* Open-read builder: channels emit corrupted bases one at a time
+   without knowing the final read length up front. *)
+
+let[@inline] emit t c =
+  let j = t.bases in
+  if j >= Array.length t.words lsl bpw_shift then grow_words t (j + 1);
+  let w = j lsr bpw_shift in
+  t.words.(w) <- t.words.(w) lor ((c land 3) lsl ((j land bpw_mask) * 2));
+  t.bases <- j + 1
+
+let open_length t = t.bases - t.open_start
+
+(* Drop the open read's tail down to [len] bases, zeroing the orphaned
+   slots (emit ORs, so abandoned bits must not linger). *)
+let truncate_open t len =
+  if len < 0 || len > open_length t then invalid_arg "Strand_pool.truncate_open";
+  let keep = t.open_start + len in
+  for j = keep to t.bases - 1 do
+    let w = j lsr bpw_shift in
+    t.words.(w) <- t.words.(w) land lnot (3 lsl ((j land bpw_mask) * 2))
+  done;
+  t.bases <- keep
+
+let rollback t = truncate_open t 0
+
+(* Reverse-complement the open read in place (sequencing strand
+   orientation is decided after the read is built). *)
+let revcomp_open t =
+  let lo = t.open_start and n = open_length t in
+  let half = n / 2 in
+  let get j = (t.words.(j lsr bpw_shift) lsr ((j land bpw_mask) * 2)) land 3 in
+  let set j c =
+    let w = j lsr bpw_shift and sh = (j land bpw_mask) * 2 in
+    t.words.(w) <- t.words.(w) land lnot (3 lsl sh) lor (c lsl sh)
+  in
+  for k = 0 to half - 1 do
+    let a = get (lo + k) and b = get (lo + n - 1 - k) in
+    set (lo + k) (b lxor 3);
+    set (lo + n - 1 - k) (a lxor 3)
+  done;
+  if n land 1 = 1 then begin
+    let mid = lo + half in
+    set mid (get mid lxor 3)
+  end
+
+let commit t =
+  grow_reads t;
+  let i = t.n in
+  t.offs.(i) <- t.open_start;
+  t.lens.(i) <- t.bases - t.open_start;
+  t.n <- i + 1;
+  t.open_start <- t.bases;
+  i
+
+let add_codes t codes =
+  Array.iter (fun c -> emit t c) codes;
+  commit t
+
+let add_strand t s =
+  let n = Strand.length s in
+  grow_words t (t.bases + n);
+  for i = 0 to n - 1 do
+    emit t (Strand.unsafe_get_code s i)
+  done;
+  commit t
+
+let add_string t s =
+  String.iter (fun ch -> emit t (Strand.code_of_char ch)) s;
+  commit t
+
+let read_length t i =
+  if i < 0 || i >= t.n then invalid_arg "Strand_pool.read_length";
+  t.lens.(i)
+
+let get t i =
+  if i < 0 || i >= t.n then invalid_arg "Strand_pool.get";
+  Strand.unsafe_of_packed t.words ~off:t.offs.(i) ~len:t.lens.(i)
+
+let unsafe_get t i = Strand.unsafe_of_packed t.words ~off:t.offs.(i) ~len:t.lens.(i)
+
+(* Swap two reads' table entries (shuffles permute offsets, not bases). *)
+let swap t i j =
+  if i < 0 || i >= t.n || j < 0 || j >= t.n then invalid_arg "Strand_pool.swap";
+  let oi = t.offs.(i) and li = t.lens.(i) in
+  t.offs.(i) <- t.offs.(j);
+  t.lens.(i) <- t.lens.(j);
+  t.offs.(j) <- oi;
+  t.lens.(j) <- li
+
+(* Reorder reads [from, from + |perm|) so the read now at position
+   [from + i] is the one that was at [from + perm.(i)]. Offsets move;
+   bases stay put. *)
+let permute t ?(from = 0) perm =
+  let n = Array.length perm in
+  if from < 0 || from + n > t.n then invalid_arg "Strand_pool.permute";
+  let offs = Array.init n (fun i -> t.offs.(from + perm.(i))) in
+  let lens = Array.init n (fun i -> t.lens.(from + perm.(i))) in
+  Array.blit offs 0 t.offs from n;
+  Array.blit lens 0 t.lens from n
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    f i (unsafe_get t i)
+  done
+
+let to_array t = Array.init t.n (fun i -> unsafe_get t i)

@@ -1,0 +1,85 @@
+(** Structure-of-arrays arena for reads.
+
+    One grow-only 2-bit-packed buffer plus per-read offset/length
+    tables: a million reads cost three flat int arrays instead of a
+    million boxed strands. [get] returns zero-copy {!Strand} views into
+    the buffer.
+
+    Aliasing rules:
+    - committed reads are write-once — no operation ever changes their
+      bases, so views stay correct for the pool's lifetime;
+    - growth swaps in a larger buffer; views minted {e before} a growth
+      keep the old (still-correct) array alive but no longer alias the
+      pool, so mint views after all appends when identity matters;
+    - neighbouring reads may share a word at their boundary; views are
+      range-limited, so this is invisible to readers;
+    - the pool is single-writer. Concurrent {e reads} (including from
+      other domains) are safe once appending has stopped.
+
+    The open-read builder ([emit] … [commit]) lets simulator channels
+    stream corrupted bases into the arena without knowing the read's
+    final length, with [truncate_open]/[rollback] for truncation events
+    and [revcomp_open] for strand orientation — all in place. *)
+
+type t
+
+val create : ?capacity_bases:int -> ?capacity_reads:int -> unit -> t
+val length : t -> int
+(** Committed reads. *)
+
+val total_bases : t -> int
+(** Total bases across committed reads. *)
+
+val clear : t -> unit
+(** Forget all reads, keeping capacity. Outstanding views still read
+    their old bases only until the buffer is refilled — [clear] is for
+    batch reuse where no views outlive the batch. *)
+
+(** {2 Open-read builder} *)
+
+val emit : t -> int -> unit
+(** Append one base code (low 2 bits) to the open read. *)
+
+val open_length : t -> int
+val truncate_open : t -> int -> unit
+(** Keep only the first [len] bases of the open read. *)
+
+val rollback : t -> unit
+(** Discard the open read entirely. *)
+
+val revcomp_open : t -> unit
+(** Reverse-complement the open read in place. *)
+
+val commit : t -> int
+(** Seal the open read; returns its index. The next [emit] starts a new
+    read. Committing with nothing emitted records an empty read. *)
+
+(** {2 Whole-read appends} *)
+
+val add_codes : t -> int array -> int
+val add_strand : t -> Strand.t -> int
+val add_string : t -> string -> int
+(** Each appends one read and returns its index; [add_string] validates
+    via {!Strand.code_of_char}. *)
+
+(** {2 Access} *)
+
+val read_length : t -> int -> int
+val get : t -> int -> Strand.t
+(** Zero-copy view of read [i]. *)
+
+val unsafe_get : t -> int -> Strand.t
+(** [get] without the bounds check; for inner loops. *)
+
+val swap : t -> int -> int -> unit
+(** Exchange two reads' table entries (permutes identity, not bases) —
+    lets {!Rng.shuffle_in_place}-style shuffles work on the pool. *)
+
+val permute : t -> ?from:int -> int array -> unit
+(** [permute t ~from perm] reorders reads [from, from + length perm):
+    the read ending up at position [from + i] is the one that was at
+    [from + perm.(i)]. [perm] must be a permutation of [0..n-1]. *)
+
+val iter : (int -> Strand.t -> unit) -> t -> unit
+val to_array : t -> Strand.t array
+(** Views for all reads (one small record per read; bases stay shared). *)

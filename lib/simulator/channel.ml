@@ -8,14 +8,37 @@
 type t = {
   name : string;
   transmit : Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t;
+  transmit_into : (Dna.Rng.t -> Dna.Strand.t -> Dna.Strand_pool.t -> unit) option;
+      (* Allocation-free variant: emit the noisy read as the pool's open
+         read (left uncommitted so the caller can reorient or truncate).
+         Must consume rng draws identically to [transmit]. [None] falls
+         back to boxed transmit + re-emit. *)
 }
 
+let create ?transmit_into ~name transmit = { name; transmit; transmit_into }
 let name t = t.name
 let transmit t rng strand = t.transmit rng strand
 
+let transmit_into t rng strand pool =
+  match t.transmit_into with
+  | Some f -> f rng strand pool
+  | None ->
+      (* Generic bridge for channels without a native pooled path:
+         identical rng stream, one transient boxed read. *)
+      let read = t.transmit rng strand in
+      for i = 0 to Dna.Strand.length read - 1 do
+        Dna.Strand_pool.emit pool (Dna.Strand.unsafe_get_code read i)
+      done
+
 (* The identity channel: a perfect wetlab. Useful for tests and for
    isolating downstream modules. *)
-let noiseless = { name = "noiseless"; transmit = (fun _ s -> s) }
+let noiseless =
+  create ~name:"noiseless"
+    ~transmit_into:(fun _ s pool ->
+      for i = 0 to Dna.Strand.length s - 1 do
+        Dna.Strand_pool.emit pool (Dna.Strand.unsafe_get_code s i)
+      done)
+    (fun _ s -> s)
 
 (* Per-position error-rate estimate of a channel, measured by aligning
    reads against their source. Returns, for each clean-strand index, the

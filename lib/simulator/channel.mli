@@ -6,10 +6,27 @@
 type t = {
   name : string;
   transmit : Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t;
+  transmit_into : (Dna.Rng.t -> Dna.Strand.t -> Dna.Strand_pool.t -> unit) option;
 }
+
+val create :
+  ?transmit_into:(Dna.Rng.t -> Dna.Strand.t -> Dna.Strand_pool.t -> unit) ->
+  name:string ->
+  (Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t) ->
+  t
+(** A custom [transmit_into] must draw from the rng exactly as
+    [transmit] does (so pooled and boxed simulation runs stay
+    bit-identical) and must leave the emitted read {e open} — callers
+    reorient/truncate/commit it. *)
 
 val name : t -> string
 val transmit : t -> Dna.Rng.t -> Dna.Strand.t -> Dna.Strand.t
+
+val transmit_into : t -> Dna.Rng.t -> Dna.Strand.t -> Dna.Strand_pool.t -> unit
+(** Emit one noisy read as [pool]'s open read, without committing it.
+    Channels with a native pooled path allocate nothing per read; others
+    fall back to boxed [transmit] plus re-emission (same rng stream
+    either way). *)
 
 val noiseless : t
 (** The identity channel: a perfect wetlab. *)

@@ -38,8 +38,31 @@ let transmit params rng strand =
   done;
   Dna.Strand.of_string (Buffer.contents buf)
 
+(* Pooled variant: same per-base rng draws as [transmit], but codes are
+   emitted straight into the arena — no Buffer, no string, no boxed
+   strand per read. *)
+let transmit_into params rng strand pool =
+  validate params;
+  let n = Dna.Strand.length strand in
+  for i = 0 to n - 1 do
+    let code = Dna.Strand.unsafe_get_code strand i in
+    let u = Dna.Rng.float rng in
+    if u < params.p_ins then begin
+      (* Insertion before the current base; the base itself survives.
+         [Nucleotide.random] is one uniform draw over the 4 codes. *)
+      Dna.Strand_pool.emit pool (Dna.Rng.int rng 4);
+      Dna.Strand_pool.emit pool code
+    end
+    else if u < params.p_ins +. params.p_del then () (* deletion *)
+    else if u < params.p_ins +. params.p_del +. params.p_sub then
+      (* [Nucleotide.random_other]'s draw: shift 1..3 from the base. *)
+      Dna.Strand_pool.emit pool ((code + 1 + Dna.Rng.int rng 3) land 3)
+    else Dna.Strand_pool.emit pool code
+  done
+
 let create params =
   validate params;
-  { Channel.name = "rashtchian-iid"; transmit = transmit params }
+  Channel.create ~name:"rashtchian-iid" ~transmit_into:(transmit_into params)
+    (transmit params)
 
 let create_rate ~error_rate = create (default_params ~error_rate)

@@ -137,4 +137,4 @@ let transmit (m : model) rng strand =
     Buffer.add_char buf Dna.Strand.char_of_code.(sample_dist rng m.ins_dist);
   Dna.Strand.of_string (Buffer.contents buf)
 
-let create model = { Channel.name = "learned-empirical"; transmit = transmit model }
+let create model = Channel.create ~name:"learned-empirical" (transmit model)

@@ -18,4 +18,4 @@ let transmit ?temperature model rng strand =
   else strand_of_codes noisy
 
 let create ?temperature model =
-  { Channel.name = "rnn-seq2seq"; transmit = transmit ?temperature model }
+  Channel.create ~name:"rnn-seq2seq" (transmit ?temperature model)

@@ -81,6 +81,51 @@ let sequence ?(shuffle = true) ?(domains = Dna.Par.default_domains ()) params ch
   if shuffle then Dna.Rng.shuffle_in_place rng arr;
   arr
 
+(* Pooled sequencing: the whole read bag lives in one arena — three flat
+   arrays plus one int of origin per read — instead of one boxed strand
+   and read record each. Draws mirror [sequence ~domains:1] exactly
+   (dropout float, coverage draw, channel stream, orientation float,
+   then the same shuffle over the same count), so a given seed yields
+   the identical read sequence with identical origins. *)
+let sequence_pool ?(shuffle = true) params channel rng (strands : Dna.Strand.t array)
+    ~(pool : Dna.Strand_pool.t) : int array =
+  let base = Dna.Strand_pool.length pool in
+  let origins = ref (Array.make 64 0) in
+  let count = ref 0 in
+  let push o =
+    if !count >= Array.length !origins then begin
+      let a = Array.make (2 * Array.length !origins) 0 in
+      Array.blit !origins 0 a 0 !count;
+      origins := a
+    end;
+    !origins.(!count) <- o;
+    incr count
+  in
+  Array.iteri
+    (fun origin strand ->
+      if Dna.Rng.float rng < params.dropout then ()
+      else begin
+        let n = reads_for params rng in
+        for _ = 1 to n do
+          Channel.transmit_into channel rng strand pool;
+          if params.p_reverse > 0.0 && Dna.Rng.float rng < params.p_reverse then
+            Dna.Strand_pool.revcomp_open pool;
+          if Dna.Strand_pool.open_length pool > 0 then begin
+            ignore (Dna.Strand_pool.commit pool);
+            push origin
+          end
+          else Dna.Strand_pool.rollback pool
+        done
+      end)
+    strands;
+  let n = !count in
+  (* The serial boxed path prepend-accumulates (reverse generation
+     order) and then shuffles; replay that as an index permutation. *)
+  let perm = Array.init n (fun k -> n - 1 - k) in
+  if shuffle then Dna.Rng.shuffle_in_place rng perm;
+  Dna.Strand_pool.permute pool ~from:base perm;
+  Array.init n (fun i -> !origins.(perm.(i)))
+
 (* Per-strand depth for sequencing a primer-selected sub-pool of a
    shard: one run spends its read budget on the amplified selection, so
    depth rises as the selection narrows. Square-root scaling keeps the

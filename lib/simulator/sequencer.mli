@@ -32,6 +32,20 @@ val sequence :
     in strand order, so the read set is identical for every worker count
     — the channel must then be safe to call from multiple domains. *)
 
+val sequence_pool :
+  ?shuffle:bool ->
+  params ->
+  Channel.t ->
+  Dna.Rng.t ->
+  Dna.Strand.t array ->
+  pool:Dna.Strand_pool.t ->
+  int array
+(** [sequence] with the read bag appended to [pool] instead of boxed:
+    read [base + i] of the pool (where [base] is the pool's length on
+    entry) pairs with origin [result.(i)]. Serial, and draw-for-draw
+    identical to [sequence ~domains:1] — same seed, same reads in the
+    same order, same origins. *)
+
 val shard_depth : base:int -> n_selected:int -> n_shard:int -> int
 (** Per-strand depth for sequencing a primer-selected sub-pool of
     [n_selected] molecules out of a shard of [n_shard]: the run's read

@@ -63,5 +63,19 @@ let transmit (params : params) rng strand =
   done;
   Dna.Strand.of_string (Buffer.contents buf)
 
-let create params = { Channel.name = "solqc"; transmit = transmit params }
+(* Pooled variant: rng draws mirror [transmit] exactly; codes go
+   straight into the arena. *)
+let transmit_into (params : params) rng strand pool =
+  let n = Dna.Strand.length strand in
+  for i = 0 to n - 1 do
+    let code = Dna.Strand.unsafe_get_code strand i in
+    let p = params.(code) in
+    if Dna.Rng.float rng < p.p_pre_ins then
+      Dna.Strand_pool.emit pool (sample_dist rng p.ins_dist);
+    if Dna.Rng.float rng < p.p_del then ()
+    else Dna.Strand_pool.emit pool (sample_dist rng p.sub_dist)
+  done
+
+let create params =
+  Channel.create ~name:"solqc" ~transmit_into:(transmit_into params) (transmit params)
 let create_rate ~error_rate = create (default_params ~error_rate)

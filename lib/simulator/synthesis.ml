@@ -76,16 +76,12 @@ let synthesize ?(params = default_params) rng (designs : Dna.Strand.t array) : D
    composes synthesis noise into the overall channel). *)
 let channel ?(params = default_params) () =
   validate params;
-  {
-    Channel.name = "synthesis";
-    transmit =
-      (fun rng design ->
-        let rec attempt n =
-          if n = 0 then design
-          else
-            match synthesize_one params rng design with
-            | Some m -> m
-            | None -> attempt (n - 1)
-        in
-        attempt 16);
-  }
+  Channel.create ~name:"synthesis" (fun rng design ->
+      let rec attempt n =
+        if n = 0 then design
+        else
+          match synthesize_one params rng design with
+          | Some m -> m
+          | None -> attempt (n - 1)
+      in
+      attempt 16)

@@ -113,5 +113,49 @@ let transmit p rng strand =
   in
   Dna.Strand.of_string read
 
+(* Pooled variant: rng draws mirror [transmit] exactly; the read grows
+   as the pool's open read, and tail truncation uses [truncate_open]
+   instead of a string copy. *)
+let transmit_into p rng strand pool =
+  let n = Dna.Strand.length strand in
+  let i = ref 0 in
+  while !i < n do
+    let w = position_weight p ~len:n !i in
+    let rate = p.base_error *. w in
+    let u = Dna.Rng.float rng in
+    if u < rate *. 0.35 then begin
+      if Dna.Rng.float rng < p.p_burst then begin
+        let burst = ref 1 in
+        while Dna.Rng.float rng < p.burst_continue do
+          incr burst
+        done;
+        i := !i + !burst
+      end
+      else incr i
+    end
+    else if u < rate *. 0.75 then begin
+      let code = Dna.Strand.unsafe_get_code strand !i in
+      Dna.Strand_pool.emit pool (sample_dist rng sub_matrix.(code));
+      incr i
+    end
+    else if u < rate then begin
+      Dna.Strand_pool.emit pool (Dna.Rng.int rng 4);
+      (* post-insertion: the original base still follows *)
+      Dna.Strand_pool.emit pool (Dna.Strand.unsafe_get_code strand !i);
+      incr i
+    end
+    else begin
+      Dna.Strand_pool.emit pool (Dna.Strand.unsafe_get_code strand !i);
+      incr i
+    end
+  done;
+  let len = Dna.Strand_pool.open_length pool in
+  if Dna.Rng.float rng < p.p_truncate && len > 4 then begin
+    let max_cut = int_of_float (p.truncate_max_frac *. float_of_int len) in
+    let cut = if max_cut = 0 then 0 else Dna.Rng.int rng (max_cut + 1) in
+    Dna.Strand_pool.truncate_open pool (len - cut)
+  end
+
 let create ?(params = default_params) () =
-  { Channel.name = "wetlab-real"; transmit = transmit params }
+  Channel.create ~name:"wetlab-real" ~transmit_into:(transmit_into params)
+    (transmit params)

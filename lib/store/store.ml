@@ -575,21 +575,17 @@ let run_access_task ?recon_backend t (tk : access_task) :
     }
   in
   let channel = Simulator.Iid_channel.create_rate ~error_rate:cfg.error_rate in
-  let reads = Simulator.Sequencer.sequence ~domains:1 sequencing channel seq_rng tk.tk_selected in
-  let records =
-    Array.to_list
-      (Array.mapi
-         (fun i (r : Simulator.Sequencer.read) ->
-           {
-             Dna.Fastq.id = Printf.sprintf "r_%d" i;
-             seq = r.Simulator.Sequencer.seq;
-             qual = [||];
-           })
-         reads)
-  in
-  let ingested = Dnastore.Wetlab_io.ingest_records [ o.pair ] records ~parse_errors:0 in
+  (* Pooled wetlab path: reads stream channel -> arena -> per-pair core
+     arena with zero-copy primer stripping; no boxed strand or FASTQ
+     record per read. Draw-for-draw identical to the boxed
+     [sequence ~domains:1] path, so results match the historical ones. *)
+  let pool = Dna.Strand_pool.create () in
+  ignore (Simulator.Sequencer.sequence_pool sequencing channel seq_rng tk.tk_selected ~pool);
+  let ingested = Dnastore.Wetlab_io.ingest_pool [ o.pair ] pool in
   let cores =
-    match ingested.Dnastore.Wetlab_io.by_pair with [ (_, cores) ] -> cores | _ -> [||]
+    match ingested.Dnastore.Wetlab_io.pools_by_pair with
+    | [ (_, cores) ] -> Dna.Strand_pool.to_array cores
+    | _ -> [||]
   in
   decode_task ?recon_backend decode_rng o cores
 

@@ -325,6 +325,109 @@ let prop_signature_distance_symmetric =
           Clustering.Signature.distance xa xb = Clustering.Signature.distance xb xa)
         [ Clustering.Signature.Qgram; Clustering.Signature.Wgram ])
 
+(* ---------- scaled (flat/packed) engine ---------- *)
+
+(* A planted workload shared by the scaled-engine tests. *)
+let planted_reads ?(n_refs = 24) ?(coverage = 6) ?(error_rate = 0.06) seed =
+  let r = Dna.Rng.create seed in
+  let channel = Simulator.Iid_channel.create_rate ~error_rate in
+  let refs = Array.init n_refs (fun _ -> Dna.Strand.random r 110) in
+  let reads =
+    Array.concat
+      (Array.to_list
+         (Array.map
+            (fun s -> Array.init coverage (fun _ -> Simulator.Channel.transmit channel r s))
+            refs))
+  in
+  let truth = Array.init (Array.length reads) (fun i -> i / coverage) in
+  (reads, truth)
+
+let test_index_matches_boxed_signatures () =
+  let r = rng () in
+  let reads = Array.init 40 (fun _ -> Dna.Strand.random r 80) in
+  List.iter
+    (fun kind ->
+      let idx = Clustering.Signature.Index.build ~q:4 kind reads in
+      let sigs = Array.map (Clustering.Signature.compute ~q:4 kind) reads in
+      for i = 0 to 39 do
+        for j = 0 to 39 do
+          Alcotest.(check int)
+            (Printf.sprintf "distance %d-%d" i j)
+            (Clustering.Signature.distance sigs.(i) sigs.(j))
+            (Clustering.Signature.Index.distance idx i j)
+        done
+      done)
+    [ Clustering.Signature.Qgram; Clustering.Signature.Wgram ]
+
+let test_index_sharded_build_identical () =
+  let r = rng () in
+  let reads = Array.init 50 (fun _ -> Dna.Strand.random r 90) in
+  List.iter
+    (fun kind ->
+      let ref_idx = Clustering.Signature.Index.build ~domains:1 ~q:4 kind reads in
+      List.iter
+        (fun domains ->
+          let idx = Clustering.Signature.Index.build ~domains ~q:4 kind reads in
+          for i = 0 to 49 do
+            for j = 0 to 49 do
+              Alcotest.(check int) "sharded = serial"
+                (Clustering.Signature.Index.distance ref_idx i j)
+                (Clustering.Signature.Index.distance idx i j)
+            done
+          done)
+        [ 2; 4 ])
+    [ Clustering.Signature.Qgram; Clustering.Signature.Wgram ]
+
+let scaled_params ?(domains = 1) () =
+  { (Clustering.Cluster.default_params ~read_len:110 ()) with domains }
+
+let test_scaled_identical_across_domains () =
+  let reads, _ = planted_reads 4242 in
+  let baseline =
+    Clustering.Cluster.run_scaled (scaled_params ()) (Dna.Rng.create 5) reads
+  in
+  List.iter
+    (fun domains ->
+      let result =
+        Clustering.Cluster.run_scaled (scaled_params ~domains ()) (Dna.Rng.create 5) reads
+      in
+      Alcotest.(check (array int))
+        (Printf.sprintf "assignment identical at domains=%d" domains)
+        baseline.Clustering.Cluster.assignment result.Clustering.Cluster.assignment)
+    [ 2; 4 ]
+
+let test_run_pool_matches_run_scaled () =
+  let reads, _ = planted_reads 777 in
+  let pool = Dna.Strand_pool.create () in
+  Array.iter (fun s -> ignore (Dna.Strand_pool.add_strand pool s)) reads;
+  let scaled = Clustering.Cluster.run_scaled (scaled_params ()) (Dna.Rng.create 9) reads in
+  let pooled = Clustering.Cluster.run_pool (scaled_params ()) (Dna.Rng.create 9) pool in
+  Alcotest.(check (array int))
+    "pool views cluster identically" scaled.Clustering.Cluster.assignment
+    pooled.Clustering.Cluster.assignment
+
+let test_scaled_recovers_planted () =
+  let reads, truth = planted_reads 31415 in
+  let result = Clustering.Cluster.run_scaled (scaled_params ()) (Dna.Rng.create 6) reads in
+  let acc = Clustering.Metrics.accuracy ~truth result.Clustering.Cluster.clusters in
+  Alcotest.(check bool)
+    (Printf.sprintf "accuracy %.3f >= 0.9" acc)
+    true (acc >= 0.9);
+  (* Structural sanity: the clusters partition the read set. *)
+  let n = Array.length reads in
+  let members = List.concat_map Array.to_list result.Clustering.Cluster.clusters in
+  Alcotest.(check int) "partition covers reads" n
+    (List.length (List.sort_uniq compare members))
+
+let test_scaled_empty_and_singleton () =
+  let empty = Clustering.Cluster.run_scaled (scaled_params ()) (Dna.Rng.create 1) [||] in
+  Alcotest.(check int) "no clusters" 0 (List.length empty.Clustering.Cluster.clusters);
+  let one =
+    Clustering.Cluster.run_scaled (scaled_params ()) (Dna.Rng.create 1)
+      [| Dna.Strand.random (rng ()) 110 |]
+  in
+  Alcotest.(check int) "one cluster" 1 (List.length one.Clustering.Cluster.clusters)
+
 let () =
   Alcotest.run "clustering"
     [
@@ -353,6 +456,18 @@ let () =
           Alcotest.test_case "parallel identical assignment" `Quick
             test_clustering_parallel_identical_assignment;
           Alcotest.test_case "read_clusters total" `Quick test_read_clusters_materialization;
+        ] );
+      ( "scaled",
+        [
+          Alcotest.test_case "index = boxed signatures" `Quick
+            test_index_matches_boxed_signatures;
+          Alcotest.test_case "index sharded build identical" `Quick
+            test_index_sharded_build_identical;
+          Alcotest.test_case "identical across domains" `Quick
+            test_scaled_identical_across_domains;
+          Alcotest.test_case "run_pool = run_scaled" `Quick test_run_pool_matches_run_scaled;
+          Alcotest.test_case "recovers planted" `Quick test_scaled_recovers_planted;
+          Alcotest.test_case "empty/singleton" `Quick test_scaled_empty_and_singleton;
         ] );
       ( "auto-config",
         [

@@ -452,6 +452,138 @@ let test_readers_close_on_parse_exit () =
   Sys.remove path;
   Sys.remove fasta_path
 
+(* ---------- Strand_pool ---------- *)
+
+let test_pool_builder_roundtrip () =
+  let pool = Dna.Strand_pool.create () in
+  String.iter (fun c -> Dna.Strand_pool.emit pool (Dna.Strand.code_of_char c)) "ACGT";
+  Alcotest.(check int) "open length" 4 (Dna.Strand_pool.open_length pool);
+  Alcotest.(check int) "first index" 0 (Dna.Strand_pool.commit pool);
+  Alcotest.(check int) "second index" 1 (Dna.Strand_pool.add_string pool "GATTACA");
+  Alcotest.check strand "read 0" (Dna.Strand.of_string "ACGT") (Dna.Strand_pool.get pool 0);
+  Alcotest.check strand "read 1" (Dna.Strand.of_string "GATTACA")
+    (Dna.Strand_pool.get pool 1);
+  Alcotest.(check int) "length" 2 (Dna.Strand_pool.length pool);
+  Alcotest.(check int) "total bases" 11 (Dna.Strand_pool.total_bases pool);
+  Alcotest.(check int) "read_length" 7 (Dna.Strand_pool.read_length pool 1)
+
+let test_pool_rollback_truncate_revcomp () =
+  let pool = Dna.Strand_pool.create () in
+  (* A rolled-back read leaves no trace: the next read must not inherit
+     its bits (emit ORs into the buffer, so orphaned bits would show). *)
+  String.iter (fun c -> Dna.Strand_pool.emit pool (Dna.Strand.code_of_char c)) "TTTTTTTT";
+  Dna.Strand_pool.rollback pool;
+  ignore (Dna.Strand_pool.add_string pool "AACA");
+  Alcotest.check strand "rollback leaves no bits" (Dna.Strand.of_string "AACA")
+    (Dna.Strand_pool.get pool 0);
+  (* Truncation zeroes the cut tail for the same reason. *)
+  String.iter (fun c -> Dna.Strand_pool.emit pool (Dna.Strand.code_of_char c)) "GGGGGG";
+  Dna.Strand_pool.truncate_open pool 3;
+  String.iter (fun c -> Dna.Strand_pool.emit pool (Dna.Strand.code_of_char c)) "AA";
+  ignore (Dna.Strand_pool.commit pool);
+  Alcotest.check strand "truncate then extend" (Dna.Strand.of_string "GGGAA")
+    (Dna.Strand_pool.get pool 1);
+  String.iter (fun c -> Dna.Strand_pool.emit pool (Dna.Strand.code_of_char c)) "ACCGTA";
+  Dna.Strand_pool.revcomp_open pool;
+  ignore (Dna.Strand_pool.commit pool);
+  Alcotest.check strand "revcomp in place"
+    (Dna.Strand.reverse_complement (Dna.Strand.of_string "ACCGTA"))
+    (Dna.Strand_pool.get pool 2)
+
+let test_pool_views_survive_growth () =
+  let pool = Dna.Strand_pool.create ~capacity_bases:8 ~capacity_reads:1 () in
+  ignore (Dna.Strand_pool.add_string pool "ACGTACGT");
+  let early = Dna.Strand_pool.get pool 0 in
+  (* Force several buffer growths; the early view keeps the old array
+     alive and must still read its original bases. *)
+  for _ = 1 to 64 do
+    ignore (Dna.Strand_pool.add_string pool "GGGGCCCCAAAATTTT")
+  done;
+  Alcotest.check strand "early view intact" (Dna.Strand.of_string "ACGTACGT") early;
+  Alcotest.check strand "re-minted view agrees" early (Dna.Strand_pool.get pool 0)
+
+let test_pool_swap_permute () =
+  let pool = Dna.Strand_pool.create () in
+  let names = [| "AAAA"; "CCCC"; "GGGG"; "TTTT" |] in
+  Array.iter (fun s -> ignore (Dna.Strand_pool.add_string pool s)) names;
+  Dna.Strand_pool.swap pool 0 3;
+  Alcotest.check strand "swap 0" (Dna.Strand.of_string "TTTT") (Dna.Strand_pool.get pool 0);
+  Dna.Strand_pool.swap pool 0 3;
+  (* permute: position i takes the read that was at perm.(i). *)
+  Dna.Strand_pool.permute pool [| 3; 2; 1; 0 |];
+  Array.iteri
+    (fun i _ ->
+      Alcotest.check strand
+        (Printf.sprintf "permuted %d" i)
+        (Dna.Strand.of_string names.(3 - i))
+        (Dna.Strand_pool.get pool i))
+    names;
+  (* partial permute over a suffix *)
+  Dna.Strand_pool.permute pool ~from:2 [| 1; 0 |];
+  Alcotest.check strand "suffix permuted" (Dna.Strand.of_string "AAAA")
+    (Dna.Strand_pool.get pool 2)
+
+let test_pool_clear_reuse () =
+  let pool = Dna.Strand_pool.create () in
+  ignore (Dna.Strand_pool.add_string pool "TTTTTTTTTTTTTTTT");
+  Dna.Strand_pool.clear pool;
+  Alcotest.(check int) "empty after clear" 0 (Dna.Strand_pool.length pool);
+  (* clear must zero the buffer or the OR-emit discipline would leak the
+     old read's bits into the new one. *)
+  ignore (Dna.Strand_pool.add_string pool "AACA");
+  Alcotest.check strand "no stale bits" (Dna.Strand.of_string "AACA")
+    (Dna.Strand_pool.get pool 0)
+
+(* ---------- Streaming folds ---------- *)
+
+let test_fastq_fold_matches_read_file () =
+  let path = Filename.temp_file "dnastore_test" ".fastq" in
+  let oc = open_out path in
+  output_string oc "@r1\nACGT\n+\nIIII\n@bad\nACGT\n+\nIII\n@r2\nGATTACA\n+comment\nIIIIIII\n";
+  close_out oc;
+  let records, errors = Dna.Fastq.read_file path in
+  let folded_rev, fold_errors =
+    Dna.Fastq.fold_file path ~init:[] ~f:(fun acc r -> r :: acc)
+  in
+  let folded = List.rev folded_rev in
+  Alcotest.(check int) "same record count" (List.length records) (List.length folded);
+  List.iter2
+    (fun (a : Dna.Fastq.record) (b : Dna.Fastq.record) ->
+      Alcotest.(check string) "id" a.id b.id;
+      Alcotest.check strand "seq" a.seq b.seq;
+      Alcotest.(check (array int)) "qual" a.qual b.qual)
+    records folded;
+  Alcotest.(check (list (pair int string)))
+    "same errors"
+    (List.map (fun (e : Dna.Fastq.error) -> (e.line, e.message)) errors)
+    (List.map (fun (e : Dna.Fastq.error) -> (e.line, e.message)) fold_errors);
+  let n = ref 0 in
+  Dna.Fastq.iter_file path ~f:(fun _ -> incr n);
+  Alcotest.(check int) "iter_file count" (List.length records) !n;
+  Sys.remove path
+
+let test_fasta_fold_matches_read_file () =
+  let path = Filename.temp_file "dnastore_test" ".fasta" in
+  let oc = open_out path in
+  output_string oc ">r1 desc\nACGT\nTTAA\n\n>bad\nACXT\n>r2\nGATTACA\n";
+  close_out oc;
+  let records, errors = Dna.Fasta.read_file path in
+  let folded_rev, fold_errors =
+    Dna.Fasta.fold_file path ~init:[] ~f:(fun acc r -> r :: acc)
+  in
+  let folded = List.rev folded_rev in
+  Alcotest.(check int) "same record count" (List.length records) (List.length folded);
+  List.iter2
+    (fun (a : Dna.Fasta.record) (b : Dna.Fasta.record) ->
+      Alcotest.(check string) "id" a.id b.id;
+      Alcotest.check strand "seq" a.seq b.seq)
+    records folded;
+  Alcotest.(check (list (pair int string)))
+    "same errors"
+    (List.map (fun (e : Dna.Fasta.error) -> (e.line, e.message)) errors)
+    (List.map (fun (e : Dna.Fasta.error) -> (e.line, e.message)) fold_errors);
+  Sys.remove path
+
 (* ---------- QCheck properties ---------- *)
 
 let arb_strand =
@@ -498,6 +630,138 @@ let prop_alignment_score =
   QCheck.Test.make ~name:"alignment score = levenshtein" ~count:200
     (QCheck.pair arb_strand arb_strand) (fun (a, b) ->
       (Dna.Alignment.align a b).Dna.Alignment.score = Dna.Distance.levenshtein a b)
+
+(* ---------- Packed-representation properties ----------
+
+   The packed strand must be observationally identical to the plain
+   code-array semantics. Lengths are biased onto the word boundaries of
+   both layouts: 2-bit packing (16 bases/word: 31/32/33) and the Myers
+   masks (63 bits/word: 63/64/65). *)
+
+let gen_codes =
+  QCheck.Gen.(
+    let boundary = oneofl [ 0; 1; 15; 16; 17; 31; 32; 33; 62; 63; 64; 65; 300 ] in
+    let len = oneof [ int_range 0 300; boundary ] in
+    map Array.of_list (list_size len (int_range 0 3)))
+
+let arb_codes =
+  QCheck.make
+    ~print:(fun a ->
+      Dna.Strand.to_string (Dna.Strand.of_codes a))
+    gen_codes
+
+let prop_packed_codes_roundtrip =
+  QCheck.Test.make ~name:"packed of_codes/to_codes/get_code" ~count:300 arb_codes
+    (fun codes ->
+      let s = Dna.Strand.of_codes codes in
+      Dna.Strand.to_codes s = codes
+      && Array.for_all
+           (fun i -> Dna.Strand.get_code s i = codes.(i))
+           (Array.init (Array.length codes) Fun.id))
+
+let prop_packed_sub =
+  QCheck.Test.make ~name:"packed sub = code-array slice" ~count:300
+    QCheck.(triple arb_codes small_nat small_nat)
+    (fun (codes, p, l) ->
+      let n = Array.length codes in
+      let pos = if n = 0 then 0 else p mod (n + 1) in
+      let len = if n - pos = 0 then 0 else l mod (n - pos + 1) in
+      let s = Dna.Strand.of_codes codes in
+      Dna.Strand.to_codes (Dna.Strand.sub s ~pos ~len) = Array.sub codes pos len)
+
+let prop_packed_sub_of_sub =
+  (* Slices of slices alias the same packed words at a composed offset. *)
+  QCheck.Test.make ~name:"packed sub of sub" ~count:300
+    QCheck.(quad arb_codes small_nat small_nat small_nat)
+    (fun (codes, p, l, q) ->
+      let n = Array.length codes in
+      let pos = if n = 0 then 0 else p mod (n + 1) in
+      let len = if n - pos = 0 then 0 else l mod (n - pos + 1) in
+      let pos2 = if len = 0 then 0 else q mod (len + 1) in
+      let len2 = len - pos2 in
+      let s = Dna.Strand.of_codes codes in
+      Dna.Strand.equal
+        (Dna.Strand.sub (Dna.Strand.sub s ~pos ~len) ~pos:pos2 ~len:len2)
+        (Dna.Strand.sub s ~pos:(pos + pos2) ~len:len2))
+
+let prop_packed_rev_complement =
+  QCheck.Test.make ~name:"packed rev/complement = code transforms" ~count:300 arb_codes
+    (fun codes ->
+      let n = Array.length codes in
+      let s = Dna.Strand.of_codes codes in
+      let rev_ref = Array.init n (fun i -> codes.(n - 1 - i)) in
+      let comp_ref = Array.map (fun c -> c lxor 3) codes in
+      let revcomp_ref = Array.init n (fun i -> codes.(n - 1 - i) lxor 3) in
+      Dna.Strand.to_codes (Dna.Strand.rev s) = rev_ref
+      && Dna.Strand.to_codes (Dna.Strand.complement s) = comp_ref
+      && Dna.Strand.to_codes (Dna.Strand.reverse_complement s) = revcomp_ref)
+
+let prop_packed_eq_masks =
+  QCheck.Test.make ~name:"packed eq_masks bits" ~count:300 arb_codes (fun codes ->
+      let s = Dna.Strand.of_codes codes in
+      let n = Array.length codes in
+      let mb = Dna.Strand.mask_bits in
+      let words = (n + mb - 1) / mb in
+      let masks = Dna.Strand.eq_masks s in
+      Array.length masks = 4 * words
+      && List.for_all
+           (fun j ->
+             List.for_all
+               (fun c ->
+                 let bit = (masks.((c * words) + (j / mb)) lsr (j mod mb)) land 1 in
+                 bit = if codes.(j) = c then 1 else 0)
+               [ 0; 1; 2; 3 ])
+           (List.init n Fun.id))
+
+let prop_packed_eq_masks_of_slice =
+  (* Masks of an offset view must describe the view, not word 0 of the
+     backing buffer. *)
+  QCheck.Test.make ~name:"packed eq_masks of slice" ~count:300
+    QCheck.(pair arb_codes small_nat)
+    (fun (codes, p) ->
+      let n = Array.length codes in
+      let pos = if n = 0 then 0 else p mod (n + 1) in
+      let view = Dna.Strand.sub (Dna.Strand.of_codes codes) ~pos ~len:(n - pos) in
+      let fresh = Dna.Strand.of_codes (Array.sub codes pos (n - pos)) in
+      Dna.Strand.eq_masks view = Dna.Strand.eq_masks fresh)
+
+let prop_packed_concat_append =
+  QCheck.Test.make ~name:"packed concat/append = array concat" ~count:300
+    QCheck.(pair (list_of_size (QCheck.Gen.int_range 0 5) arb_codes) arb_codes)
+    (fun (pieces, extra) ->
+      let strands = List.map Dna.Strand.of_codes pieces in
+      let cat_ref = Array.concat pieces in
+      let s = Dna.Strand.concat strands in
+      Dna.Strand.to_codes s = cat_ref
+      && Dna.Strand.to_codes (Dna.Strand.append s (Dna.Strand.of_codes extra))
+         = Array.append cat_ref extra)
+
+let prop_packed_equal_hash_on_views =
+  (* A strand reached through an arbitrary word offset (slice of a
+     concat) is indistinguishable from a freshly packed one: equal,
+     compare 0, same hash, same find. *)
+  QCheck.Test.make ~name:"packed equal/hash offset-independent" ~count:300
+    QCheck.(pair arb_codes arb_codes)
+    (fun (prefix, codes) ->
+      let s = Dna.Strand.of_codes codes in
+      let view =
+        Dna.Strand.sub
+          (Dna.Strand.concat [ Dna.Strand.of_codes prefix; s ])
+          ~pos:(Array.length prefix) ~len:(Array.length codes)
+      in
+      Dna.Strand.equal s view
+      && Dna.Strand.compare s view = 0
+      && Dna.Strand.hash s = Dna.Strand.hash view)
+
+let prop_pool_roundtrip =
+  QCheck.Test.make ~name:"pool add/get roundtrip" ~count:100
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 20) arb_codes)
+    (fun pieces ->
+      let pool = Dna.Strand_pool.create ~capacity_bases:4 ~capacity_reads:1 () in
+      List.iter (fun codes -> ignore (Dna.Strand_pool.add_codes pool codes)) pieces;
+      List.for_all
+        (fun (i, codes) -> Dna.Strand.to_codes (Dna.Strand_pool.get pool i) = codes)
+        (List.mapi (fun i c -> (i, c)) pieces))
 
 let () =
   Alcotest.run "dna"
@@ -590,5 +854,28 @@ let () =
             prop_bytes_strand_roundtrip;
             prop_scramble_involution;
             prop_alignment_score;
+            prop_packed_codes_roundtrip;
+            prop_packed_sub;
+            prop_packed_sub_of_sub;
+            prop_packed_rev_complement;
+            prop_packed_eq_masks;
+            prop_packed_eq_masks_of_slice;
+            prop_packed_concat_append;
+            prop_packed_equal_hash_on_views;
+            prop_pool_roundtrip;
           ] );
+      ( "strand_pool",
+        [
+          Alcotest.test_case "builder roundtrip" `Quick test_pool_builder_roundtrip;
+          Alcotest.test_case "rollback/truncate/revcomp" `Quick
+            test_pool_rollback_truncate_revcomp;
+          Alcotest.test_case "views survive growth" `Quick test_pool_views_survive_growth;
+          Alcotest.test_case "swap/permute" `Quick test_pool_swap_permute;
+          Alcotest.test_case "clear reuse" `Quick test_pool_clear_reuse;
+        ] );
+      ( "streaming",
+        [
+          Alcotest.test_case "fastq fold = read_file" `Quick test_fastq_fold_matches_read_file;
+          Alcotest.test_case "fasta fold = read_file" `Quick test_fasta_fold_matches_read_file;
+        ] );
     ]

@@ -294,6 +294,65 @@ let test_rnn_channel_emits_reads () =
     Alcotest.(check bool) "nonempty read" true (Dna.Strand.length out > 0)
   done
 
+(* ---------- pooled sequencing ---------- *)
+
+(* The arena path must replay the boxed path draw for draw: same seed,
+   same reads in the same order, same origins — for every channel with a
+   native [transmit_into] and for the generic boxed fallback. *)
+let check_pool_matches_boxed ?(params = Simulator.Sequencer.default_params
+                                          ~coverage:(Simulator.Sequencer.Fixed 4))
+    name channel =
+  let strands = Array.init 12 (fun i -> Dna.Strand.random (Dna.Rng.create (100 + i)) 90) in
+  let boxed =
+    Simulator.Sequencer.sequence ~domains:1 params channel (Dna.Rng.create 55) strands
+  in
+  let pool = Dna.Strand_pool.create () in
+  let origins =
+    Simulator.Sequencer.sequence_pool params channel (Dna.Rng.create 55) strands ~pool
+  in
+  Alcotest.(check int)
+    (name ^ ": read count") (Array.length boxed) (Array.length origins);
+  Array.iteri
+    (fun i (r : Simulator.Sequencer.read) ->
+      Alcotest.(check int) (Printf.sprintf "%s: origin %d" name i) r.origin origins.(i);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: read %d" name i)
+        true
+        (Dna.Strand.equal r.seq (Dna.Strand_pool.get pool i)))
+    boxed
+
+let test_sequence_pool_iid () =
+  check_pool_matches_boxed "iid" (Simulator.Iid_channel.create_rate ~error_rate:0.08)
+
+let test_sequence_pool_solqc () =
+  check_pool_matches_boxed "solqc" (Simulator.Solqc_channel.create_rate ~error_rate:0.05)
+
+let test_sequence_pool_wetlab () =
+  check_pool_matches_boxed "wetlab" (Simulator.Wetlab_channel.create ())
+
+let test_sequence_pool_noiseless () =
+  check_pool_matches_boxed "noiseless" Simulator.Channel.noiseless
+
+let test_sequence_pool_generic_fallback () =
+  (* A channel with no native [transmit_into] goes through the boxed
+     fallback — still the same rng stream. *)
+  let ch =
+    Simulator.Channel.create ~name:"test-boxed-only" (fun rng s ->
+        ignore (Dna.Rng.float rng);
+        Dna.Strand.rev s)
+  in
+  check_pool_matches_boxed "fallback" ch
+
+let test_sequence_pool_dropout_reverse () =
+  check_pool_matches_boxed "dropout+reverse"
+    ~params:
+      {
+        Simulator.Sequencer.coverage = Simulator.Sequencer.Poisson 3.0;
+        dropout = 0.2;
+        p_reverse = 0.4;
+      }
+    (Simulator.Iid_channel.create_rate ~error_rate:0.08)
+
 let () =
   Alcotest.run "simulator"
     [
@@ -320,6 +379,17 @@ let () =
             test_sequencer_parallel_domain_independent;
           Alcotest.test_case "shard depth scaling" `Quick test_shard_depth_scaling;
           Alcotest.test_case "ideal clusters" `Quick test_ideal_clusters;
+        ] );
+      ( "sequence_pool",
+        [
+          Alcotest.test_case "iid = boxed" `Quick test_sequence_pool_iid;
+          Alcotest.test_case "solqc = boxed" `Quick test_sequence_pool_solqc;
+          Alcotest.test_case "wetlab = boxed" `Quick test_sequence_pool_wetlab;
+          Alcotest.test_case "noiseless = boxed" `Quick test_sequence_pool_noiseless;
+          Alcotest.test_case "generic fallback = boxed" `Quick
+            test_sequence_pool_generic_fallback;
+          Alcotest.test_case "dropout/reverse = boxed" `Quick
+            test_sequence_pool_dropout_reverse;
         ] );
       ( "learned",
         [
