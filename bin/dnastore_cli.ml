@@ -573,6 +573,222 @@ let faults_cmd =
        ~doc:"Run the fault-injection scenario matrix and print a recovery report.")
     Term.(const run $ input $ bytes_arg $ scenario_arg $ seeds_arg $ list_arg $ domains)
 
+(* scenario: the declarative channel-stack engine. list/describe browse
+   the builtin registry; run executes one (scenario, fault) cell per
+   seed and double-checks bit-identical replay; sweep runs the scenario
+   x fault-plan matrix and asserts every recovered-fraction floor. *)
+
+let scenario_cmd =
+  let action =
+    Arg.(
+      required
+      & pos 0
+          (some (enum [ ("list", `List); ("describe", `Describe); ("run", `Run); ("sweep", `Sweep) ]))
+          None
+      & info [] ~docv:"ACTION"
+          ~doc:
+            "$(b,list) the builtin scenarios, $(b,describe) one as JSON, $(b,run) one \
+             scenario/fault cell per seed (with a replay check), or $(b,sweep) the scenario x \
+             fault matrix against its floors.")
+  in
+  let name_arg =
+    Arg.(value & pos 1 (some string) None & info [] ~docv:"NAME"
+         ~doc:"Builtin scenario name (see $(b,list)).")
+  in
+  let file_arg =
+    Arg.(value & opt (some file) None & info [ "file" ] ~docv:"JSON"
+         ~doc:"Load the scenario from a JSON description instead of the builtin registry.")
+  in
+  let fault_arg =
+    Arg.(value & opt string "clean" & info [ "fault" ] ~docv:"NAME"
+         ~doc:"Fault plan for $(b,run) (a name from $(b,dnastore faults --list)).")
+  in
+  let faults_arg =
+    Arg.(value & opt string "clean,dropout-10,corruption-2" & info [ "faults" ] ~docv:"CSV"
+         ~doc:"Fault plans for $(b,sweep).")
+  in
+  let seeds_arg =
+    Arg.(value & opt string "1,2" & info [ "seeds" ] ~docv:"CSV"
+         ~doc:"Replay seeds; every cell runs once per seed.")
+  in
+  let bytes_arg =
+    Arg.(value & opt int 2000 & info [ "bytes" ] ~docv:"N"
+         ~doc:"Size of the generated payload when no $(b,--input) is given.")
+  in
+  let input_arg =
+    Arg.(value & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE"
+         ~doc:"File to push through the stack (default: a deterministic pseudo-random payload).")
+  in
+  let trace_arg =
+    Arg.(value & opt (some file) None & info [ "trace" ] ~docv:"FASTQ"
+         ~doc:"Trace for $(b,trace) stages (default: a deterministic synthetic trace).")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"JSON"
+         ~doc:"Also write the outcome cells as JSON.")
+  in
+  let run action name file fault faults_csv seeds_csv bytes input trace out domains =
+    Dna.Par.set_default_domains domains;
+    let csv s = String.split_on_char ',' s |> List.map String.trim |> List.filter (( <> ) "") in
+    let seeds = List.filter_map int_of_string_opt (csv seeds_csv) in
+    if seeds = [] then failwith "scenario: no valid seeds";
+    let load_file path =
+      match Simulator.Scenario.of_string (Bytes.to_string (read_binary path)) with
+      | Ok sc -> sc
+      | Error e -> failwith ("scenario: " ^ path ^ ": " ^ e)
+    in
+    let resolve name =
+      match (file, name) with
+      | Some path, _ -> load_file path
+      | None, Some n -> (
+          match Simulator.Scenario.find n with
+          | Some sc -> sc
+          | None -> failwith ("scenario: unknown scenario " ^ n))
+      | None, None -> failwith "scenario: give a NAME or --file"
+    in
+    (* Trace stages need a FASTQ on disk; when none is supplied,
+       synthesize a deterministic stand-in so every run still replays. *)
+    let with_trace sc =
+      if not (Simulator.Scenario.has_trace sc) then sc
+      else
+        let path =
+          match trace with
+          | Some p -> p
+          | None ->
+              let p = Filename.temp_file "dnastore_trace" ".fastq" in
+              Simulator.Trace_channel.write_synthetic ~seed:77 p;
+              p
+        in
+        Simulator.Scenario.with_trace_path sc path
+    in
+    let data () =
+      match input with
+      | Some path -> read_binary path
+      | None ->
+          let r = Dna.Rng.create 0xF11E in
+          Bytes.init bytes (fun _ -> Char.chr (Dna.Rng.int r 256))
+    in
+    let finish outcomes violations =
+      print_string (Dnastore.Report.scenario_summary outcomes);
+      (match out with
+      | None -> ()
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Store_json.to_string (Dnastore.Scenario_run.outcomes_json outcomes));
+          close_out oc;
+          Printf.printf "wrote %s\n" path);
+      match violations with
+      | [] -> ()
+      | vs ->
+          Printf.eprintf "\n%d scenario violation(s):\n" (List.length vs);
+          List.iter (fun v -> Printf.eprintf "  %s\n" v) (List.rev vs);
+          exit 1
+    in
+    match action with
+    | `List ->
+        print_string
+          (Dnastore.Report.table
+             ([ "scenario"; "stack"; "floors" ]
+             :: List.map
+                  (fun sc ->
+                    [
+                      sc.Simulator.Scenario.name;
+                      Simulator.Scenario.summary sc;
+                      String.concat " "
+                        (List.map
+                           (fun (f, m) -> Printf.sprintf "%s>=%.2f" f m)
+                           sc.Simulator.Scenario.floors);
+                    ])
+                  Simulator.Scenario.builtins))
+    | `Describe ->
+        let sc = resolve name in
+        Printf.printf "%s: %s\n%s\n\n%s" sc.Simulator.Scenario.name
+          sc.Simulator.Scenario.description
+          (Simulator.Scenario.summary sc)
+          (Simulator.Scenario.to_string sc)
+    | `Run ->
+        let sc = with_trace (resolve name) in
+        let data = data () in
+        let violations = ref [] in
+        let outcomes =
+          List.map
+            (fun seed ->
+              let go () =
+                match Dnastore.Scenario_run.run_full ~fault ~seed ~data sc with
+                | Ok r -> r
+                | Error e -> failwith ("scenario: " ^ e)
+              in
+              let o, pipe = go () in
+              let _, pipe' = go () in
+              (match pipe.Dnastore.Pipeline.decode_error with
+              | Some e -> Printf.eprintf "%s seed %d: decode error: %s\n" sc.Simulator.Scenario.name seed e
+              | None -> ());
+              (match pipe.Dnastore.Pipeline.stage_failures with
+              | [] -> ()
+              | fs ->
+                  Printf.eprintf "%s seed %d: degraded stages: %s\n" sc.Simulator.Scenario.name seed
+                    (String.concat ", "
+                       (List.map
+                          (fun (s, m) -> Dnastore.Faults.stage_name s ^ " (" ^ m ^ ")")
+                          fs)));
+              (* The replay contract: same (scenario, fault, seed, data)
+                 must reproduce the recovered bytes bit-identically. *)
+              let same =
+                (match (pipe.Dnastore.Pipeline.file, pipe'.Dnastore.Pipeline.file) with
+                | Some a, Some b -> Bytes.equal a b
+                | None, None -> true
+                | _ -> false)
+                && pipe.Dnastore.Pipeline.partial.Codec.File_codec.recovered_fraction
+                   = pipe'.Dnastore.Pipeline.partial.Codec.File_codec.recovered_fraction
+              in
+              if not same then
+                violations :=
+                  Printf.sprintf "%s/%s seed %d: replay diverged" o.Dnastore.Scenario_run.scenario
+                    fault seed
+                  :: !violations;
+              if not o.Dnastore.Scenario_run.passed then
+                violations :=
+                  Printf.sprintf "%s/%s seed %d: recovered %.4f below floor"
+                    o.Dnastore.Scenario_run.scenario fault seed
+                    o.Dnastore.Scenario_run.recovered_fraction
+                  :: !violations;
+              o)
+            seeds
+        in
+        finish outcomes !violations
+    | `Sweep ->
+        let scenarios =
+          match (file, name) with
+          | None, None -> List.map with_trace Simulator.Scenario.builtins
+          | _ -> [ with_trace (resolve name) ]
+        in
+        let data = data () in
+        let outcomes =
+          match
+            Dnastore.Scenario_run.sweep ~faults:(csv faults_csv) ~seeds ~data scenarios
+          with
+          | Ok os -> os
+          | Error e -> failwith ("scenario: " ^ e)
+        in
+        let violations =
+          List.map
+            (fun (o : Dnastore.Scenario_run.outcome) ->
+              Printf.sprintf "%s/%s seed %d: recovered %.4f below floor %.2f"
+                o.Dnastore.Scenario_run.scenario o.Dnastore.Scenario_run.fault
+                o.Dnastore.Scenario_run.seed o.Dnastore.Scenario_run.recovered_fraction
+                (match o.Dnastore.Scenario_run.floor with Some f -> f | None -> 0.0))
+            (Dnastore.Scenario_run.failures outcomes)
+        in
+        finish outcomes violations
+  in
+  let domains = Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N" ~doc:"Worker domains.") in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Compose and run declarative channel-stack scenarios against fault plans.")
+    Term.(
+      const run $ action $ name_arg $ file_arg $ fault_arg $ faults_arg $ seeds_arg $ bytes_arg
+      $ input_arg $ trace_arg $ out_arg $ domains)
+
 (* inspect: pool statistics a lab would sanity-check before synthesis *)
 
 let inspect_cmd =
@@ -967,7 +1183,7 @@ let main =
   Cmd.group (Cmd.info "dnastore" ~version:"1.0.0" ~doc)
     [
       encode_cmd; simulate_cmd; cluster_cmd; reconstruct_cmd; decode_cmd; pipeline_cmd;
-      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd; store_cmd; serve_cmd;
+      fountain_encode_cmd; fountain_decode_cmd; inspect_cmd; faults_cmd; scenario_cmd; store_cmd; serve_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -120,7 +120,7 @@ let time f =
    [faults] injects the plan's seeded faults between stages and its
    crash/stuck faults at stage entry. *)
 let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
-    ?(stages = default_stages ()) ?(domains = Dna.Par.default_domains ()) ?faults rng
+    ?(stages = default_stages ()) ?(domains = Dna.Par.default_domains ()) ?faults ?prepare rng
     (file : Bytes.t) : outcome =
   let failures = ref [] in
   let note stage e = failures := (stage, Printexc.to_string e) :: !failures in
@@ -170,6 +170,12 @@ let run ?(params = Codec.Params.default) ?(layout = Codec.Layout.Baseline)
         time (fun () ->
             try
               trigger Faults.Simulate;
+              (* Physical pool transforms (aging decay, PCR amplification
+                 bias, ... — see [Simulator.Scenario]) run between encode
+                 and sequencing, drawing from the ambient rng so one seed
+                 governs the whole simulated wetlab. A crash here degrades
+                 like any other simulate-stage failure. *)
+              let strands = match prepare with None -> strands | Some f -> f rng strands in
               Simulator.Sequencer.sequence ~domains stages.sequencing stages.channel rng strands
             with e ->
               note Faults.Simulate e;

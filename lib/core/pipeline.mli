@@ -82,9 +82,19 @@ val sort_clusters : Dna.Strand.t array array -> unit
 
 val run :
   ?params:Codec.Params.t -> ?layout:Codec.Layout.t -> ?stages:stages -> ?domains:int ->
-  ?faults:Faults.plan -> Dna.Rng.t -> Bytes.t -> outcome
+  ?faults:Faults.plan ->
+  ?prepare:(Dna.Rng.t -> Dna.Strand.t array -> Dna.Strand.t array) ->
+  Dna.Rng.t -> Bytes.t -> outcome
 (** Encode, simulate, cluster, reconstruct (largest clusters first),
     decode. Never raises.
+
+    [prepare] transforms the encoded strand pool between encode and
+    sequencing — the hook scenario stacks use for physical pool models
+    (aging decay, PCR amplification bias; see {!Simulator.Scenario} and
+    {!Scenario_run}). It runs inside the simulate stage (its cost counts
+    toward [simulate_s], a raise degrades like a simulate crash) and
+    draws from the ambient [rng]. [n_strands] reports the pool size
+    {e before} [prepare], i.e. what the codec synthesized.
 
     [faults] injects the plan's seeded data faults between stages
     (dropout after encode; undersampling, truncation and corruption

@@ -167,3 +167,36 @@ let f4 x = Printf.sprintf "%.4f" x
 let section title =
   let bar = String.make (String.length title + 4) '=' in
   Printf.sprintf "\n%s\n= %s =\n%s\n" bar title bar
+
+(* One scenario-sweep cell per row: recovery against the floor plus the
+   configured-vs-realized channel error rate, so a drifting channel
+   model is visible next to the recovery number it explains. *)
+let scenario_summary (outcomes : Scenario_run.outcome list) =
+  let header =
+    [ "scenario"; "fault"; "seed"; "recovered"; "floor"; "configured"; "realized"; "wall";
+      "status" ]
+  in
+  let rows =
+    List.map
+      (fun (o : Scenario_run.outcome) ->
+        [
+          o.Scenario_run.scenario;
+          o.fault;
+          string_of_int o.seed;
+          pct o.recovered_fraction;
+          (match o.floor with None -> "-" | Some f -> pct f);
+          pct o.configured_error_rate;
+          pct o.realized_error_rate;
+          Printf.sprintf "%.2fs" o.wall_s;
+          (if o.passed then "ok" else "FLOOR");
+        ])
+      outcomes
+  in
+  let n_fail = List.length (Scenario_run.failures outcomes) in
+  let verdict =
+    if outcomes = [] then "no scenario cells ran\n"
+    else if n_fail = 0 then
+      Printf.sprintf "all %d cells at or above their floors\n" (List.length outcomes)
+    else Printf.sprintf "%d of %d cells BELOW their floors\n" n_fail (List.length outcomes)
+  in
+  table (header :: rows) ^ verdict

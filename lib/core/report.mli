@@ -62,3 +62,9 @@ val f4 : float -> string
 
 val section : string -> string
 (** A boxed section heading. *)
+
+val scenario_summary : Scenario_run.outcome list -> string
+(** One scenario-sweep cell per row — recovered fraction against its
+    floor, configured vs realized channel error rate, wall clock — with
+    a one-line verdict (used by [dnastore scenario] and
+    [bench_scenarios]). *)

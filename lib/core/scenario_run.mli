@@ -1,0 +1,76 @@
+(** Execute declarative scenarios ({!Simulator.Scenario}) through
+    {!Pipeline.run}, resolving floor names against the {!Faults}
+    matrix. One seed fixes the pipeline rng, the fault plan and the
+    error-rate probe, so equal (scenario, fault, seed, data) replays
+    bit-identically. *)
+
+type outcome = {
+  scenario : string;
+  fault : string;  (** fault-plan name from the {!Faults} matrix *)
+  seed : int;
+  n_bytes : int;
+  exact : bool;
+  recovered_fraction : float;
+  configured_error_rate : float;
+      (** analytic per-base rate of the scenario's read-level stack *)
+  realized_error_rate : float;
+      (** measured by probing the composed channel against known strands *)
+  floor : float option;
+      (** the scenario's recovered-fraction floor for this fault plan *)
+  passed : bool;  (** [recovered_fraction >= floor] (true when no floor) *)
+  wall_s : float;
+}
+
+val realized_rate : ?strand_len:int -> ?trials:int -> Simulator.Channel.t -> seed:int -> float
+(** Mean per-base error rate of a channel, measured on a stream derived
+    from (not equal to) [seed] so probing never perturbs a replay. *)
+
+val run :
+  ?params:Codec.Params.t ->
+  ?layout:Codec.Layout.t ->
+  ?coverage:int ->
+  ?domains:int ->
+  ?fault:string ->
+  seed:int ->
+  data:Bytes.t ->
+  Simulator.Scenario.t ->
+  (outcome, string) result
+(** One cell: encode [data], apply the scenario's pool stages and
+    composed channel, inject the named fault plan (default ["clean"]),
+    recover. [Error] on an unknown fault name or an unbuildable
+    scenario (e.g. an unreadable trace path). *)
+
+val sweep :
+  ?params:Codec.Params.t ->
+  ?layout:Codec.Layout.t ->
+  ?coverage:int ->
+  ?domains:int ->
+  faults:string list ->
+  seeds:int list ->
+  data:Bytes.t ->
+  Simulator.Scenario.t list ->
+  (outcome list, string) result
+(** The full matrix, scenario-major then fault then seed. Also checks
+    that every floor a swept scenario declares names a known fault plan
+    (even ones this sweep does not exercise). *)
+
+val failures : outcome list -> outcome list
+(** The cells whose recovered fraction fell below their floor. *)
+
+val run_full :
+  ?params:Codec.Params.t ->
+  ?layout:Codec.Layout.t ->
+  ?coverage:int ->
+  ?domains:int ->
+  ?fault:string ->
+  seed:int ->
+  data:Bytes.t ->
+  Simulator.Scenario.t ->
+  (outcome * Pipeline.outcome, string) result
+(** [run], but also exposing the raw pipeline outcome — what replay
+    checks compare byte-for-byte. *)
+
+val outcome_json : outcome -> Store_json.t
+val outcomes_json : outcome list -> Store_json.t
+(** The sweep artifact shape: [{"cells": [...], "n_cells": n,
+    "n_failed": k}]. *)

@@ -8,21 +8,40 @@
     distribution, and stochastic per-molecule amplification skews
     abundances — the amplification bias that makes coverage uneven.
 
+    [bias_sd] adds the systematic component of that bias: each input
+    molecule draws one log-normal efficiency multiplier (secondary
+    structure, GC content, primer affinity) that compounds every cycle,
+    so after [c] cycles per-origin abundance is log-normally distributed
+    rather than merely jittered — the skew scenario stacks use to turn
+    uniform coverage into the long-tailed coverage real pools show.
+
     Populations are tracked as (strand, count) multisets; counts grow
-    exponentially while the number of distinct variants stays small. *)
+    exponentially while the number of distinct variants stays small.
+
+    Determinism: every input molecule amplifies from its own rng stream,
+    split off the caller's rng in index order. A family's draws depend
+    only on its own stream — never on how many other molecules share the
+    tube, their counts, or the order cycles walk the population — so the
+    result is reproducible under any pool iteration order and across
+    [--domains] settings, and cycle count 0 is the exact identity. *)
 
 type params = {
   cycles : int;  (** thermal cycles, typically 10-30 *)
   efficiency : float;  (** per-molecule copy probability per cycle *)
   p_sub : float;  (** polymerase substitution rate per base per copy *)
+  bias_sd : float;
+      (** sigma of the per-molecule log-normal efficiency multiplier
+          (0.0: every molecule amplifies at [efficiency], the historical
+          behavior) *)
 }
 
-let default_params = { cycles = 12; efficiency = 0.85; p_sub = 1e-4 }
+let default_params = { cycles = 12; efficiency = 0.85; p_sub = 1e-4; bias_sd = 0.0 }
 
 let validate p =
   if p.cycles < 0 then invalid_arg "Pcr: cycles must be nonnegative";
   if p.efficiency < 0.0 || p.efficiency > 1.0 then invalid_arg "Pcr: efficiency out of range";
-  if p.p_sub < 0.0 || p.p_sub >= 1.0 then invalid_arg "Pcr: p_sub out of range"
+  if p.p_sub < 0.0 || p.p_sub >= 1.0 then invalid_arg "Pcr: p_sub out of range";
+  if p.bias_sd < 0.0 then invalid_arg "Pcr: bias_sd must be nonnegative"
 
 type population = (Dna.Strand.t * int) list
 (** Distinct molecule variants with their copy numbers. *)
@@ -50,6 +69,11 @@ let binomial rng ~n ~p =
     max 0 (min n (int_of_float (mean +. (sd *. z) +. 0.5)))
   end
 
+(* Standard normal via Box-Muller (two uniform draws). *)
+let gaussian rng =
+  let u1 = max 1e-12 (Dna.Rng.float rng) and u2 = Dna.Rng.float rng in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
 (* One polymerase substitution at a random position. *)
 let mutate_copy rng strand =
   let n = Dna.Strand.length strand in
@@ -58,14 +82,15 @@ let mutate_copy rng strand =
   codes.(pos) <- (codes.(pos) + 1 + Dna.Rng.int rng 3) land 3;
   Dna.Strand.of_codes codes
 
-(* One thermal cycle over the population. Mutated copies spawn new
+(* One thermal cycle over one molecule's family, at that family's
+   (possibly bias-skewed) efficiency. Mutated copies spawn new
    variants; clean copies increase their variant's count. *)
-let cycle p rng (pop : population) : population =
+let cycle p ~efficiency rng (pop : population) : population =
   let fresh = ref [] in
   let pop =
     List.map
       (fun (strand, count) ->
-        let copied = binomial rng ~n:count ~p:p.efficiency in
+        let copied = binomial rng ~n:count ~p:efficiency in
         (* Of the copies, how many carry a new error? Expected
            n_copies * len * p_sub; sample per-copy only for that few. *)
         let p_err = min 1.0 (float_of_int (Dna.Strand.length strand) *. p.p_sub) in
@@ -78,13 +103,31 @@ let cycle p rng (pop : population) : population =
   in
   pop @ !fresh
 
-let amplify ?(params = default_params) rng (molecules : Dna.Strand.t array) : population =
-  validate params;
-  let pop = ref (Array.to_list (Array.map (fun s -> (s, 1)) molecules)) in
-  for _ = 1 to params.cycles do
-    pop := cycle params rng !pop
+(* Amplify one input molecule on its own stream. The family's
+   efficiency multiplier is drawn once and compounds across every
+   cycle, which is what makes final abundances log-normal. *)
+let amplify_family p rng strand : population =
+  let efficiency =
+    if p.bias_sd = 0.0 then p.efficiency
+    else
+      (* exp(sigma z - sigma^2/2) has mean 1, so the bias spreads
+         abundances without shifting the expected yield. *)
+      min 1.0 (p.efficiency *. exp ((p.bias_sd *. gaussian rng) -. (0.5 *. p.bias_sd *. p.bias_sd)))
+  in
+  let pop = ref [ (strand, 1) ] in
+  for _ = 1 to p.cycles do
+    pop := cycle p ~efficiency rng !pop
   done;
   !pop
+
+let amplify ?(params = default_params) rng (molecules : Dna.Strand.t array) : population =
+  validate params;
+  (* Index-order split: family i's stream depends only on the parent
+     rng state and i, never on what other families drew. *)
+  let streams = Array.map (fun s -> (s, Dna.Rng.split rng)) molecules in
+  List.concat_map
+    (fun (s, frng) -> amplify_family params frng s)
+    (Array.to_list streams)
 
 (* Draw [n] molecules from the population proportionally to abundance:
    what actually gets loaded on the sequencer. *)
@@ -99,6 +142,15 @@ let sample rng (pop : population) ~n : Dna.Strand.t array =
           | (s, c) :: rest -> if target < acc + c then s else pick (acc + c) rest
         in
         pick 0 pop)
+
+let amplify_sample ?(params = default_params) ?(depth_factor = 1.0) rng molecules =
+  if depth_factor <= 0.0 then invalid_arg "Pcr: depth_factor must be positive";
+  if Array.length molecules = 0 then [||]
+  else begin
+    let pop = amplify ~params rng molecules in
+    let n = max 1 (int_of_float (depth_factor *. float_of_int (Array.length molecules))) in
+    sample rng pop ~n
+  end
 
 (* Amplification skew: coefficient of variation of per-origin abundance
    when every input molecule was distinct. *)

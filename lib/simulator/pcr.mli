@@ -1,12 +1,21 @@
 (** Polymerase chain reaction (Sections II-A and II-E): exponential
     amplification with per-cycle efficiency, polymerase errors that are
-    themselves amplified, and the stochastic per-molecule bias that
-    skews abundances. *)
+    themselves amplified, and per-molecule amplification bias — a
+    log-normal efficiency multiplier ([bias_sd]) compounding each cycle,
+    so final per-origin abundances are log-normal rather than uniform.
+
+    Every input molecule amplifies from its own rng stream split off in
+    index order, so results are independent of pool iteration order,
+    identical across [--domains] settings, and cycle count 0 is the
+    exact identity. *)
 
 type params = {
   cycles : int;  (** thermal cycles, typically 10-30 *)
   efficiency : float;  (** per-molecule copy probability per cycle *)
   p_sub : float;  (** polymerase substitution rate per base per copy *)
+  bias_sd : float;
+      (** sigma of the per-molecule log-normal efficiency multiplier
+          (0.0: every molecule amplifies at [efficiency]) *)
 }
 
 val default_params : params
@@ -17,10 +26,20 @@ type population = (Dna.Strand.t * int) list
 val total_molecules : population -> int
 
 val amplify : ?params:params -> Dna.Rng.t -> Dna.Strand.t array -> population
+(** Families appear in input order; with [cycles = 0] the result is the
+    input multiset with every count 1. *)
 
 val sample : Dna.Rng.t -> population -> n:int -> Dna.Strand.t array
 (** Draw molecules proportionally to abundance: what gets loaded on the
     sequencer. *)
+
+val amplify_sample :
+  ?params:params -> ?depth_factor:float -> Dna.Rng.t -> Dna.Strand.t array -> Dna.Strand.t array
+(** [amplify] then [sample] [depth_factor * n] molecules (at least 1;
+    default factor 1.0): the pool-level PCR stage scenario stacks apply
+    — origins never sampled are dropped, popular origins repeat, and
+    downstream fixed-depth sequencing turns the multiset into log-normal
+    coverage. Raises [Invalid_argument] when [depth_factor <= 0]. *)
 
 val abundance_skew : population -> float
 (** Coefficient of variation of per-variant abundance. *)

@@ -343,6 +343,47 @@ let test_sequence_pool_generic_fallback () =
   in
   check_pool_matches_boxed "fallback" ch
 
+(* Property: for an ARBITRARY boxed-only channel — randomized draw
+   count per base, deletion/insertion probabilities, and a final
+   whole-strand draw — the generic [transmit_into] fallback replays the
+   boxed path draw for draw through pooled sequencing. *)
+let prop_generic_fallback_matches_boxed =
+  QCheck.Test.make ~name:"generic transmit_into fallback = boxed (arbitrary channel)" ~count:40
+    QCheck.(
+      quad (float_range 0.0 0.3) (float_range 0.0 0.3) (int_range 0 3) bool)
+    (fun (p_del, p_ins, extra_draws, tail_draw) ->
+      let ch =
+        Simulator.Channel.create ~name:"arbitrary-boxed-only" (fun rng s ->
+            let n = Dna.Strand.length s in
+            let buf = Buffer.create n in
+            for i = 0 to n - 1 do
+              for _ = 1 to extra_draws do
+                ignore (Dna.Rng.float rng)
+              done;
+              let u = Dna.Rng.float rng in
+              if u < p_del then ()
+              else begin
+                if u < p_del +. p_ins then
+                  Buffer.add_char buf Dna.Strand.char_of_code.(Dna.Rng.int rng 4);
+                Buffer.add_char buf Dna.Strand.char_of_code.(Dna.Strand.unsafe_get_code s i)
+              end
+            done;
+            if tail_draw then ignore (Dna.Rng.int rng 2);
+            Dna.Strand.of_string (Buffer.contents buf))
+      in
+      let params = Simulator.Sequencer.default_params ~coverage:(Simulator.Sequencer.Fixed 3) in
+      let strands = Array.init 6 (fun i -> Dna.Strand.random (Dna.Rng.create (200 + i)) 60) in
+      let boxed = Simulator.Sequencer.sequence ~domains:1 params ch (Dna.Rng.create 9) strands in
+      let pool = Dna.Strand_pool.create () in
+      let origins = Simulator.Sequencer.sequence_pool params ch (Dna.Rng.create 9) strands ~pool in
+      Array.length boxed = Array.length origins
+      && Array.for_all
+           (fun ok -> ok)
+           (Array.mapi
+              (fun i (r : Simulator.Sequencer.read) ->
+                r.origin = origins.(i) && Dna.Strand.equal r.seq (Dna.Strand_pool.get pool i))
+              boxed))
+
 let test_sequence_pool_dropout_reverse () =
   check_pool_matches_boxed "dropout+reverse"
     ~params:
@@ -390,6 +431,7 @@ let () =
             test_sequence_pool_generic_fallback;
           Alcotest.test_case "dropout/reverse = boxed" `Quick
             test_sequence_pool_dropout_reverse;
+          QCheck_alcotest.to_alcotest prop_generic_fallback_matches_boxed;
         ] );
       ( "learned",
         [
