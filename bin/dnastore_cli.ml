@@ -133,6 +133,24 @@ let make_recon = function
   | `Ensemble -> (fun ~target_len reads -> Reconstruction.Ensemble.reconstruct ~target_len reads)
   | `Trellis -> (fun ~target_len reads -> Reconstruction.Trellis.reconstruct ~target_len reads)
 
+(* Pool-native twin of [make_recon]: algorithms with an arena surface
+   use it; trellis (no pool surface yet) bridges by materializing
+   zero-copy views. *)
+let make_recon_pool = function
+  | `Bma -> (fun ~target_len pool idxs -> Reconstruction.Bma.reconstruct_pool ~target_len pool idxs)
+  | `Dbma ->
+      (fun ~target_len pool idxs ->
+        Reconstruction.Bma.reconstruct_double_pool ~target_len pool idxs)
+  | `Nw ->
+      (fun ~target_len pool idxs ->
+        Reconstruction.Nw_consensus.reconstruct_pool ~target_len pool idxs)
+  | `Ensemble ->
+      (fun ~target_len pool idxs -> Reconstruction.Ensemble.reconstruct_pool ~target_len pool idxs)
+  | `Trellis ->
+      (fun ~target_len pool idxs ->
+        Reconstruction.Trellis.reconstruct ~target_len
+          (Array.map (Dna.Strand_pool.get pool) idxs))
+
 (* The alignment-kernel knob is process-wide (it defaults every
    [Dna.Alignment.align] call), so one flag covers NW consensus, the
    ensemble's NW member, trellis rate estimation and POA alike. *)
@@ -142,6 +160,15 @@ let recon_backend_arg =
            Dna.Alignment.Auto
        & info [ "recon-backend" ] ~docv:"KERNEL"
          ~doc:"Alignment kernel for reconstruction: $(b,auto), $(b,full) (reference matrix), or                $(b,banded) (Ukkonen band, exact via full-matrix fallback). Output is identical                for every choice.")
+
+(* The two reconstruction spines stay A/B-able from the shell: [auto]
+   is pooled wherever pool-native stages exist for the request. *)
+let recon_pool_arg =
+  Arg.(value
+       & opt (enum [ ("auto", Dnastore.Pipeline.Pool_auto); ("on", Dnastore.Pipeline.Pool_on); ("off", Dnastore.Pipeline.Pool_off) ])
+           Dnastore.Pipeline.Pool_auto
+       & info [ "recon-pool" ] ~docv:"MODE"
+         ~doc:"Reconstruction spine: $(b,on) (pool-native: one read arena, index-slice clusters,                arena-backed consensus), $(b,off) (boxed strand arrays), or $(b,auto). Consensus is                bit-identical either way.")
 
 let sig_kind_arg =
   Arg.(value & opt (enum [ ("qgram", Clustering.Signature.Qgram); ("wgram", Clustering.Signature.Wgram) ])
@@ -306,7 +333,7 @@ let pipeline_cmd =
   let input = Arg.(required & opt (some file) None & info [ "input"; "i" ] ~docv:"FILE" ~doc:"Input file.") in
   let output = Arg.(required & opt (some string) None & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Recovered file.") in
   let run input output layout payload data_cols parity channel error_rate coverage algo kind
-      recon_backend seed domains =
+      recon_backend recon_pool seed domains =
     Dna.Par.set_default_domains domains;
     Dna.Alignment.set_default_backend recon_backend;
     let params = params_of ~payload ~data_cols ~parity in
@@ -319,8 +346,16 @@ let pipeline_cmd =
         reconstruct = make_recon algo;
       }
     in
+    let pooled =
+      {
+        Dnastore.Pipeline.cluster_pool = Dnastore.Pipeline.cluster_pool_default ~kind ~domains ();
+        reconstruct_pool = make_recon_pool algo;
+      }
+    in
     let data = read_binary input in
-    let out = Dnastore.Pipeline.run ~params ~layout ~stages ~domains rng data in
+    let out =
+      Dnastore.Pipeline.run ~params ~layout ~stages ~pooled ~recon_pool ~domains rng data
+    in
     (match out.Dnastore.Pipeline.file with
     | Some bytes -> write_binary output bytes
     | None -> ());
@@ -335,6 +370,11 @@ let pipeline_cmd =
     print_string
       (Dnastore.Report.recon_percentiles ~p50_s:t.Dnastore.Pipeline.reconstruct_p50_s
          ~p95_s:t.Dnastore.Pipeline.reconstruct_p95_s);
+    print_string
+      (Dnastore.Report.recon_alloc
+         ~pooled:(recon_pool <> Dnastore.Pipeline.Pool_off)
+         ~n_clusters:out.Dnastore.Pipeline.n_clusters
+         ~words_per_cluster:out.Dnastore.Pipeline.reconstruct_words_per_cluster);
     if not out.Dnastore.Pipeline.exact then
       print_string (Dnastore.Report.recovery out.Dnastore.Pipeline.partial);
     (match Dna.Par.counters () with
@@ -346,7 +386,7 @@ let pipeline_cmd =
   Cmd.v (Cmd.info "pipeline" ~doc:"Run the full encode-simulate-cluster-reconstruct-decode pipeline.")
     Term.(const run $ input $ output $ layout_arg $ payload_arg $ data_cols_arg $ parity_arg
           $ channel_arg $ error_rate_arg $ coverage_arg $ recon_arg $ sig_kind_arg
-          $ recon_backend_arg $ seed_arg $ domains)
+          $ recon_backend_arg $ recon_pool_arg $ seed_arg $ domains)
 
 (* fountain-encode / fountain-decode *)
 
@@ -445,7 +485,7 @@ let faults_cmd =
   let list_arg =
     Arg.(value & flag & info [ "list" ] ~doc:"List the scenario matrix and exit.")
   in
-  let run input bytes scenario_name seeds_csv list_only domains =
+  let run input bytes scenario_name seeds_csv list_only recon_pool domains =
     Dna.Par.set_default_domains domains;
     if list_only then begin
       print_string
@@ -487,7 +527,7 @@ let faults_cmd =
       let run_one scenario seed =
         let go () =
           let rng = Dna.Rng.create seed in
-          Dnastore.Pipeline.run
+          Dnastore.Pipeline.run ~recon_pool
             ~faults:(Dnastore.Faults.plan_of_scenario ~seed scenario)
             rng data
         in
@@ -571,7 +611,7 @@ let faults_cmd =
   Cmd.v
     (Cmd.info "faults"
        ~doc:"Run the fault-injection scenario matrix and print a recovery report.")
-    Term.(const run $ input $ bytes_arg $ scenario_arg $ seeds_arg $ list_arg $ domains)
+    Term.(const run $ input $ bytes_arg $ scenario_arg $ seeds_arg $ list_arg $ recon_pool_arg $ domains)
 
 (* scenario: the declarative channel-stack engine. list/describe browse
    the builtin registry; run executes one (scenario, fault) cell per
@@ -901,8 +941,9 @@ let store_cmd =
               "Serve whatever survives when the object's shard is damaged or scrub marked it \
                degraded, instead of failing. Exit 2 signals a partial (non-exact) read.")
     in
-    let run dir key output domains recon_backend degraded =
+    let run dir key output domains recon_backend recon_pool degraded =
       let store = opened dir in
+      let recon_pool = recon_pool <> Dnastore.Pipeline.Pool_off in
       if degraded then begin
         let p = or_die (Store.get_partial store ~key) in
         write_binary output p.Store.bytes;
@@ -919,7 +960,7 @@ let store_cmd =
         end
       end
       else
-        match Store.get_batch ~domains ~recon_backend store [ key ] with
+        match Store.get_batch ~domains ~recon_backend ~recon_pool store [ key ] with
         | [ (_, Ok bytes) ] ->
             write_binary output bytes;
             Printf.printf "recovered %s (%d bytes)\n" key (Bytes.length bytes)
@@ -927,7 +968,7 @@ let store_cmd =
         | _ -> assert false
     in
     Cmd.v (Cmd.info "get" ~doc:"Sequence, reconstruct and decode one object.")
-      Term.(const run $ dir_arg $ key_arg $ output $ domains $ recon_backend_arg $ degraded)
+      Term.(const run $ dir_arg $ key_arg $ output $ domains $ recon_backend_arg $ recon_pool_arg $ degraded)
   in
   let rm_cmd =
     let run dir key =
@@ -1132,7 +1173,7 @@ let serve_cmd =
           ~doc:"Answer damaged gets with the surviving bytes instead of an error.")
   in
   let run dir populate ops clients read_pct window max_queue zipf seed domains deadline_s
-      degraded_reads =
+      degraded_reads recon_pool =
     let die e =
       Printf.eprintf "%s\n" (Store.error_message e);
       exit 1
@@ -1160,6 +1201,7 @@ let serve_cmd =
         Serve.domains;
         Serve.deadline_s;
         Serve.degraded_reads;
+        Serve.recon_pool = recon_pool <> Dnastore.Pipeline.Pool_off;
       }
     in
     let mix = { Serve.Workload.label = Printf.sprintf "read%.0f" (100.0 *. read_pct); Serve.Workload.read_pct } in
@@ -1176,7 +1218,7 @@ let serve_cmd =
        ~doc:"Serve a multi-client zipfian put/get/overwrite workload through the scheduler.")
     Term.(
       const run $ dir_arg $ populate $ ops $ clients $ read_pct $ window $ max_queue $ zipf $ seed
-      $ domains $ deadline $ degraded_reads)
+      $ domains $ deadline $ degraded_reads $ recon_pool_arg)
 
 let main =
   let doc = "modular end-to-end DNA data storage codec and simulator" in

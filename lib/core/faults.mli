@@ -56,6 +56,11 @@ val inject_reads : plan -> Simulator.Sequencer.read array -> Simulator.Sequencer
 val inject_clusters : plan -> Dna.Strand.t list list -> Dna.Strand.t list list
 (** Apply {!Cluster_loss} between clustering and reconstruction. *)
 
+val inject_cluster_slices : plan -> int array list -> int array list
+(** {!inject_clusters} for the pooled pipeline's cluster index-slices:
+    draw-for-draw identical stream, so both spines lose the same
+    clusters under one plan. *)
+
 (** {2 The named scenario matrix} *)
 
 type scenario = {

@@ -92,6 +92,13 @@ let scratch_key =
   Domain.DLS.new_key (fun () ->
       { cells = [||]; codes_a = [||]; codes_b = [||]; ops = [||]; last_a = Strand.empty })
 
+(* Capacity held by the calling domain's alignment arena, in array
+   slots — lets allocation accounting (and tests) see that repeated
+   aligns reuse buffers instead of growing them. *)
+let scratch_capacity_words () =
+  let s = Domain.DLS.get scratch_key in
+  Array.length s.cells + Array.length s.codes_a + Array.length s.codes_b + Array.length s.ops
+
 let ensure arr n = if Array.length arr >= n then arr else Array.make (max n (2 * Array.length arr)) 0
 
 (* Branchless minimum: DP cell values depend on random base matches, so

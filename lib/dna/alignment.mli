@@ -51,6 +51,12 @@ val banded_fallbacks : unit -> int
 
 val reset_banded_fallbacks : unit -> unit
 
+val scratch_capacity_words : unit -> int
+(** Capacity currently held by the calling domain's alignment arena
+    (DP cells, code buffers, op scripts), in array slots. Grow-only:
+    steady under a fixed workload once the largest alignment has been
+    seen — the invariant pool-native reconstruction leans on. *)
+
 val align : ?backend:backend -> ?band:int -> Strand.t -> Strand.t -> t
 (** [align a b] computes an optimal global alignment, preferring
     diagonal moves on ties so scripts stay maximally aligned. The result

@@ -176,3 +176,11 @@ let iter f t =
   done
 
 let to_array t = Array.init t.n (fun i -> unsafe_get t i)
+
+let of_strands (strands : Strand.t array) =
+  let bases = Array.fold_left (fun acc s -> acc + Strand.length s) 0 strands in
+  let t =
+    create ~capacity_bases:(max 1 bases) ~capacity_reads:(max 1 (Array.length strands)) ()
+  in
+  Array.iter (fun s -> ignore (add_strand t s)) strands;
+  t

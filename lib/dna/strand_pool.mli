@@ -83,3 +83,8 @@ val permute : t -> ?from:int -> int array -> unit
 val iter : (int -> Strand.t -> unit) -> t -> unit
 val to_array : t -> Strand.t array
 (** Views for all reads (one small record per read; bases stay shared). *)
+
+val of_strands : Strand.t array -> t
+(** A fresh pool holding copies of [strands], in order — the bridge
+    back into arena form after a boxed transform (e.g. fault injection)
+    rewrote some reads. *)

@@ -14,3 +14,15 @@ val reconstruct : ?lookahead:int -> target_len:int -> Dna.Strand.t array -> Dna.
 val reconstruct_double : ?lookahead:int -> target_len:int -> Dna.Strand.t array -> Dna.Strand.t
 (** Double-sided BMA: the left half reconstructed left-to-right, the
     right half right-to-left, joined in the middle. *)
+
+val reconstruct_pool :
+  ?lookahead:int -> target_len:int -> Dna.Strand_pool.t -> int array -> Dna.Strand.t
+(** [reconstruct] over a cluster index-slice of an arena read pool:
+    reads are zero-copy views, pointers/lookahead/output state lives in
+    the calling domain's {!Recon_arena}. Bit-identical to the boxed
+    path on the same reads. *)
+
+val reconstruct_double_pool :
+  ?lookahead:int -> target_len:int -> Dna.Strand_pool.t -> int array -> Dna.Strand.t
+(** Pool-native double-sided BMA: the reversed pass addresses reads
+    back-to-front instead of materializing reversed copies. *)

@@ -54,3 +54,60 @@ let reconstruct ?backend ?lookahead ?refinements ~target_len (reads : Dna.Strand
       and b = Dna.Strand.get_code dbma i
       and c = Dna.Strand.get_code nw i in
       if a = b then a else c)
+
+(* ---------- pool-native surface ----------
+
+   The same vote and fallback chain over [(pool, index)] cluster
+   slices. Each member re-mints the slice into the domain arena (the
+   members run strictly in sequence, so the re-mints never overlap);
+   the boxed/pooled asymmetry between members — BMA sees empty reads as
+   never-active, NW filters them out — is preserved by each member's
+   own minting policy. *)
+
+let majority_pool ~target_len pool (idxs : int array) : Dna.Strand.t =
+  let a = Recon_arena.get () in
+  let n = Recon_arena.mint a pool idxs ~keep_empty:true in
+  let views = a.Recon_arena.views in
+  let votes = a.Recon_arena.counts4 in
+  Dna.Strand.init_codes target_len (fun i ->
+      Array.fill votes 0 4 0;
+      for r = 0 to n - 1 do
+        let v = Array.unsafe_get views r in
+        if i < Dna.Strand.length v then begin
+          let c = Dna.Strand.get_code v i in
+          votes.(c) <- votes.(c) + 1
+        end
+      done;
+      let best = ref 0 in
+      for c = 1 to 3 do
+        if votes.(c) > votes.(!best) then best := c
+      done;
+      !best)
+
+let reconstruct_fallback_pool ?primary ~target_len pool (idxs : int array) :
+    Dna.Strand.t option =
+  if Array.length idxs = 0 then None
+  else begin
+    let attempts =
+      (match primary with Some f -> [ f ] | None -> [])
+      @ [
+          (fun ~target_len pool idxs -> Nw_consensus.reconstruct_pool ~target_len pool idxs);
+          (fun ~target_len pool idxs -> Bma.reconstruct_pool ~target_len pool idxs);
+          majority_pool;
+        ]
+    in
+    List.find_map
+      (fun f -> match f ~target_len pool idxs with s -> Some s | exception _ -> None)
+      attempts
+  end
+
+let reconstruct_pool ?backend ?lookahead ?refinements ~target_len pool (idxs : int array) :
+    Dna.Strand.t =
+  let bma = Bma.reconstruct_pool ?lookahead ~target_len pool idxs in
+  let dbma = Bma.reconstruct_double_pool ?lookahead ~target_len pool idxs in
+  let nw = Nw_consensus.reconstruct_pool ?backend ?refinements ~target_len pool idxs in
+  Dna.Strand.init_codes target_len (fun i ->
+      let a = Dna.Strand.get_code bma i
+      and b = Dna.Strand.get_code dbma i
+      and c = Dna.Strand.get_code nw i in
+      if a = b then a else c)

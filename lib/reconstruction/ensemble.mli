@@ -22,3 +22,23 @@ val reconstruct_fallback :
 (** Graceful-degradation chain: [primary] (if any), then NW, BMA and
     {!majority}, absorbing exceptions at each step. [None] only for an
     empty cluster or if every step raised. *)
+
+val reconstruct_pool :
+  ?backend:Dna.Alignment.backend ->
+  ?lookahead:int ->
+  ?refinements:int ->
+  target_len:int ->
+  Dna.Strand_pool.t ->
+  int array ->
+  Dna.Strand.t
+(** [reconstruct] over a cluster index-slice of an arena read pool;
+    bit-identical to the boxed vote on the same reads. *)
+
+val majority_pool : target_len:int -> Dna.Strand_pool.t -> int array -> Dna.Strand.t
+
+val reconstruct_fallback_pool :
+  ?primary:(target_len:int -> Dna.Strand_pool.t -> int array -> Dna.Strand.t) ->
+  target_len:int -> Dna.Strand_pool.t -> int array -> Dna.Strand.t option
+(** Pool-native fallback chain (primary -> NW -> BMA -> majority over
+    the slice), absorbing exceptions at each step. [None] only for an
+    empty slice or if every step raised. *)

@@ -32,3 +32,28 @@ val reconstruct :
   target_len:int ->
   Dna.Strand.t array ->
   Dna.Strand.t
+
+val reconstruct_pool_full :
+  ?backend:Dna.Alignment.backend ->
+  ?band:int ->
+  ?refinements:int ->
+  target_len:int ->
+  Dna.Strand_pool.t ->
+  int array ->
+  outcome
+(** [reconstruct_full] over a cluster index-slice of an arena read
+    pool: reads are zero-copy views and every profile/vote/selection
+    table lives in the calling domain's {!Recon_arena} buffers, so only
+    alignment scripts and the consensus strand allocate. Bit-identical
+    to the boxed path on the same reads (the profile/vote/select cores
+    are shared). Raises [Invalid_argument] when the slice holds no
+    non-empty read. *)
+
+val reconstruct_pool :
+  ?backend:Dna.Alignment.backend ->
+  ?band:int ->
+  ?refinements:int ->
+  target_len:int ->
+  Dna.Strand_pool.t ->
+  int array ->
+  Dna.Strand.t

@@ -544,6 +544,12 @@ type access_task = {
 (* Cluster, reconstruct and decode one object's cores; pure given its
    rng, so it can run on any domain. Returns the decode stats alongside
    the bytes so partial (degraded) readers can map recovered ranges. *)
+let decode_consensus (o : Manifest.object_meta) consensus :
+    (Bytes.t * Codec.File_codec.decode_stats, error) result =
+  match Codec.File_codec.decode ~layout:o.layout ~params:o.params ~n_units:o.n_units consensus with
+  | Ok (bytes, stats) -> Ok (bytes, stats)
+  | Error e -> Error (Decode_failed { key = o.key; reason = Codec.File_codec.error_message e })
+
 let decode_task ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Strand.t array) :
     (Bytes.t * Codec.File_codec.decode_stats, error) result =
   let clusters = Dnastore.Pipeline.cluster_default ~domains:1 () rng cores in
@@ -556,12 +562,28 @@ let decode_task ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Stran
            if Array.length reads = 0 then None
            else Some (Dnastore.Pipeline.reconstruct_nw ?backend:recon_backend ~target_len reads))
   in
-  match Codec.File_codec.decode ~layout:o.layout ~params:o.params ~n_units:o.n_units consensus with
-  | Ok (bytes, stats) -> Ok (bytes, stats)
-  | Error e -> Error (Decode_failed { key = o.key; reason = Codec.File_codec.error_message e })
+  decode_consensus o consensus
+
+(* Pool-native decode: the demuxed core arena goes straight to scaled
+   clustering (index slices) and arena-backed consensus — no boxed
+   strand per read between sequencing and the decoder. *)
+let decode_task_pool ?recon_backend rng (o : Manifest.object_meta) (cores : Dna.Strand_pool.t) :
+    (Bytes.t * Codec.File_codec.decode_stats, error) result =
+  let slices = Dnastore.Pipeline.cluster_pool_default ~domains:1 () rng cores in
+  let slice_arr = Array.of_list slices in
+  Dnastore.Pipeline.sort_cluster_slices cores slice_arr;
+  let target_len = Codec.Params.strand_nt o.params in
+  let consensus =
+    Array.to_list slice_arr
+    |> List.filter_map (fun idxs ->
+           if Array.length idxs = 0 then None
+           else
+             Some (Dnastore.Pipeline.reconstruct_nw_pool ?backend:recon_backend ~target_len cores idxs))
+  in
+  decode_consensus o consensus
 
 (* Sequence, demultiplex, cluster, reconstruct, decode one object. *)
-let run_access_task ?recon_backend t (tk : access_task) :
+let run_access_task ?recon_backend ?(recon_pool = true) t (tk : access_task) :
     (Bytes.t * Codec.File_codec.decode_stats, error) result =
   let o = tk.tk_obj in
   let cfg = t.manifest.Manifest.config in
@@ -582,14 +604,25 @@ let run_access_task ?recon_backend t (tk : access_task) :
   let pool = Dna.Strand_pool.create () in
   ignore (Simulator.Sequencer.sequence_pool sequencing channel seq_rng tk.tk_selected ~pool);
   let ingested = Dnastore.Wetlab_io.ingest_pool [ o.pair ] pool in
-  let cores =
-    match ingested.Dnastore.Wetlab_io.pools_by_pair with
-    | [ (_, cores) ] -> Dna.Strand_pool.to_array cores
-    | _ -> [||]
-  in
-  decode_task ?recon_backend decode_rng o cores
+  if recon_pool then
+    (* Keep the arena all the way down: index-slice clustering and
+       arena-backed consensus, no boxed strand per read. *)
+    let cores =
+      match ingested.Dnastore.Wetlab_io.pools_by_pair with
+      | [ (_, cores) ] -> cores
+      | _ -> Dna.Strand_pool.create ()
+    in
+    decode_task_pool ?recon_backend decode_rng o cores
+  else
+    let cores =
+      match ingested.Dnastore.Wetlab_io.pools_by_pair with
+      | [ (_, cores) ] -> Dna.Strand_pool.to_array cores
+      | _ -> [||]
+    in
+    decode_task ?recon_backend decode_rng o cores
 
-let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon_backend t
+let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon_backend
+    ?recon_pool t
     (keys : string list) : (string * (Bytes.t, error) result) list =
   (* Resolve keys against a hashed view of the directory: cache hits
      answer immediately; misses are deduplicated (a key requested twice
@@ -678,7 +711,8 @@ let get_batch ?(domains = Dna.Par.default_domains ()) ?(use_cache = true) ?recon
   let tasks = Array.of_list (List.rev !tasks) in
   let outcome_arr =
     Dna.Par.map_array ~label:"store.get_batch" ~domains
-      (fun tk -> (tk.tk_obj.Manifest.key, Result.map fst (run_access_task ?recon_backend t tk)))
+      (fun tk ->
+        (tk.tk_obj.Manifest.key, Result.map fst (run_access_task ?recon_backend ?recon_pool t tk)))
       tasks
   in
   let outcomes : (string, (Bytes.t, error) result) Hashtbl.t =

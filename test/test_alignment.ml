@@ -164,6 +164,149 @@ let test_cluster_sort_deterministic () =
     Alcotest.(check bool) "sorted cluster order identical" true (shuffled = reference)
   done
 
+(* ---- pool-native reconstruction: bit-identity with the boxed path ----
+
+   The arena surfaces ([reconstruct_pool] and friends) are a perf knob,
+   never a semantics knob: on every cluster, the pool path over an
+   index slice must return byte-for-byte what the boxed path returns
+   over the materialized reads — including which exceptions it raises
+   (an empty slice must refuse exactly like an empty array). *)
+
+(* A random cluster at coverage 3..20 over a clean strand of length
+   0..300, packed into a pool alongside decoy reads so slices exercise
+   non-contiguous, non-zero-based indexing. *)
+let random_cluster rng =
+  let coverage = 3 + Dna.Rng.int rng 18 in
+  let len = Dna.Rng.int rng 301 in
+  let clean = Dna.Strand.random rng len in
+  let rates = [| 0.02; 0.06; 0.15 |] in
+  let reads =
+    Array.init coverage (fun _ -> sibling rng ~error_rate:rates.(Dna.Rng.int rng 3) clean)
+  in
+  let target_len = max 1 len in
+  (reads, target_len)
+
+(* Pack [reads] into a fresh pool interleaved with decoys; returns the
+   pool and the slice addressing just the cluster. *)
+let pool_of_reads rng reads =
+  let pool = Dna.Strand_pool.create () in
+  let idxs =
+    Array.map
+      (fun r ->
+        if Dna.Rng.int rng 3 = 0 then
+          ignore (Dna.Strand_pool.add_strand pool (Dna.Strand.random rng (Dna.Rng.int rng 50)));
+        Dna.Strand_pool.add_strand pool r)
+      reads
+  in
+  (pool, idxs)
+
+let outcome f = match f () with s -> Ok s | exception e -> Error (Printexc.to_string e)
+
+let check_strand_outcome name boxed pooled =
+  match (boxed, pooled) with
+  | Ok a, Ok b ->
+      Alcotest.(check bool) (name ^ " byte-identical") true (Dna.Strand.equal a b)
+  | Error a, Error b -> Alcotest.(check string) (name ^ " same failure") a b
+  | Ok _, Error e -> Alcotest.failf "%s: boxed succeeded, pooled raised %s" name e
+  | Error e, Ok _ -> Alcotest.failf "%s: boxed raised %s, pooled succeeded" name e
+
+let algorithms =
+  [
+    ( "nw",
+      (fun ~target_len reads ->
+        Reconstruction.Nw_consensus.reconstruct ~backend:Dna.Alignment.Banded ~target_len reads),
+      fun ~target_len pool idxs ->
+        Reconstruction.Nw_consensus.reconstruct_pool ~backend:Dna.Alignment.Banded ~target_len
+          pool idxs );
+    ( "bma",
+      (fun ~target_len reads -> Reconstruction.Bma.reconstruct ~target_len reads),
+      fun ~target_len pool idxs -> Reconstruction.Bma.reconstruct_pool ~target_len pool idxs );
+    ( "dbma",
+      (fun ~target_len reads -> Reconstruction.Bma.reconstruct_double ~target_len reads),
+      fun ~target_len pool idxs ->
+        Reconstruction.Bma.reconstruct_double_pool ~target_len pool idxs );
+    ( "ensemble",
+      (fun ~target_len reads ->
+        Reconstruction.Ensemble.reconstruct ~backend:Dna.Alignment.Banded ~target_len reads),
+      fun ~target_len pool idxs ->
+        Reconstruction.Ensemble.reconstruct_pool ~backend:Dna.Alignment.Banded ~target_len pool
+          idxs );
+    ( "majority",
+      (fun ~target_len reads -> Reconstruction.Ensemble.majority ~target_len reads),
+      fun ~target_len pool idxs -> Reconstruction.Ensemble.majority_pool ~target_len pool idxs );
+  ]
+
+let test_pool_matches_boxed () =
+  List.iter
+    (fun seed ->
+      let rng = Dna.Rng.create seed in
+      for case = 1 to 25 do
+        let reads, target_len = random_cluster rng in
+        let pool, idxs = pool_of_reads rng reads in
+        List.iter
+          (fun (name, boxed, pooled) ->
+            check_strand_outcome
+              (Printf.sprintf "%s seed %d case %d" name seed case)
+              (outcome (fun () -> boxed ~target_len reads))
+              (outcome (fun () -> pooled ~target_len pool idxs)))
+          algorithms;
+        (* the fallback chain, including the empty slice *)
+        let fb = Reconstruction.Ensemble.reconstruct_fallback ~target_len reads in
+        let fbp = Reconstruction.Ensemble.reconstruct_fallback_pool ~target_len pool idxs in
+        (match (fb, fbp) with
+        | Some a, Some b ->
+            Alcotest.(check bool) "fallback byte-identical" true (Dna.Strand.equal a b)
+        | None, None -> ()
+        | _ -> Alcotest.fail "fallback chain diverged between spines");
+        Alcotest.(check bool) "fallback on empty slice" true
+          (Reconstruction.Ensemble.reconstruct_fallback_pool ~target_len pool [||] = None)
+      done)
+    seeds
+
+(* Empty clusters refuse identically on both spines. *)
+let test_pool_empty_cluster () =
+  let pool = Dna.Strand_pool.create () in
+  List.iter
+    (fun (name, boxed, pooled) ->
+      check_strand_outcome (name ^ " empty")
+        (outcome (fun () -> boxed ~target_len:10 [||]))
+        (outcome (fun () -> pooled ~target_len:10 pool [||])))
+    algorithms
+
+(* The per-domain arenas must not interfere: reconstructing many
+   clusters through the domain pool (domains 1, 2 and 4) returns the
+   same strands the boxed serial loop does. Each worker reuses its own
+   arena across tasks, so any cross-task or cross-domain state leak
+   shows up as a mismatch. *)
+let test_pool_arena_isolation_across_domains () =
+  let rng = Dna.Rng.create 2024 in
+  let clusters = Array.init 24 (fun _ -> random_cluster rng) in
+  let pools = Array.map (fun (reads, _) -> pool_of_reads rng reads) clusters in
+  let serial =
+    Array.map
+      (fun (reads, target_len) ->
+        Reconstruction.Ensemble.reconstruct ~backend:Dna.Alignment.Banded ~target_len reads)
+      clusters
+  in
+  List.iter
+    (fun domains ->
+      let pooled =
+        Dna.Par.map_array ~label:"test.pool_isolation" ~domains
+          (fun i ->
+            let _, target_len = clusters.(i) in
+            let pool, idxs = pools.(i) in
+            Reconstruction.Ensemble.reconstruct_pool ~backend:Dna.Alignment.Banded ~target_len
+              pool idxs)
+          (Array.init (Array.length clusters) Fun.id)
+      in
+      Array.iteri
+        (fun i s ->
+          Alcotest.(check bool)
+            (Printf.sprintf "domains %d cluster %d identical" domains i)
+            true (Dna.Strand.equal serial.(i) s))
+        pooled)
+    [ 1; 2; 4 ]
+
 let () =
   Alcotest.run "alignment"
     [
@@ -178,5 +321,12 @@ let () =
           Alcotest.test_case "poa band invariant" `Quick test_poa_band_invariant;
           Alcotest.test_case "nw backend invariant" `Quick test_consensus_backend_invariant;
           Alcotest.test_case "cluster sort deterministic" `Quick test_cluster_sort_deterministic;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "pool == boxed (all algorithms)" `Quick test_pool_matches_boxed;
+          Alcotest.test_case "empty cluster refuses identically" `Quick test_pool_empty_cluster;
+          Alcotest.test_case "arena isolation across domains" `Quick
+            test_pool_arena_isolation_across_domains;
         ] );
     ]

@@ -406,6 +406,34 @@ let test_run_pool_matches_run_scaled () =
     "pool views cluster identically" scaled.Clustering.Cluster.assignment
     pooled.Clustering.Cluster.assignment
 
+(* Clustering-to-consensus handoff: the index slices [run_pool] emits
+   feed [reconstruct_pool] directly, and every cluster's consensus must
+   be byte-identical to the boxed reconstruction over the same slice's
+   materialized views. This is the seam the pooled pipeline spine runs
+   on — no boxed strand per read between clustering and decode. *)
+let test_pool_slices_reconstruct_identically () =
+  let reads, _ = planted_reads 2718 in
+  let pool = Dna.Strand_pool.create () in
+  Array.iter (fun s -> ignore (Dna.Strand_pool.add_strand pool s)) reads;
+  let result = Clustering.Cluster.run_pool (scaled_params ()) (Dna.Rng.create 9) pool in
+  Alcotest.(check bool) "clusters exist" true (result.Clustering.Cluster.clusters <> []);
+  List.iteri
+    (fun c idxs ->
+      let boxed_reads = Array.map (Dna.Strand_pool.get pool) idxs in
+      let pooled =
+        Reconstruction.Nw_consensus.reconstruct_pool ~target_len:110 pool idxs
+      in
+      let boxed = Reconstruction.Nw_consensus.reconstruct ~target_len:110 boxed_reads in
+      Alcotest.(check bool)
+        (Printf.sprintf "cluster %d consensus byte-identical" c)
+        true (Dna.Strand.equal pooled boxed);
+      let pooled_e = Reconstruction.Ensemble.reconstruct_pool ~target_len:110 pool idxs in
+      let boxed_e = Reconstruction.Ensemble.reconstruct ~target_len:110 boxed_reads in
+      Alcotest.(check bool)
+        (Printf.sprintf "cluster %d ensemble byte-identical" c)
+        true (Dna.Strand.equal pooled_e boxed_e))
+    result.Clustering.Cluster.clusters
+
 let test_scaled_recovers_planted () =
   let reads, truth = planted_reads 31415 in
   let result = Clustering.Cluster.run_scaled (scaled_params ()) (Dna.Rng.create 6) reads in
@@ -466,6 +494,8 @@ let () =
           Alcotest.test_case "identical across domains" `Quick
             test_scaled_identical_across_domains;
           Alcotest.test_case "run_pool = run_scaled" `Quick test_run_pool_matches_run_scaled;
+          Alcotest.test_case "pool slices reconstruct identically" `Quick
+            test_pool_slices_reconstruct_identically;
           Alcotest.test_case "recovers planted" `Quick test_scaled_recovers_planted;
           Alcotest.test_case "empty/singleton" `Quick test_scaled_empty_and_singleton;
         ] );
